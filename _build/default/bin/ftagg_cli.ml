@@ -1,0 +1,330 @@
+(* ftagg — command-line front end.
+
+   Subcommands:
+     run       run a protocol on a generated topology under an adversary
+     graph     print statistics of a generated topology
+     twoparty  run the §7 two-party protocols on a random instance
+     rank      certify Lemma 11's rank(M) = q−1 for a given q
+
+   Examples:
+     ftagg run -p tradeoff -t grid -n 64 -f 8 -b 60 --failures random
+     ftagg run -p brute -t ring -n 50 --failures burst --budget 6
+     ftagg twoparty -n 4096 -q 32
+     ftagg rank -q 17
+*)
+
+open Cmdliner
+open Ftagg
+
+let topology_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "path" -> Ok Gen.Path
+    | "ring" -> Ok Gen.Ring
+    | "grid" -> Ok Gen.Grid
+    | "star" -> Ok Gen.Star
+    | "tree" | "binary_tree" -> Ok Gen.Binary_tree
+    | "complete" -> Ok Gen.Complete
+    | "caterpillar" -> Ok Gen.Caterpillar
+    | "lollipop" -> Ok Gen.Lollipop
+    | "random" -> Ok (Gen.Random 0.05)
+    | "torus" -> Ok Gen.Torus
+    | "regular" | "random_regular" -> Ok (Gen.Random_regular 4)
+    | other -> Error (`Msg (Printf.sprintf "unknown topology %S" other))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Gen.family_name f))
+
+let caaf_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "sum" -> Ok Instances.sum
+    | "count" -> Ok Instances.count
+    | "max" -> Ok Instances.max_
+    | "min" -> Ok Instances.min_
+    | "or" -> Ok Instances.bool_or
+    | "and" -> Ok Instances.bool_and
+    | "gcd" -> Ok Instances.gcd
+    | other -> Error (`Msg (Printf.sprintf "unknown aggregate %S" other))
+  in
+  Arg.conv (parse, fun ppf (c : Caaf.t) -> Format.pp_print_string ppf c.Caaf.name)
+
+(* Common options *)
+let topology =
+  Arg.(value & opt topology_conv Gen.Grid & info [ "t"; "topology" ] ~doc:"Topology family.")
+
+let nodes = Arg.(value & opt int 64 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.")
+
+let make_failures graph ~mode ~budget ~seed ~window =
+  let n = Graph.n graph in
+  match String.lowercase_ascii mode with
+  | "none" -> Failure.none ~n
+  | "random" -> Failure.random graph ~rng:(Prng.create seed) ~budget ~max_round:window
+  | "burst" -> Failure.burst graph ~rng:(Prng.create seed) ~budget ~round:(window / 3)
+  | "chain" -> Failure.chain ~n ~first:1 ~len:(min budget (n - 2)) ~round:(window / 3)
+  | "neighborhood" -> Failure.neighborhood graph ~center:(n / 2) ~round:(window / 3)
+  | other -> failwith (Printf.sprintf "unknown failure mode %S" other)
+
+let run_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt string "tradeoff"
+      & info [ "p"; "protocol" ]
+          ~doc:"One of: tradeoff, brute, folklore, naive, unknown-f, pair, agg.")
+  in
+  let caaf = Arg.(value & opt caaf_conv Instances.sum & info [ "aggregate" ] ~doc:"CAAF.") in
+  let b = Arg.(value & opt int 63 & info [ "b" ] ~doc:"Time budget in flooding rounds.") in
+  let f = Arg.(value & opt int 8 & info [ "f" ] ~doc:"Edge-failure budget.") in
+  let tol = Arg.(value & opt (some int) None & info [ "tolerance" ] ~doc:"t for pair/agg.") in
+  let fmode =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "failures" ] ~doc:"Adversary: none, random, burst, chain, neighborhood.")
+  in
+  let budget = Arg.(value & opt (some int) None & info [ "budget" ] ~doc:"Edge failures to inject (default f).") in
+  let max_input = Arg.(value & opt int 100 & info [ "max-input" ] ~doc:"Inputs drawn from [0, max].") in
+  let run protocol topology n seed caaf b f tol fmode budget max_input =
+    let graph = Gen.build topology ~n ~seed in
+    let rng = Prng.create (seed + 17) in
+    let inputs = Params.random_inputs ~rng ~n ~max_input in
+    let t = Option.value tol ~default:(max 1 (2 * f)) in
+    let params = Params.make ~c:2 ~t ~caaf ~graph ~inputs () in
+    let d = params.Params.d in
+    let window = b * d in
+    let budget = Option.value budget ~default:f in
+    let failures = make_failures graph ~mode:fmode ~budget ~seed:(seed + 3) ~window in
+    let print_common name value (c : Run.common) =
+      Printf.printf "%-10s %s = %s\n" name params.Params.caaf.Caaf.name value;
+      Printf.printf "correct    : %b\n" c.Run.correct;
+      Printf.printf "CC         : %d bits (busiest node)\n" (Metrics.cc c.Run.metrics);
+      Printf.printf "TC         : %d rounds = %d flooding rounds (d = %d)\n" c.Run.rounds
+        c.Run.flooding_rounds d;
+      Printf.printf "edge fails : %d injected\n" (Failure.edge_failures graph failures)
+    in
+    (match String.lowercase_ascii protocol with
+    | "tradeoff" ->
+      let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed in
+      print_common "tradeoff" (string_of_int o.Run.t_value) o.Run.tc;
+      Printf.printf "via        : %s\n"
+        (match o.Run.how with
+        | Tradeoff.Via_pair y -> Printf.sprintf "AGG+VERI pair in interval %d" y
+        | Tradeoff.Via_brute_force -> "brute-force fallback")
+    | "brute" ->
+      let o = Run.brute_force ~graph ~failures ~params ~seed in
+      print_common "brute" (string_of_int o.Run.value) o.Run.vc
+    | "folklore" ->
+      let o = Run.folklore ~graph ~failures ~params ~mode:(Folklore.Retry (f + 1)) ~seed in
+      let v =
+        match o.Run.f_result with
+        | Folklore.Value v -> string_of_int v
+        | Folklore.No_clean_epoch -> "<no clean epoch>"
+      in
+      print_common "folklore" v o.Run.fc;
+      Printf.printf "epochs     : %d\n" o.Run.epochs
+    | "naive" ->
+      let o = Run.folklore ~graph ~failures ~params ~mode:Folklore.Naive ~seed in
+      let v =
+        match o.Run.f_result with
+        | Folklore.Value v -> string_of_int v
+        | Folklore.No_clean_epoch -> "<dirty>"
+      in
+      print_common "naive-TAG" v o.Run.fc
+    | "unknown-f" | "unknown_f" ->
+      let o = Run.unknown_f ~graph ~failures ~params ~seed in
+      print_common "unknown-f" (string_of_int o.Run.u_value) o.Run.uc;
+      Printf.printf "via        : %s\n"
+        (match o.Run.u_how with
+        | Unknown_f.Via_slot g -> Printf.sprintf "slot %d (t = %d)" g (1 lsl g)
+        | Unknown_f.Via_brute_force -> "brute-force fallback")
+    | "pair" ->
+      let o = Run.pair ~graph ~failures ~params ~seed () in
+      let v =
+        match o.Run.verdict.Pair.result with
+        | Agg.Value v -> string_of_int v
+        | Agg.Aborted -> "<aborted>"
+      in
+      print_common "AGG+VERI" v o.Run.pc;
+      Printf.printf "VERI says  : %b   (ground truth: LFC = %b, %d edge failures in window)\n"
+        o.Run.verdict.Pair.veri_ok o.Run.lfc o.Run.edge_failures
+    | "agg" ->
+      let o = Run.agg ~graph ~failures ~params ~seed () in
+      let v =
+        match o.Run.agg_result with
+        | Agg.Value v -> string_of_int v
+        | Agg.Aborted -> "<aborted>"
+      in
+      print_common "AGG" v o.Run.ac
+    | other -> failwith (Printf.sprintf "unknown protocol %S" other));
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a protocol on a generated topology under an adversary.")
+    Term.(
+      const run $ protocol $ topology $ nodes $ seed $ caaf $ b $ f $ tol $ fmode $ budget
+      $ max_input)
+
+let graph_cmd =
+  let run topology n seed =
+    let g = Gen.build topology ~n ~seed in
+    Printf.printf "topology : %s\n" (Gen.family_name topology);
+    Printf.printf "nodes    : %d\n" (Graph.n g);
+    Printf.printf "edges    : %d\n" (Graph.num_edges g);
+    Printf.printf "diameter : %s\n"
+      (match Path.diameter g with Some d -> string_of_int d | None -> "disconnected");
+    Printf.printf "root deg : %d\n" (Graph.degree g Graph.root);
+    0
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print statistics of a generated topology.")
+    Term.(const run $ topology $ nodes $ seed)
+
+let twoparty_cmd =
+  let n = Arg.(value & opt int 4096 & info [ "n" ] ~doc:"String length.") in
+  let q = Arg.(value & opt int 32 & info [ "q" ] ~doc:"Alphabet size (>= 2).") in
+  let run n q seed =
+    let rng = Prng.create seed in
+    let inst = Cycle_promise.random ~rng ~n ~q () in
+    let u = Unionsize.solve inst in
+    Printf.printf "UNIONSIZECP(n=%d, q=%d)\n" n q;
+    Printf.printf "answer     : %d (ground truth %d)\n" u.Unionsize.answer
+      (Cycle_promise.union_size inst);
+    Printf.printf "bits       : %d (Alice %d, Bob %d)\n" u.Unionsize.total_bits
+      u.Unionsize.alice_bits u.Unionsize.bob_bits;
+    Printf.printf "upper bound: %.0f    lower bound: %.0f\n"
+      (Bounds.unionsize_upper ~n ~q) (Bounds.unionsize_lower ~n ~q);
+    let e = Equality.solve inst in
+    Printf.printf "EQUALITYCP : %b (ground truth %b), %d bits (%d oracle + %d overhead)\n"
+      e.Equality.equal (Cycle_promise.equal inst) e.Equality.total_bits
+      e.Equality.oracle_bits e.Equality.overhead_bits;
+    0
+  in
+  Cmd.v
+    (Cmd.info "twoparty" ~doc:"Run the §7 two-party protocols on a random instance.")
+    Term.(const run $ n $ q $ seed)
+
+let worstcase_cmd =
+  let f = Arg.(value & opt int 8 & info [ "f" ] ~doc:"Edge-failure budget per cell.") in
+  let b = Arg.(value & opt int 63 & info [ "b" ] ~doc:"Time budget in flooding rounds.") in
+  let run n f b seed =
+    let land_ = Worstcase.sweep_tradeoff ~n ~f ~b ~seed () in
+    let table =
+      Table.create
+        ~title:(Printf.sprintf "Algorithm 1 across topology x adversary (N=%d, f=%d, b=%d)" n f b)
+        [
+          ("topology", Table.Left);
+          ("adversary", Table.Left);
+          ("CC", Table.Right);
+          ("TC (fl)", Table.Right);
+          ("correct", Table.Right);
+        ]
+    in
+    List.iter
+      (fun c ->
+        Table.add_row table
+          [
+            c.Worstcase.family;
+            c.Worstcase.adversary;
+            string_of_int c.Worstcase.cc;
+            string_of_int c.Worstcase.flooding_rounds;
+            string_of_bool c.Worstcase.correct;
+          ])
+      land_.Worstcase.cells;
+    Table.print table;
+    Printf.printf "worst cell: %s x %s -> %d bits
+" land_.Worstcase.worst.Worstcase.family
+      land_.Worstcase.worst.Worstcase.adversary land_.Worstcase.worst.Worstcase.cc;
+    0
+  in
+  Cmd.v
+    (Cmd.info "worstcase" ~doc:"Sweep the FT0 landscape for Algorithm 1.")
+    Term.(const run $ nodes $ f $ b $ seed)
+
+let dot_cmd =
+  let run topology n seed =
+    print_string (Graph.to_dot ~name:(Gen.family_name topology) (Gen.build topology ~n ~seed));
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a generated topology as Graphviz DOT on stdout.")
+    Term.(const run $ topology $ nodes $ seed)
+
+let trace_cmd =
+  let t = Arg.(value & opt int 2 & info [ "tolerance" ] ~doc:"AGG/VERI tolerance t.") in
+  let budget = Arg.(value & opt int 3 & info [ "budget" ] ~doc:"Edge failures to inject.") in
+  let limit = Arg.(value & opt int 120 & info [ "limit" ] ~doc:"Events to print.") in
+  let run topology n seed t budget limit =
+    let graph = Gen.build topology ~n ~seed in
+    let rng = Prng.create (seed + 17) in
+    let inputs = Params.random_inputs ~rng ~n ~max_input:50 in
+    let params = Params.make ~c:2 ~t ~graph ~inputs () in
+    let failures =
+      Failure.random graph ~rng:(Prng.create (seed + 3)) ~budget ~max_round:200
+    in
+    let trace = Trace.create () in
+    let proto =
+      {
+        Engine.name = "pair-traced";
+        init = (fun u ~rng:_ -> Pair.create params ~me:u);
+        step =
+          (fun ~round ~me:_ ~state ~inbox ->
+            let inbox =
+              List.filter_map
+                (fun (s, m) -> if m.Message.exec = 0 then Some (s, m.Message.body) else None)
+                inbox
+            in
+            let out = Pair.step state ~rr:round ~inbox in
+            (state, List.map (fun body -> Message.{ exec = 0; body }) out));
+        msg_bits = Message.msg_bits params;
+        root_done = (fun _ -> false);
+      }
+    in
+    let states, metrics =
+      Engine.run ~observer:(Trace.observer trace) ~graph ~failures
+        ~max_rounds:(Pair.duration params) ~seed proto
+    in
+    Printf.printf "adversary: %s
+" (Format.asprintf "%a" Failure.pp failures);
+    let shown = ref 0 in
+    List.iter
+      (fun e ->
+        if !shown < limit then begin
+          incr shown;
+          Printf.printf "r%04d n%03d:" e.Trace.round e.Trace.node;
+          List.iter (fun m -> Printf.printf " %s" (Format.asprintf "%a" Message.pp m)) e.Trace.payloads;
+          print_newline ()
+        end)
+      (Trace.events trace);
+    if Trace.length trace > limit then
+      Printf.printf "... (%d more events)
+" (Trace.length trace - limit);
+    let v = Pair.root_verdict states.(Graph.root) in
+    Printf.printf "result: %s, VERI %b, CC %d bits
+"
+      (match v.Pair.result with Agg.Value x -> string_of_int x | Agg.Aborted -> "<aborted>")
+      v.Pair.veri_ok (Metrics.cc metrics);
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one AGG+VERI pair and print its broadcast trace.")
+    Term.(const run $ topology $ nodes $ seed $ t $ budget $ limit)
+
+let rank_cmd =
+  let q = Arg.(value & opt int 7 & info [ "q" ] ~doc:"Alphabet size (>= 2).") in
+  let run q =
+    let rank = Sperner.lemma11_rank q in
+    Printf.printf "rank(M_%d) = %d = q - 1 (certified over ℚ)\n" q rank;
+    Printf.printf "⇒ R₀^pri(EQUALITYCP_{n,%d}) ≥ n·log₂(q/(q−1)) = %.4f·n bits\n" q
+      (Sperner.equality_lower_bound ~n:1 ~q);
+    0
+  in
+  Cmd.v (Cmd.info "rank" ~doc:"Certify Lemma 11's rank computation.") Term.(const run $ q)
+
+let () =
+  let doc = "fault-tolerant aggregation with near-optimal communication-time tradeoff" in
+  let info = Cmd.info "ftagg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; graph_cmd; twoparty_cmd; rank_cmd; worstcase_cmd; dot_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/adhoc_gateway.ml: Array Failure Ftagg Gen Graph Instances List Network Path Printf Prng Selection

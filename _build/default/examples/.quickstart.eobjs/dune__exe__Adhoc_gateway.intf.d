@@ -1,0 +1,1 @@
+examples/adhoc_gateway.mli:

@@ -1,0 +1,1 @@
+examples/cluster_monitor.ml: Array Derived Failure Format Ftagg Gen Graph Metrics Params Path Printf Prng

@@ -1,0 +1,1 @@
+examples/cluster_monitor.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Failure Ftagg Gen Instances List Network Printf String

@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Array Failure Ftagg Gen Instances List Network Printf Prng String

@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: Array Bounds Folklore Ftagg Gen List Metrics Network Printf Run Table

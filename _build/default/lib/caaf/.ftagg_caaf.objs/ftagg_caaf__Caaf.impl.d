@@ -1,0 +1,1 @@
+lib/caaf/caaf.ml: Array List

@@ -1,0 +1,1 @@
+lib/caaf/instances.ml: Caaf Ftagg_util Printf

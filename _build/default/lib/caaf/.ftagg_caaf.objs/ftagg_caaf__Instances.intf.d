@@ -1,0 +1,1 @@
+lib/caaf/instances.mli: Caaf

@@ -1,0 +1,38 @@
+type monotonicity = Increasing | Decreasing | Non_monotone
+
+type t = {
+  name : string;
+  identity : int;
+  combine : int -> int -> int;
+  domain_bits : n:int -> max_input:int -> int;
+  monotonicity : monotonicity;
+}
+
+let aggregate caaf xs = List.fold_left caaf.combine caaf.identity xs
+
+let correct_interval caaf ~base ~optional =
+  let agg = aggregate caaf in
+  match caaf.monotonicity with
+  | Increasing -> (agg base, agg (base @ optional))
+  | Decreasing -> (agg (base @ optional), agg base)
+  | Non_monotone ->
+    let k = List.length optional in
+    if k > 20 then
+      invalid_arg "Caaf.correct_interval: too many optional inputs for a \
+                   non-monotone operator";
+    let opts = Array.of_list optional in
+    let lo = ref max_int and hi = ref min_int in
+    for mask = 0 to (1 lsl k) - 1 do
+      let chosen = ref base in
+      for i = 0 to k - 1 do
+        if mask land (1 lsl i) <> 0 then chosen := opts.(i) :: !chosen
+      done;
+      let v = agg !chosen in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v
+    done;
+    (!lo, !hi)
+
+let is_correct caaf ~base ~optional result =
+  let lo, hi = correct_interval caaf ~base ~optional in
+  lo <= result && result <= hi

@@ -1,0 +1,45 @@
+(** Commutative and associative aggregate functions (CAAFs, §2 of the
+    paper).
+
+    A CAAF is a commutative, associative binary operator whose partial
+    aggregates over up to [N] inputs stay within a domain of size
+    polynomial in [N] — so a partial aggregate always fits in
+    [O(log N)] bits.  The aggregation protocols are generic over a value
+    of this type; SUM is just one instance.
+
+    {b Correctness.}  With [s1] the surviving inputs and [s2] all inputs,
+    a result is correct iff it lies between the min and max of
+    [fold ⋄ s] over all [s1 ⊆ s ⊆ s2].  For operators monotone under set
+    inclusion those extremes are attained at [s1] and [s2] themselves;
+    {!correct_interval} exploits this and falls back to exhaustive subset
+    enumeration for non-monotone operators. *)
+
+type monotonicity =
+  | Increasing  (** aggregating more inputs never decreases the result (SUM of
+                    non-negatives, MAX, COUNT, OR) *)
+  | Decreasing  (** aggregating more inputs never increases the result (MIN,
+                    AND, GCD) *)
+  | Non_monotone  (** anything else (e.g. modular sum) *)
+
+type t = {
+  name : string;
+  identity : int;  (** the aggregate of zero inputs *)
+  combine : int -> int -> int;
+  domain_bits : n:int -> max_input:int -> int;
+      (** Width in bits of any partial aggregate of up to [n] inputs drawn
+          from [\[0, max_input\]]. *)
+  monotonicity : monotonicity;
+}
+
+val aggregate : t -> int list -> int
+(** Fold the operator over a list (identity for the empty list). *)
+
+val correct_interval : t -> base:int list -> optional:int list -> int * int
+(** [correct_interval caaf ~base ~optional] is
+    [(min, max)] of [aggregate (base ∪ s)] over all [s ⊆ optional].
+    [base] = inputs of nodes that survived, [optional] = inputs of nodes
+    that failed during the run.  Exhaustive enumeration is used for
+    non-monotone operators and requires [List.length optional <= 20]. *)
+
+val is_correct : t -> base:int list -> optional:int list -> int -> bool
+(** Whether a reported result lies within {!correct_interval}. *)

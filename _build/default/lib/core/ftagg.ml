@@ -1,0 +1,146 @@
+(** Fault-tolerant aggregation with a near-optimal communication-time
+    tradeoff — the public face of the library.
+
+    This module re-exports every component under one roof and adds a
+    small high-level API ({!Network}) for the common case: build a
+    topology, pick inputs, choose a failure adversary, and ask the root
+    for an aggregate within a time budget.
+
+    Reproduces Zhao, Yu & Chen, {e Near-Optimal Communication-Time
+    Tradeoff in Fault-Tolerant Computation of Aggregate Functions},
+    PODC 2014. *)
+
+(** {1 Substrates} *)
+
+module Prng = Ftagg_util.Prng
+module Bits = Ftagg_util.Bits
+module Stats = Ftagg_util.Stats
+module Table = Ftagg_util.Table
+module Chart = Ftagg_util.Chart
+module Graph = Ftagg_graph.Graph
+module Gen = Ftagg_graph.Gen
+module Path = Ftagg_graph.Path
+module Engine = Ftagg_sim.Engine
+module Failure = Ftagg_sim.Failure
+module Metrics = Ftagg_sim.Metrics
+module Trace = Ftagg_sim.Trace
+
+(** {1 Aggregate functions} *)
+
+module Caaf = Ftagg_caaf.Caaf
+module Instances = Ftagg_caaf.Instances
+
+(** {1 Protocols (§4–§6)} *)
+
+module Params = Ftagg_proto.Params
+module Message = Ftagg_proto.Message
+module Flood = Ftagg_proto.Flood
+module Agg = Ftagg_proto.Agg
+module Veri = Ftagg_proto.Veri
+module Pair = Ftagg_proto.Pair
+module Tradeoff = Ftagg_proto.Tradeoff
+module Unknown_f = Ftagg_proto.Unknown_f
+module Brute_force = Ftagg_proto.Brute_force
+module Folklore = Ftagg_proto.Folklore
+module Checker = Ftagg_proto.Checker
+module Run = Ftagg_proto.Run
+
+(** {1 Approximate-aggregation baselines (related work [8], [14])} *)
+
+module Gossip = Ftagg_proto.Gossip
+module Synopsis = Ftagg_proto.Synopsis
+
+(** {1 Lower-bound structure} *)
+
+module Cut_sim = Ftagg_proto.Cut_sim
+
+(** {1 Empirical worst-case search (the FT0 landscape)} *)
+
+module Worstcase = Ftagg_proto.Worstcase
+
+(** {1 Derived queries} *)
+
+module Selection = Ftagg_select.Selection
+module Derived = Ftagg_select.Derived
+
+(** {1 Two-party lower-bound machinery (§7)} *)
+
+module Channel = Ftagg_twoparty.Channel
+module Cycle_promise = Ftagg_twoparty.Cycle_promise
+module Unionsize = Ftagg_twoparty.Unionsize
+module Equality = Ftagg_twoparty.Equality
+module Sperner = Ftagg_twoparty.Sperner
+module Bounds = Ftagg_twoparty.Bounds
+
+(** {1 High-level API} *)
+
+module Network = struct
+  (** A ready-to-run system: topology plus model constants. *)
+  type t = {
+    graph : Graph.t;
+    c : int;
+    seed : int;
+  }
+
+  type report = {
+    value : int;
+    correct : bool;  (** checked against the ground-truth interval *)
+    cc : int;  (** max bits broadcast by any single node *)
+    rounds : int;
+    flooding_rounds : int;
+  }
+
+  let create ?(c = 2) ?(seed = 0) (family : Gen.family) ~n () =
+    { graph = Gen.build family ~n ~seed; c; seed }
+
+  let n t = Graph.n t.graph
+  let graph t = t.graph
+
+  let diameter t =
+    match Path.diameter t.graph with Some d -> max d 1 | None -> assert false
+
+  let no_failures t = Failure.none ~n:(n t)
+
+  let random_failures ?(max_round = 1000) t ~budget ~seed =
+    Failure.random t.graph ~rng:(Prng.create seed) ~budget ~max_round
+
+  let params ?caaf t ~inputs = Params.make ~c:t.c ?caaf ~graph:t.graph ~inputs ()
+
+  let report_of (vc : Run.common) value =
+    {
+      value;
+      correct = vc.Run.correct;
+      cc = Metrics.cc vc.Run.metrics;
+      rounds = vc.Run.rounds;
+      flooding_rounds = vc.Run.flooding_rounds;
+    }
+
+  (** Fault-tolerant aggregation via Algorithm 1 under a TC budget of [b]
+      flooding rounds and at most [f] edge failures. *)
+  let aggregate ?caaf ?failures t ~inputs ~b ~f =
+    let params = params ?caaf t ~inputs in
+    let failures = Option.value failures ~default:(no_failures t) in
+    let o = Run.tradeoff ~graph:t.graph ~failures ~params ~b ~f ~seed:t.seed in
+    report_of o.Run.tc o.Run.t_value
+
+  (** SUM with default settings. *)
+  let sum ?failures t ~inputs ~b ~f = aggregate ?failures t ~inputs ~b ~f
+
+  (** Aggregation when [f] is unknown: the doubling-trick protocol. *)
+  let aggregate_unknown_f ?caaf ?failures t ~inputs =
+    let params = params ?caaf t ~inputs in
+    let failures = Option.value failures ~default:(no_failures t) in
+    let o = Run.unknown_f ~graph:t.graph ~failures ~params ~seed:t.seed in
+    report_of o.Run.uc o.Run.u_value
+
+  (** The [k]-th smallest input, [1]-based. *)
+  let select ?failures t ~inputs ~b ~f ~k =
+    let params = params t ~inputs in
+    let failures = Option.value failures ~default:(no_failures t) in
+    Selection.select ~graph:t.graph ~failures ~params ~b ~f ~k ~seed:t.seed
+
+  let median ?failures t ~inputs ~b ~f =
+    let params = params t ~inputs in
+    let failures = Option.value failures ~default:(no_failures t) in
+    Selection.median ~graph:t.graph ~failures ~params ~b ~f ~seed:t.seed
+end

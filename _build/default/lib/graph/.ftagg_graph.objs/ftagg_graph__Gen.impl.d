@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Ftagg_util Graph List Printf

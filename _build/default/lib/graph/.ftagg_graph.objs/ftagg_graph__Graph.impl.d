@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Buffer Format Int List Printf Set

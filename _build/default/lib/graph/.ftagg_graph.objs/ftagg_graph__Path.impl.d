@@ -1,0 +1,1 @@
+lib/graph/path.ml: Array Graph List Queue

@@ -1,0 +1,72 @@
+module IS = Set.Make (Int)
+
+type t = {
+  n : int;
+  adj : IS.t array;  (* adjacency sets; removed nodes have no entry in [present] *)
+  present : bool array;
+}
+
+let root = 0
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
+  let adj = Array.make n IS.empty in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      adj.(u) <- IS.add v adj.(u);
+      adj.(v) <- IS.add u adj.(v))
+    edges;
+  { n; adj; present = Array.make n true }
+
+let n g = g.n
+
+let mem g u = u >= 0 && u < g.n && g.present.(u)
+
+let neighbors g u =
+  if not (mem g u) then []
+  else IS.elements (IS.filter (fun v -> g.present.(v)) g.adj.(u))
+
+let degree g u = List.length (neighbors g u)
+
+let has_edge g u v = mem g u && mem g v && IS.mem v g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if g.present.(u) then
+      IS.iter (fun v -> if v > u && g.present.(v) then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  !acc
+
+let num_edges g = List.length (edges g)
+
+let fold_nodes f g init =
+  let acc = ref init in
+  for u = 0 to g.n - 1 do
+    if g.present.(u) then acc := f u !acc
+  done;
+  !acc
+
+let remove_nodes g nodes =
+  let present = Array.copy g.present in
+  List.iter
+    (fun u ->
+      if u >= 0 && u < g.n then present.(u) <- false)
+    nodes;
+  { g with present }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (num_edges g);
+  List.iter (fun (u, v) -> Format.fprintf ppf "%d -- %d@," u v) (edges g);
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  0 [shape=doublecircle];\n";
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) (edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Immutable undirected graphs over integer node ids [0 .. n-1].
+
+    Node [0] is, by convention throughout the library, the aggregation
+    root (the base station / gateway of the paper's motivating systems). *)
+
+type t
+
+val root : int
+(** The distinguished root id (always [0]). *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] nodes.  Self-loops are
+    rejected; duplicate edges are collapsed.  Raises [Invalid_argument]
+    on out-of-range endpoints. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val num_edges : t -> int
+
+val neighbors : t -> int -> int list
+(** Sorted adjacency list. *)
+
+val degree : t -> int -> int
+
+val has_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+(** Every edge once, as [(u, v)] with [u < v]. *)
+
+val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val remove_nodes : t -> int list -> t
+(** Graph with the given nodes (and their incident edges) deleted.  Ids
+    are preserved; removed nodes become isolated and are excluded from
+    [neighbors]/[edges].  Used to model crashed nodes. *)
+
+val mem : t -> int -> bool
+(** Whether the node is present (not removed). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> t -> string
+(** Graphviz rendering of the present subgraph; the root is drawn as a
+    double circle. *)

@@ -1,0 +1,1 @@
+lib/proto/agg.mli: Message Params

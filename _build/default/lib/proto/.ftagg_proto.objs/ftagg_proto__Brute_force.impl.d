@@ -1,0 +1,1 @@
+lib/proto/brute_force.ml: Array Flood Ftagg_caaf Ftagg_graph Hashtbl List Message Params

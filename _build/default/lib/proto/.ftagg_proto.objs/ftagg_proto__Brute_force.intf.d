@@ -1,0 +1,1 @@
+lib/proto/brute_force.mli: Message Params

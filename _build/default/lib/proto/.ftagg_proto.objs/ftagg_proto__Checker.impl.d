@@ -1,0 +1,1 @@
+lib/proto/checker.ml: Agg Array Ftagg_caaf Ftagg_graph Ftagg_sim Hashtbl List Params

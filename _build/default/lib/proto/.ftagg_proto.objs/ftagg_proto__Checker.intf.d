@@ -1,0 +1,1 @@
+lib/proto/checker.mli: Agg Ftagg_graph Ftagg_sim Params

@@ -1,0 +1,1 @@
+lib/proto/cut_sim.ml: Array Ftagg_graph Ftagg_sim List Message Tradeoff

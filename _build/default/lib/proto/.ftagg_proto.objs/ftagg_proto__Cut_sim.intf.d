@@ -1,0 +1,1 @@
+lib/proto/cut_sim.mli: Ftagg_graph Ftagg_sim Params

@@ -1,0 +1,1 @@
+lib/proto/flood.ml: Hashtbl List

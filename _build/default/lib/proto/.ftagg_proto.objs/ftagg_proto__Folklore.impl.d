@@ -1,0 +1,1 @@
+lib/proto/folklore.ml: Array Ftagg_caaf Ftagg_graph Hashtbl List Message Params

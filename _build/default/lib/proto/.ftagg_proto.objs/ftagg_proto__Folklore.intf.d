@@ -1,0 +1,1 @@
+lib/proto/folklore.mli: Message Params

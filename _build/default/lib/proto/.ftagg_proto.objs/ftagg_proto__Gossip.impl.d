@@ -1,0 +1,1 @@
+lib/proto/gossip.ml: Array Float Ftagg_graph Ftagg_sim List

@@ -1,0 +1,1 @@
+lib/proto/gossip.mli: Ftagg_graph Ftagg_sim

@@ -1,0 +1,1 @@
+lib/proto/message.ml: Format Ftagg_util List Params

@@ -1,0 +1,1 @@
+lib/proto/message.mli: Format Params

@@ -1,0 +1,1 @@
+lib/proto/pair.ml: Agg List Message Params Veri

@@ -1,0 +1,1 @@
+lib/proto/pair.mli: Agg Message Params Veri

@@ -1,0 +1,1 @@
+lib/proto/params.ml: Array Ftagg_caaf Ftagg_graph Ftagg_util

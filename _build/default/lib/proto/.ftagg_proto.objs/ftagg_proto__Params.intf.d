@@ -1,0 +1,1 @@
+lib/proto/params.mli: Ftagg_caaf Ftagg_graph Ftagg_util

@@ -1,0 +1,1 @@
+lib/proto/run.ml: Agg Array Brute_force Checker Folklore Ftagg_graph Ftagg_sim List Message Pair Params Tradeoff Unknown_f

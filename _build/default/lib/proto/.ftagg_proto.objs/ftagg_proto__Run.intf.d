@@ -1,0 +1,1 @@
+lib/proto/run.mli: Agg Checker Folklore Ftagg_graph Ftagg_sim Pair Params Tradeoff Unknown_f

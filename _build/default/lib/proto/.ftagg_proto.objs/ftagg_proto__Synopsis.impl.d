@@ -1,0 +1,1 @@
+lib/proto/synopsis.ml: Array Float Ftagg_graph Ftagg_sim Ftagg_util List

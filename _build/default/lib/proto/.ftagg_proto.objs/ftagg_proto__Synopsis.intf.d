@@ -1,0 +1,1 @@
+lib/proto/synopsis.mli: Ftagg_graph Ftagg_sim

@@ -1,0 +1,1 @@
+lib/proto/tradeoff.ml: Agg Brute_force Ftagg_graph Ftagg_util Int List Message Pair Params Set

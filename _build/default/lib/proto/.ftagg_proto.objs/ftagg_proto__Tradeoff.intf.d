@@ -1,0 +1,1 @@
+lib/proto/tradeoff.mli: Ftagg_util Message Params

@@ -1,0 +1,1 @@
+lib/proto/unknown_f.ml: Agg Brute_force Ftagg_graph Ftagg_util List Message Pair Params

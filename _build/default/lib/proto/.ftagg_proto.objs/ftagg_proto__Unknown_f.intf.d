@@ -1,0 +1,1 @@
+lib/proto/unknown_f.mli: Message Params

@@ -1,0 +1,1 @@
+lib/proto/veri.ml: Agg Array Flood Ftagg_graph Hashtbl List Message Option Params

@@ -1,0 +1,1 @@
+lib/proto/veri.mli: Agg Message Params

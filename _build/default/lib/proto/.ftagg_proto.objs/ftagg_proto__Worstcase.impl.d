@@ -1,0 +1,1 @@
+lib/proto/worstcase.ml: Array Ftagg_graph Ftagg_sim Ftagg_util List Params Printf Run Tradeoff

@@ -1,0 +1,1 @@
+lib/proto/worstcase.mli:

@@ -1,0 +1,312 @@
+module Caaf = Ftagg_caaf.Caaf
+
+type result = Value of int | Aborted
+
+type ablation = Full | No_speculation | No_witnesses
+
+(* Phase layout in execution-relative rounds (cd = c·d):
+     tree construction : 1            .. 2cd+1
+     tree aggregation  : 2cd+2        .. 4cd+2
+     speculative flood : 4cd+3        .. 6cd+3
+     selection         : 6cd+4        .. 7cd+4   (root outputs in the last round) *)
+
+type node = {
+  p : Params.t;
+  me : int;
+  ablation : ablation;
+  flood : Message.body Flood.t;
+  mutable activated : bool;
+  mutable level : int;
+  mutable parent : int;
+  mutable children : int list;
+  ancestors : int array;  (* length 2t+1, index 0 = me, -1 = undefined *)
+  mutable tc_send_round : int;  (* when to send our own tree_construct; -1 = never *)
+  mutable psum : int;
+  mutable max_level : int;
+  child_psums : (int, int * int) Hashtbl.t;  (* child -> (psum, max_level) *)
+  crit : (int, unit) Hashtbl.t;  (* critical-failure ids seen *)
+  psum_sources : (int, int) Hashtbl.t;  (* flooded source -> its partial sum *)
+  compulsory : (int, unit) Hashtbl.t;  (* sources with a ⟨compulsory‖optional⟩ *)
+  mutable parent_flood_ever : bool;  (* used by the No_speculation ablation *)
+  mutable sent_bits : int;
+  mutable abort_seen : bool;
+  mutable selected : int list;  (* root: sources included in the output *)
+  mutable output : result option;
+}
+
+let duration p = (7 * Params.cd p) + 4
+
+let create ?(ablation = Full) (p : Params.t) ~me =
+  let is_root = me = Ftagg_graph.Graph.root in
+  let ancestors = Array.make ((2 * p.Params.t) + 1) (-1) in
+  ancestors.(0) <- me;
+  {
+    p;
+    me;
+    ablation;
+    flood = Flood.create ();
+    activated = is_root;
+    level = (if is_root then 0 else -1);
+    parent = -1;
+    children = [];
+    ancestors;
+    tc_send_round = (if is_root then 1 else -1);
+    psum = p.Params.inputs.(me);
+    max_level = (if is_root then 0 else -1);
+    child_psums = Hashtbl.create 4;
+    crit = Hashtbl.create 4;
+    psum_sources = Hashtbl.create 8;
+    compulsory = Hashtbl.create 8;
+    parent_flood_ever = false;
+    sent_bits = 0;
+    abort_seen = false;
+    selected = [];
+    output = None;
+  }
+
+(* Record the protocol-level consequences of a flood body the node now
+   knows (whether received or self-originated). *)
+let note_flood node = function
+  | Message.Critical_failure v -> Hashtbl.replace node.crit v ()
+  | Message.Flooded_psum { source; psum } -> Hashtbl.replace node.psum_sources source psum
+  | Message.Compulsory source -> Hashtbl.replace node.compulsory source ()
+  | Message.Agg_abort -> node.abort_seen <- true
+  | _ -> ()
+
+let originate node body = if Flood.originate node.flood body then note_flood node body
+
+(* The defined ancestor ids, nearest first, for our tree_construct. *)
+let defined_ancestors node =
+  let t2 = 2 * node.p.Params.t in
+  let rec collect i acc =
+    if i > t2 || i > node.level || node.ancestors.(i) = -1 then List.rev acc
+    else collect (i + 1) (node.ancestors.(i) :: acc)
+  in
+  collect 1 []
+
+(* Index of [v] in the ancestor array within [0, bound], or None. *)
+let ancestor_index node ~bound v =
+  let rec go i =
+    if i > bound then None
+    else if node.ancestors.(i) = v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Smallest index whose ancestor is the root or a seen critical failure
+   (the fragment boundary), within [0, 2t]. *)
+let boundary_index node =
+  let t2 = 2 * node.p.Params.t in
+  let rec go j =
+    if j > t2 then None
+    else
+      let a = node.ancestors.(j) in
+      if a = -1 then None
+      else if a = Ftagg_graph.Graph.root || Hashtbl.mem node.crit a then Some j
+      else go (j + 1)
+  in
+  go 0
+
+let handle_activation node ~rr ~inbox ~out =
+  match
+    List.find_opt (function _, Message.Tree_construct _ -> true | _ -> false) inbox
+  with
+  | Some (sender, Message.Tree_construct { level = sender_level; ancestors = sanc })
+    when sender_level + 1 <= Params.cd node.p ->
+    (* The model guarantees post-failure diameter <= cd, so levels beyond
+       cd cannot arise; the guard keeps adversarial tests from driving the
+       phase arithmetic out of range. *)
+    node.activated <- true;
+    node.level <- sender_level + 1;
+    node.max_level <- node.level;
+    node.parent <- sender;
+    let t2 = 2 * node.p.Params.t in
+    if t2 >= 1 then begin
+      node.ancestors.(1) <- sender;
+      List.iteri (fun k a -> if k + 2 <= t2 then node.ancestors.(k + 2) <- a) sanc
+    end;
+    node.tc_send_round <- rr + 1;
+    out := Message.Ack { parent = sender } :: !out
+  | _ -> ()
+
+(* Witness determinations (§4.3 / Algorithm 2, selection phase). *)
+let make_determinations node =
+  let t = node.p.Params.t in
+  let t2 = 2 * t in
+  let j_opt = boundary_index node in
+  let j_bound = match j_opt with Some j -> j | None -> t2 in
+  Hashtbl.iter
+    (fun source _ ->
+      match ancestor_index node ~bound:t2 source with
+      | Some i when i <= t && i <= j_bound ->
+        (* I am a witness of [source]. *)
+        let upper = j_bound in
+        let dominated_by_k =
+          let rec scan k =
+            if k > upper then false
+            else if node.ancestors.(k) <> -1 && Hashtbl.mem node.psum_sources node.ancestors.(k)
+            then true
+            else scan (k + 1)
+          in
+          scan (i + 1)
+        in
+        let determination =
+          match j_opt with
+          | None -> Message.Dominated source
+          | Some _ -> if dominated_by_k then Message.Dominated source else Message.Compulsory source
+        in
+        originate node determination
+      | _ -> ())
+    node.psum_sources
+
+let compute_output node =
+  if node.abort_seen then Aborted
+  else begin
+    let caaf = node.p.Params.caaf in
+    let acc = ref caaf.Caaf.identity in
+    let selected = ref [] in
+    Hashtbl.iter
+      (fun source psum ->
+        let keep =
+          match node.ablation with
+          | No_witnesses -> true
+          | Full | No_speculation -> Hashtbl.mem node.compulsory source
+        in
+        if keep then begin
+          acc := caaf.Caaf.combine !acc psum;
+          selected := source :: !selected
+        end)
+      node.psum_sources;
+    node.selected <- !selected;
+    Value !acc
+  end
+
+let step node ~rr ~inbox =
+  let p = node.p in
+  let cd = Params.cd p in
+  let is_root = node.me = Ftagg_graph.Graph.root in
+  if node.abort_seen then begin
+    (* Aborted: keep forwarding only the abort symbol. *)
+    let saw_new_abort =
+      List.exists
+        (fun (_, body) -> body = Message.Agg_abort && Flood.receive node.flood body)
+        inbox
+    in
+    ignore saw_new_abort;
+    let out = Flood.drain node.flood in
+    let out = List.filter (fun b -> b = Message.Agg_abort) out in
+    List.iter (fun b -> node.sent_bits <- node.sent_bits + Message.bits p b) out;
+    if is_root && rr = duration p then node.output <- Some Aborted;
+    out
+  end
+  else begin
+    let out = ref [] in
+    (* 1. Flood intake: forward first receipts, record side information. *)
+    List.iter
+      (fun (_, body) ->
+        if Message.is_flood body then
+          if Flood.receive node.flood body then note_flood node body)
+      inbox;
+    (* 2. Point-to-point intake. *)
+    List.iter
+      (fun (sender, body) ->
+        match body with
+        | Message.Ack { parent } when parent = node.me ->
+          node.children <- sender :: node.children
+        | Message.Aggregation { psum; max_level } when List.mem sender node.children ->
+          Hashtbl.replace node.child_psums sender (psum, max_level)
+        | Message.Flooded_psum _ when sender = node.parent -> node.parent_flood_ever <- true
+        | _ -> ())
+      inbox;
+    (* 3. Phase actions. *)
+    if (not node.activated) && rr <= (2 * cd) + 1 then handle_activation node ~rr ~inbox ~out;
+    if node.activated then begin
+      (* Tree construction: send our tree_construct one round after ack. *)
+      if rr = node.tc_send_round then
+        out :=
+          Message.Tree_construct { level = node.level; ancestors = defined_ancestors node }
+          :: !out;
+      (* Aggregation: act in round cd − level + 1 of the phase. *)
+      let agg_action = (2 * cd) + 1 + (cd - node.level + 1) in
+      if rr = agg_action then begin
+        List.iter
+          (fun child ->
+            match Hashtbl.find_opt node.child_psums child with
+            | Some (cpsum, cmax) ->
+              node.psum <- p.Params.caaf.Caaf.combine node.psum cpsum;
+              node.max_level <- max node.max_level cmax
+            | None -> originate node (Message.Critical_failure child))
+          node.children;
+        out := Message.Aggregation { psum = node.psum; max_level = node.max_level } :: !out
+      end;
+      (* Speculative flooding: root in phase round 1; level l in phase
+         round l+1 iff nothing flooded arrived from the parent this round. *)
+      let spec_base = (4 * cd) + 2 in
+      let spec_action =
+        match node.ablation with
+        | Full | No_witnesses -> spec_base + node.level + 1
+        | No_speculation ->
+          (* wait-and-see variant: non-root nodes hold back a full flooding
+             round to be sure the parent's flood is really absent *)
+          if is_root then spec_base + 1 else spec_base + node.level + 1 + cd
+      in
+      if rr = spec_action then begin
+        let parent_flooded =
+          match node.ablation with
+          | No_speculation -> node.parent_flood_ever
+          | Full | No_witnesses ->
+            (* The paper's "in that round" check.  Sound because a flood
+               from any source reaches a level-l node no earlier than phase
+               round l+1, so a live parent necessarily broadcast a flooded
+               partial sum in phase round l — either its own or its first
+               receipt. *)
+            List.exists
+              (fun (sender, body) ->
+                sender = node.parent
+                && match body with Message.Flooded_psum _ -> true | _ -> false)
+              inbox
+        in
+        if is_root || not parent_flooded then
+          originate node (Message.Flooded_psum { source = node.me; psum = node.psum })
+      end;
+      (* Selection: witnesses flood determinations in phase round 1. *)
+      if rr = (6 * cd) + 4 && node.ablation <> No_witnesses then make_determinations node
+    end;
+    (* 4. Drain floods queued this round. *)
+    let outgoing = !out @ Flood.drain node.flood in
+    (* 5. Budget enforcement (§4): flood the abort symbol at the threshold. *)
+    let cost = List.fold_left (fun acc b -> acc + Message.bits p b) 0 outgoing in
+    let outgoing =
+      if node.sent_bits + cost > Params.agg_bit_budget p then begin
+        node.abort_seen <- true;
+        ignore (Flood.originate node.flood Message.Agg_abort);
+        ignore (Flood.drain node.flood);
+        let abort_only = [ Message.Agg_abort ] in
+        node.sent_bits <-
+          node.sent_bits + List.fold_left (fun a b -> a + Message.bits p b) 0 abort_only;
+        abort_only
+      end
+      else begin
+        node.sent_bits <- node.sent_bits + cost;
+        outgoing
+      end
+    in
+    if is_root && rr = duration p then node.output <- Some (compute_output node);
+    outgoing
+  end
+
+let root_result node =
+  match node.output with
+  | Some r -> r
+  | None -> invalid_arg "Agg.root_result: execution not finished"
+
+let activated node = node.activated
+let level node = node.level
+let parent node = node.parent
+let children node = node.children
+let ancestors node = Array.copy node.ancestors
+let max_level node = node.max_level
+let psum node = node.psum
+let crit_seen node = Hashtbl.fold (fun v () acc -> v :: acc) node.crit []
+let selected_sources node = node.selected
+let aborted node = node.abort_seen

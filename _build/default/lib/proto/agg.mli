@@ -1,0 +1,79 @@
+(** The AGG protocol (§4, Algorithm 2).
+
+    A deterministic aggregation protocol parameterised by [t >= 0] (the
+    number of edge failures it intends to tolerate) with time complexity
+    [7cd + 4] rounds (≤ 11c flooding rounds) and communication complexity
+    [O((t+1)·log N)] bits per node.  Guarantees (Theorems 3–5):
+
+    - with at most [t] edge failures it never aborts and outputs a
+      correct result;
+    - with no long failure chain it outputs a correct result or aborts;
+    - a node floods the abort symbol once it has sent
+      [(11t+14)(log N+5)] bits, bounding CC under arbitrary failures.
+
+    Four sequential phases: tree construction ([2cd+1] rounds, each node
+    learning its nearest [2t] ancestors), tree aggregation with critical-
+    failure floods ([2cd+1]), speculative flooding of potentially blocked
+    partial sums ([2cd+1]), and witness-based partial-sum selection
+    ([cd+1]).
+
+    The state machine runs on {e execution-relative} rounds [rr = 1, 2,
+    ...] so callers (the standalone runner, and Algorithm 1 which embeds
+    one instance per selected interval) control placement in global time. *)
+
+type node
+(** Per-node mutable protocol state for one AGG execution. *)
+
+type result =
+  | Value of int  (** the selected representative-set aggregate *)
+  | Aborted  (** the special abort symbol reached the root *)
+
+type ablation =
+  | Full  (** the paper's protocol *)
+  | No_speculation
+      (** nodes flood their partial sum only after {e observing} for one
+          extra flooding round that their parent's flooding is absent —
+          too slow to fit the phase, so blocked sums are simply lost;
+          quantifies why §4.2's speculation is needed *)
+  | No_witnesses
+      (** every flooded partial sum is accepted by the root with no
+          domination analysis — demonstrates the double counting §4.3
+          prevents *)
+
+val duration : Params.t -> int
+(** Rounds in one execution: [7cd + 4]. *)
+
+val create : ?ablation:ablation -> Params.t -> me:int -> node
+
+val step : node -> rr:int -> inbox:(int * Message.body) list -> Message.body list
+(** Advance one round.  [inbox] carries (physical sender, body) pairs
+    delivered this round; the return value is this node's broadcast. *)
+
+val root_result : node -> result
+(** The root's output; meaningful once [rr = duration] has executed. *)
+
+(** {2 Introspection} — consumed by VERI and by the ground-truth checker. *)
+
+val activated : node -> bool
+
+val level : node -> int
+(** [-1] if never activated. *)
+
+val parent : node -> int
+(** [-1] for the root or a never-activated node. *)
+
+val children : node -> int list
+
+val ancestors : node -> int array
+(** Index 0 = self; [-1] = undefined slot. *)
+
+val max_level : node -> int
+val psum : node -> int
+
+val crit_seen : node -> int list
+(** Critical-failure ids this node saw. *)
+
+val selected_sources : node -> int list
+(** Root only: sources whose partial sums entered the output. *)
+
+val aborted : node -> bool

@@ -1,0 +1,57 @@
+module Caaf = Ftagg_caaf.Caaf
+
+type node = {
+  p : Params.t;
+  me : int;
+  flood : Message.body Flood.t;
+  values : (int, int) Hashtbl.t;  (* source -> input *)
+  mutable started : bool;
+  mutable output : int option;
+}
+
+let duration p = (2 * Params.cd p) + 1
+
+let create p ~me =
+  {
+    p;
+    me;
+    flood = Flood.create ();
+    values = Hashtbl.create 16;
+    started = false;
+    output = None;
+  }
+
+let step node ~rr ~inbox =
+  let is_root = node.me = Ftagg_graph.Graph.root in
+  List.iter
+    (fun (_, body) ->
+      if Message.is_flood body && Flood.receive node.flood body then
+        match body with
+        | Message.Bf_value { source; value } -> Hashtbl.replace node.values source value
+        | Message.Bf_init ->
+          if not node.started then begin
+            node.started <- true;
+            ignore
+              (Flood.originate node.flood
+                 (Message.Bf_value { source = node.me; value = node.p.Params.inputs.(node.me) }))
+          end
+        | _ -> ())
+    inbox;
+  if is_root && rr = 1 then begin
+    node.started <- true;
+    ignore (Flood.originate node.flood Message.Bf_init)
+  end;
+  if is_root && rr = duration node.p then begin
+    let caaf = node.p.Params.caaf in
+    let acc = ref node.p.Params.inputs.(node.me) in
+    Hashtbl.iter
+      (fun source v -> if source <> node.me then acc := caaf.Caaf.combine !acc v)
+      node.values;
+    node.output <- Some !acc
+  end;
+  Flood.drain node.flood
+
+let root_result node =
+  match node.output with
+  | Some v -> v
+  | None -> invalid_arg "Brute_force.root_result: execution not finished"

@@ -1,0 +1,22 @@
+(** The brute-force SUM baseline (§1): the root floods a start bit and
+    every node floods its id together with its input; the root adds up the
+    distinct contributions it hears.
+
+    Tolerates any number of failures with TC [2cd + 1] rounds (≤ [2c]
+    flooding rounds, counting the root's output round) and CC
+    [O(N·log N)] — every node may forward all [N] value floods.  It is
+    both a standalone baseline (the [b = O(1)] point of Figure 1) and the
+    fallback of Algorithm 1's last [2c] flooding rounds. *)
+
+type node
+
+val duration : Params.t -> int
+(** [2cd + 1]. *)
+
+val create : Params.t -> me:int -> node
+
+val step : node -> rr:int -> inbox:(int * Message.body) list -> Message.body list
+
+val root_result : node -> int
+(** Aggregate of the root's own input and every distinct flooded value
+    received; meaningful once [rr = duration] has executed. *)

@@ -1,0 +1,173 @@
+module Graph = Ftagg_graph.Graph
+module Path = Ftagg_graph.Path
+module Failure = Ftagg_sim.Failure
+
+let correctness_sets ~graph ~failures ~end_round ~inputs =
+  let crashed = Failure.crashed_by failures ~round:end_round in
+  let surviving = Graph.remove_nodes graph crashed in
+  let connected = Path.reachable_from_root surviving in
+  let in_base = Array.make (Graph.n graph) false in
+  List.iter (fun u -> in_base.(u) <- true) connected;
+  let base = ref [] and optional = ref [] in
+  for u = Graph.n graph - 1 downto 0 do
+    if in_base.(u) then base := inputs.(u) :: !base else optional := inputs.(u) :: !optional
+  done;
+  (!base, !optional)
+
+let result_correct ~graph ~failures ~end_round ~params result =
+  let base, optional =
+    correctness_sets ~graph ~failures ~end_round ~inputs:params.Params.inputs
+  in
+  Ftagg_caaf.Caaf.is_correct params.Params.caaf ~base ~optional result
+
+let model_edge_failures ~graph ~failures ~round =
+  let crashed = Failure.crashed_by failures ~round in
+  let surviving = Graph.remove_nodes graph crashed in
+  let connected = Path.reachable_from_root surviving in
+  let ok = Array.make (Graph.n graph) false in
+  List.iter (fun u -> ok.(u) <- true) connected;
+  List.length
+    (List.filter (fun (u, v) -> not (ok.(u) && ok.(v))) (Graph.edges graph))
+
+type agg_trace = {
+  agg_nodes : Agg.node array;
+  agg_start : int;
+  failures : Failure.t;
+  params : Params.t;
+  graph : Graph.t;
+}
+
+(* A node at level l receives its first tree_construct in phase round 2l
+   (the phase-1 recurrence: ack in the receipt round, tree_construct one
+   round later) and takes its aggregation action in phase round
+   [3cd + 2 − l]; crashing strictly between the ack broadcast and the
+   action is the paper's critical failure. *)
+let critical_failures tr =
+  let cd = Params.cd tr.params in
+  let acc = ref [] in
+  Array.iteri
+    (fun u node ->
+      if u <> Graph.root && Agg.activated node then begin
+        let l = Agg.level node in
+        let r = Failure.crash_round tr.failures u in
+        let ack_global = tr.agg_start + (2 * l) - 1 in
+        let action_global = tr.agg_start + (3 * cd) + 1 - l in
+        if r > ack_global && r <= action_global then acc := u :: !acc
+      end)
+    tr.agg_nodes;
+  !acc
+
+(* "Failed" in the model's sense at a given round: crashed, or disconnected
+   from the root by others' crashes (§2). *)
+let failed_at tr ~round =
+  let crashed = Failure.crashed_by tr.failures ~round in
+  let surviving = Graph.remove_nodes tr.graph crashed in
+  let connected = Path.reachable_from_root surviving in
+  let ok = Array.make (Graph.n tr.graph) false in
+  List.iter (fun u -> ok.(u) <- true) connected;
+  fun u -> not ok.(u)
+
+(* Global round of a node's aggregation action: phase 2 starts at
+   agg_start + 2cd + 1; a level-l node acts in phase round cd − l + 1. *)
+let action_global tr u =
+  let cd = Params.cd tr.params in
+  tr.agg_start + (2 * cd) + 1 + (cd - Agg.level tr.agg_nodes.(u) + 1) - 1
+
+let included_inputs tr ~source =
+  let rec collect u acc =
+    let acc = u :: acc in
+    List.fold_left
+      (fun acc c ->
+        if Failure.crash_round tr.failures c > action_global tr c then collect c acc
+        else acc)
+      acc
+      (Agg.children tr.agg_nodes.(u))
+  in
+  List.sort compare (collect source [])
+
+type representative_report = {
+  disjoint : bool;
+  covers_alive : bool;
+  psums_match : bool;
+}
+
+let representative_set tr ~selected ~end_round =
+  let n = Array.length tr.agg_nodes in
+  let counted = Array.make n 0 in
+  let caaf = tr.params.Params.caaf in
+  let psums_match = ref true in
+  List.iter
+    (fun s ->
+      let included = included_inputs tr ~source:s in
+      List.iter (fun u -> counted.(u) <- counted.(u) + 1) included;
+      let expect =
+        Ftagg_caaf.Caaf.aggregate caaf
+          (List.map (fun u -> tr.params.Params.inputs.(u)) included)
+      in
+      if expect <> Agg.psum tr.agg_nodes.(s) then psums_match := false)
+    selected;
+  let disjoint = Array.for_all (fun c -> c <= 1) counted in
+  let failed_end = failed_at tr ~round:end_round in
+  let covers_alive = ref true in
+  for u = 0 to n - 1 do
+    if (not (failed_end u)) && counted.(u) = 0 then covers_alive := false
+  done;
+  { disjoint; covers_alive = !covers_alive; psums_match = !psums_match }
+
+let has_lfc tr ~veri_end =
+  let n = Array.length tr.agg_nodes in
+  let agg_end = tr.agg_start + Agg.duration tr.params - 1 in
+  let failed_agg_end = failed_at tr ~round:agg_end in
+  let failed_veri_end = failed_at tr ~round:veri_end in
+  let failed u = failed_agg_end u in
+  let alive_at_veri_end u = not (failed_veri_end u) in
+  let visible = Hashtbl.create 8 in
+  List.iter
+    (fun v -> Hashtbl.replace visible v ())
+    (Agg.crit_seen tr.agg_nodes.(Graph.root));
+  let activated u = Agg.activated tr.agg_nodes.(u) in
+  let parent u = Agg.parent tr.agg_nodes.(u) in
+  let children = Array.make n [] in
+  for u = 0 to n - 1 do
+    if u <> Graph.root && activated u then begin
+      let p = parent u in
+      if p >= 0 then children.(p) <- u :: children.(p)
+    end
+  done;
+  (* Longest all-failed chain ending at [u], cut at fragment boundaries
+     (the tree edge above a root-visible critical failure is removed). *)
+  let len = Array.make n (-1) in
+  let rec chain_len u =
+    if len.(u) >= 0 then len.(u)
+    else begin
+      let above =
+        if Hashtbl.mem visible u then 0
+        else
+          let p = parent u in
+          if p >= 0 && p <> Graph.root && failed p then chain_len p else 0
+      in
+      len.(u) <- 1 + above;
+      len.(u)
+    end
+  in
+  (* Whether [u] has a strict local descendant alive at [veri_end]. *)
+  let rec live_below u =
+    List.exists
+      (fun w ->
+        (not (Hashtbl.mem visible w))
+        && (alive_at_veri_end w || live_below w))
+      children.(u)
+  in
+  let threshold = max tr.params.Params.t 1 in
+  let exists = ref false in
+  for u = 0 to n - 1 do
+    if
+      (not !exists)
+      && u <> Graph.root
+      && activated u
+      && failed u
+      && chain_len u >= threshold
+      && live_below u
+    then exists := true
+  done;
+  !exists

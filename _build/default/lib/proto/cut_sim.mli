@@ -1,0 +1,51 @@
+(** The partition (cut) simulation argument, made executable.
+
+    Communication lower bounds for network protocols (including the
+    paper's §7 reduction) rest on a folklore simulation: split the nodes
+    into an Alice side (containing the root) and a Bob side; Alice and
+    Bob can jointly replay any protocol by exchanging only the broadcasts
+    of {e boundary} nodes (those with a neighbour across the cut), since
+    everything else is locally computable from their own sides' inputs
+    and coins.  Hence any two-party problem embeddable in the inputs is
+    solvable with
+
+      [transcript bits <= Σ_{boundary nodes} bits broadcast].
+
+    This module measures that transcript for a concrete run: it replays
+    the protocol through the engine and meters exactly the messages a
+    two-party simulation would have to exchange.  The benchmark harness
+    (E13) uses it to show how narrow cuts squeeze the transcript — the
+    structural fact the paper's lower-bound topologies exploit. *)
+
+type cut = {
+  alice : bool array;  (** membership: [true] = Alice's side (owns the root) *)
+  boundary_alice : int list;  (** Alice-side nodes with a cross edge *)
+  boundary_bob : int list;
+  cut_edges : int;
+}
+
+val partition : Ftagg_graph.Graph.t -> alice:(int -> bool) -> cut
+(** Build the cut structure.  Raises [Invalid_argument] if the root is
+    not on Alice's side. *)
+
+val halves : Ftagg_graph.Graph.t -> cut
+(** The id-split cut: nodes [< n/2] are Alice's. *)
+
+type transcript = {
+  alice_to_bob_bits : int;  (** bits broadcast by Alice's boundary nodes *)
+  bob_to_alice_bits : int;
+  total_bits : int;
+  protocol_cc : int;  (** the run's ordinary CC, for comparison *)
+}
+
+val sum_transcript :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  cut:cut ->
+  transcript
+(** Replay Algorithm 1 and meter the two-party transcript across the
+    cut. *)

@@ -1,0 +1,25 @@
+type 'body t = {
+  table : ('body, unit) Hashtbl.t;
+  mutable outbox : 'body list;  (* reversed *)
+}
+
+let create () = { table = Hashtbl.create 32; outbox = [] }
+
+let seen t body = Hashtbl.mem t.table body
+
+let receive t body =
+  if seen t body then false
+  else begin
+    Hashtbl.replace t.table body ();
+    t.outbox <- body :: t.outbox;
+    true
+  end
+
+let originate = receive
+
+let drain t =
+  let out = List.rev t.outbox in
+  t.outbox <- [];
+  out
+
+let fold_seen f t init = Hashtbl.fold (fun body () acc -> f body acc) t.table init

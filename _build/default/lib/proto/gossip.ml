@@ -1,0 +1,60 @@
+module Graph = Ftagg_graph.Graph
+module Engine = Ftagg_sim.Engine
+module Metrics = Ftagg_sim.Metrics
+
+type outcome = {
+  estimate : float;
+  relative_error : float;
+  cc : int;
+  rounds : int;
+}
+
+let value_bits = 32
+
+type state = {
+  mutable s : float;
+  mutable w : float;
+  degree : int;  (* static degree; a real node learns it during discovery *)
+}
+
+type msg = Share of { s : float; w : float }
+
+let run ~graph ~failures ~inputs ~rounds ~seed =
+  let n = Graph.n graph in
+  if Array.length inputs <> n then invalid_arg "Gossip.run: wrong inputs length";
+  let proto =
+    {
+      Engine.name = "push-sum";
+      init =
+        (fun u ~rng:_ ->
+          {
+            s = float_of_int inputs.(u);
+            w = (if u = Graph.root then 1.0 else 0.0);
+            degree = Graph.degree graph u;
+          });
+      step =
+        (fun ~round:_ ~me:_ ~state ~inbox ->
+          List.iter
+            (fun (_, Share { s; w }) ->
+              state.s <- state.s +. s;
+              state.w <- state.w +. w)
+            inbox;
+          (* Split the current mass over self + neighbours and broadcast
+             one share; keep our own share. *)
+          let parts = float_of_int (state.degree + 1) in
+          let share_s = state.s /. parts and share_w = state.w /. parts in
+          state.s <- share_s;
+          state.w <- share_w;
+          (state, [ Share { s = share_s; w = share_w } ]));
+      msg_bits = (fun (Share _) -> 5 + (2 * value_bits));
+      root_done = (fun _ -> false);
+    }
+  in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds:rounds ~seed proto in
+  let root = states.(Graph.root) in
+  let estimate = if root.w > 0.0 then root.s /. root.w else Float.nan in
+  let truth = float_of_int (Array.fold_left ( + ) 0 inputs) in
+  let relative_error =
+    if truth = 0.0 then Float.abs estimate else Float.abs (estimate -. truth) /. truth
+  in
+  { estimate; relative_error; cc = Metrics.cc metrics; rounds = Metrics.rounds metrics }

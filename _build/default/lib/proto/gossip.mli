@@ -1,0 +1,38 @@
+(** Broadcast push-sum gossip — the approximate-aggregation baseline the
+    paper's related work contrasts against (Kempe, Dobra & Gehrke [8]).
+
+    Each node holds a mass pair [(s, w)], initialised to [(input, 0)]
+    ([w = 1] at the root).  Every round a node splits its mass evenly
+    over itself and its neighbours and broadcasts the share; receivers
+    accumulate.  Mass conservation gives [Σs = ΣInputs] and [Σw = 1]
+    forever on a failure-free run, and every local ratio [s/w] converges
+    to the true SUM.  The root reads off [s/w] after the round budget.
+
+    Under crashes the mass held by (or in flight to) a dead node is
+    destroyed, so the estimate degrades gracefully instead of staying in
+    the correctness interval — exactly the zero-error-vs-approximate gap
+    the paper's problem statement draws (§1).  The benchmark harness
+    quantifies it (experiment E12).
+
+    Message accounting: a share carries two fixed-point values quantised
+    to {!value_bits} bits each (plus tag and sender id), mirroring how a
+    real implementation would ship them. *)
+
+type outcome = {
+  estimate : float;  (** the root's [s/w] (NaN if the root's [w] is 0) *)
+  relative_error : float;  (** |estimate − true sum| / true sum *)
+  cc : int;  (** max bits broadcast by a single node *)
+  rounds : int;
+}
+
+val value_bits : int
+(** Fixed-point width per transmitted mass value (32). *)
+
+val run :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  inputs:int array ->
+  rounds:int ->
+  seed:int ->
+  outcome
+(** Run broadcast push-sum for the given number of rounds. *)

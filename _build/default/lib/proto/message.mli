@@ -1,0 +1,59 @@
+(** The wire-message vocabulary of every protocol in the library, with the
+    paper's bit accounting.
+
+    A logical message costs a constant 5-bit type tag, the sender's id
+    (the paper: "the sender of a message always attaches its id"), and its
+    fields at their natural widths (ids [⌈log₂N⌉] bits, levels
+    [⌈log₂(cd+1)⌉] bits, aggregate values at the CAAF's domain width).
+
+    Executions that can overlap in time (Algorithm 1 runs several AGG+VERI
+    pairs, Folklore several epochs) tag each message with an execution
+    number.  Real deployments distinguish executions by the synchronised
+    round counter, so the tag costs no bits. *)
+
+type body =
+  (* AGG §4.1 — tree construction & aggregation *)
+  | Tree_construct of { level : int; ancestors : int list }
+      (** [ancestors]: the sender's nearest min(2t, level) ancestor ids,
+          nearest first *)
+  | Ack of { parent : int }
+  | Aggregation of { psum : int; max_level : int }
+  | Critical_failure of int  (** flood: node experienced a critical failure *)
+  (* AGG §4.2 — speculative flooding *)
+  | Flooded_psum of { source : int; psum : int }  (** flood *)
+  (* AGG §4.3 — witness determinations *)
+  | Dominated of int  (** flood: the node's partial sum is dominated *)
+  | Compulsory of int  (** flood: ⟨compulsory‖optional, node⟩ *)
+  | Agg_abort  (** flood: the §4 special symbol — a node exhausted its budget *)
+  (* VERI §5.1 *)
+  | Detect_failed_parent  (** flood: the root's liveness bit *)
+  | Failed_parent of { node : int; depth : int }
+      (** flood: [node] (the sender's parent) missed its beat;
+          [depth] = sender's [max_level − level + 1] *)
+  | Detect_failed_child  (** flood: the leaves' upstream liveness bit *)
+  | Failed_child of int  (** flood *)
+  | Lfc_tail of int  (** flood: witness determination — node tails an LFC *)
+  | Not_lfc_tail of int  (** flood *)
+  | Veri_overflow  (** flood: the §5.1 special symbol *)
+  (* Brute force (§1) *)
+  | Bf_init  (** flood *)
+  | Bf_value of { source : int; value : int }  (** flood *)
+
+type t = { exec : int; body : body }
+(** A logical message within execution [exec]. *)
+
+val bits : Params.t -> body -> int
+(** Bit width charged when a node broadcasts (or forwards) the body. *)
+
+val msg_bits : Params.t -> t -> int
+(** [bits] of the body; the [exec] tag is free (see above). *)
+
+val pp_body : Format.formatter -> body -> unit
+(** Compact rendering, e.g. ["psum(3:42)"] — for traces and debugging. *)
+
+val pp : Format.formatter -> t -> unit
+(** [exec:body]. *)
+
+val is_flood : body -> bool
+(** Whether the body propagates via the flooding primitive (as opposed to
+    the point-to-point-style [Tree_construct]/[Ack]/[Aggregation]). *)

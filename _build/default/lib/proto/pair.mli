@@ -1,0 +1,26 @@
+(** One AGG execution immediately followed by one VERI execution — the
+    unit Algorithm 1 schedules inside each selected interval.
+
+    Duration is [12cd + 7] rounds, within the [19·cd] rounds of an
+    interval ([19c] flooding rounds, Theorems 3 and 6). *)
+
+type node
+
+type verdict = {
+  result : Agg.result;
+  veri_ok : bool;
+}
+(** Algorithm 1 accepts iff [result = Value _ && veri_ok]. *)
+
+val duration : Params.t -> int
+
+val create : ?ablation:Agg.ablation -> Params.t -> me:int -> node
+
+val step : node -> rr:int -> inbox:(int * Message.body) list -> Message.body list
+
+val root_verdict : node -> verdict
+(** Meaningful once [rr = duration] has executed at the root. *)
+
+val agg : node -> Agg.node
+val veri : node -> Veri.node option
+(** [None] until the VERI half starts. *)

@@ -1,0 +1,40 @@
+module Bits = Ftagg_util.Bits
+module Graph = Ftagg_graph.Graph
+module Path = Ftagg_graph.Path
+
+type t = {
+  n : int;
+  d : int;
+  c : int;
+  t : int;
+  max_input : int;
+  caaf : Ftagg_caaf.Caaf.t;
+  inputs : int array;
+}
+
+let make ?(c = 2) ?(t = 0) ?(caaf = Ftagg_caaf.Instances.sum) ~graph ~inputs () =
+  let n = Graph.n graph in
+  if Array.length inputs <> n then invalid_arg "Params.make: wrong inputs length";
+  Array.iter (fun x -> if x < 0 then invalid_arg "Params.make: negative input") inputs;
+  if t < 0 then invalid_arg "Params.make: t must be >= 0";
+  if c < 1 then invalid_arg "Params.make: c must be >= 1";
+  let d =
+    match Path.diameter graph with
+    | Some d -> max d 1
+    | None -> invalid_arg "Params.make: graph is disconnected"
+  in
+  let max_input = Array.fold_left max 0 inputs in
+  { n; d; c; t; max_input = max max_input 1; caaf; inputs }
+
+let cd p = p.c * p.d
+let id_bits p = max 1 (Bits.bits_for p.n)
+let level_bits p = max 1 (Bits.bits_for_value (cd p + 1))
+let value_bits p = max 1 (p.caaf.Ftagg_caaf.Caaf.domain_bits ~n:p.n ~max_input:p.max_input)
+
+let log_n p = max 1 (Bits.bits_for p.n)
+
+let agg_bit_budget p = ((11 * p.t) + 14) * (log_n p + 5)
+let veri_bit_budget p = ((5 * p.t) + 7) * ((3 * log_n p) + 10)
+
+let random_inputs ~rng ~n ~max_input =
+  Array.init n (fun _ -> Ftagg_util.Prng.int rng (max_input + 1))

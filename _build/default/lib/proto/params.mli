@@ -1,0 +1,49 @@
+(** Shared protocol parameters (the paper's model constants, Table 1).
+
+    Every protocol in this library is configured by a value of this type.
+    [n], [d], [c] and (where applicable) [f] and [t] are knowledge the
+    paper grants the protocol; nodes never see the topology itself. *)
+
+type t = {
+  n : int;  (** number of nodes [N] *)
+  d : int;  (** diameter of the failure-free topology *)
+  c : int;  (** failures never raise the diameter above [c·d] *)
+  t : int;  (** failures AGG/VERI intend to tolerate ([>= 0]) *)
+  max_input : int;  (** inputs lie in [\[0, max_input\]] *)
+  caaf : Ftagg_caaf.Caaf.t;
+  inputs : int array;  (** input per node, length [n] *)
+}
+
+val make :
+  ?c:int ->
+  ?t:int ->
+  ?caaf:Ftagg_caaf.Caaf.t ->
+  graph:Ftagg_graph.Graph.t ->
+  inputs:int array ->
+  unit ->
+  t
+(** Derive parameters from a concrete topology: [d] is computed exactly.
+    Defaults: [c = 2], [t = 0], [caaf = Instances.sum].  Raises if the
+    graph is disconnected or [inputs] has the wrong length or a negative
+    entry. *)
+
+val cd : t -> int
+(** [c·d] — the post-failure diameter bound, the paper's unit for phase
+    lengths. *)
+
+val id_bits : t -> int
+(** Width of a node id: [ceil(log2 n)]. *)
+
+val level_bits : t -> int
+(** Width of a tree level (levels never exceed [cd]). *)
+
+val value_bits : t -> int
+(** Width of a partial aggregate, from the CAAF's domain. *)
+
+val agg_bit_budget : t -> int
+(** AGG's abort threshold: [(11t + 14)(log N + 5)] (§4). *)
+
+val veri_bit_budget : t -> int
+(** VERI's overflow threshold: [(5t + 7)(3·log N + 10)] (§5.1). *)
+
+val random_inputs : rng:Ftagg_util.Prng.t -> n:int -> max_input:int -> int array

@@ -1,0 +1,212 @@
+module Engine = Ftagg_sim.Engine
+module Metrics = Ftagg_sim.Metrics
+module Failure = Ftagg_sim.Failure
+module Graph = Ftagg_graph.Graph
+
+type common = {
+  metrics : Metrics.t;
+  rounds : int;
+  flooding_rounds : int;
+  correct : bool;
+}
+
+let mk_common ~params ~metrics ~correct =
+  let rounds = Metrics.rounds metrics in
+  let d = params.Params.d in
+  { metrics; rounds; flooding_rounds = (rounds + d - 1) / d; correct }
+
+let check_value ~graph ~failures ~params ~metrics value =
+  Checker.result_correct ~graph ~failures ~end_round:(Metrics.rounds metrics) ~params value
+
+(* Wrap a body-level single-execution automaton as an engine protocol
+   speaking exec-0-tagged messages. *)
+let single_exec_protocol ~name ~create ~step ~is_done =
+  {
+    Engine.name;
+    init = (fun u ~rng:_ -> create u);
+    step =
+      (fun ~round ~me:_ ~state ~inbox ->
+        let inbox =
+          List.filter_map
+            (fun (s, m) -> if m.Message.exec = 0 then Some (s, m.Message.body) else None)
+            inbox
+        in
+        let bodies = step state ~rr:round ~inbox in
+        (state, List.map (fun body -> Message.{ exec = 0; body }) bodies));
+    msg_bits = (fun _ -> 0);  (* replaced below; see [with_bits] *)
+    root_done = is_done;
+  }
+
+let with_bits params proto = { proto with Engine.msg_bits = Message.msg_bits params }
+
+type pair_outcome = {
+  verdict : Pair.verdict;
+  trace : Checker.agg_trace;
+  veri_end : int;
+  lfc : bool;
+  edge_failures : int;
+  pc : common;
+}
+
+let pair ?ablation ~graph ~failures ~params ~seed () =
+  let duration = Pair.duration params in
+  let proto =
+    single_exec_protocol ~name:"pair"
+      ~create:(fun u -> Pair.create ?ablation params ~me:u)
+      ~step:Pair.step
+      ~is_done:(fun _ -> false)
+    |> with_bits params
+  in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
+  let verdict = Pair.root_verdict states.(Graph.root) in
+  let trace =
+    {
+      Checker.agg_nodes = Array.map Pair.agg states;
+      agg_start = 1;
+      failures;
+      params;
+      graph;
+    }
+  in
+  let veri_end = duration in
+  let lfc = Checker.has_lfc trace ~veri_end in
+  let edge_failures = Checker.model_edge_failures ~graph ~failures ~round:duration in
+  let correct =
+    match verdict.Pair.result with
+    | Agg.Aborted -> true
+    | Agg.Value v -> check_value ~graph ~failures ~params ~metrics v
+  in
+  { verdict; trace; veri_end; lfc; edge_failures; pc = mk_common ~params ~metrics ~correct }
+
+type agg_outcome = {
+  agg_result : Agg.result;
+  agg_trace : Checker.agg_trace;
+  ac : common;
+}
+
+let agg ?ablation ~graph ~failures ~params ~seed () =
+  let duration = Agg.duration params in
+  let proto =
+    single_exec_protocol ~name:"agg"
+      ~create:(fun u -> Agg.create ?ablation params ~me:u)
+      ~step:Agg.step
+      ~is_done:(fun _ -> false)
+    |> with_bits params
+  in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
+  let agg_result = Agg.root_result states.(Graph.root) in
+  let agg_trace = { Checker.agg_nodes = states; agg_start = 1; failures; params; graph } in
+  let correct =
+    match agg_result with
+    | Agg.Aborted -> true
+    | Agg.Value v -> check_value ~graph ~failures ~params ~metrics v
+  in
+  { agg_result; agg_trace; ac = mk_common ~params ~metrics ~correct }
+
+type value_outcome = {
+  value : int;
+  vc : common;
+}
+
+let brute_force ~graph ~failures ~params ~seed =
+  let duration = Brute_force.duration params in
+  let proto =
+    single_exec_protocol ~name:"brute_force"
+      ~create:(fun u -> Brute_force.create params ~me:u)
+      ~step:Brute_force.step
+      ~is_done:(fun _ -> false)
+    |> with_bits params
+  in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
+  let value = Brute_force.root_result states.(Graph.root) in
+  let correct = check_value ~graph ~failures ~params ~metrics value in
+  { value; vc = mk_common ~params ~metrics ~correct }
+
+type folklore_outcome = {
+  f_result : Folklore.result;
+  epochs : int;
+  fc : common;
+}
+
+let folklore ~graph ~failures ~params ~mode ~seed =
+  let duration = Folklore.duration params mode in
+  let proto =
+    {
+      Engine.name = "folklore";
+      init = (fun u ~rng:_ -> Folklore.create params ~mode ~me:u);
+      step =
+        (fun ~round ~me:_ ~state ~inbox ->
+          let out = Folklore.step state ~rr:round ~inbox in
+          (state, out));
+      msg_bits = Message.msg_bits params;
+      root_done = Folklore.root_done;
+    }
+  in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
+  let root = states.(Graph.root) in
+  let f_result = Folklore.root_result root in
+  let correct =
+    match f_result with
+    | Folklore.No_clean_epoch -> true
+    | Folklore.Value v -> check_value ~graph ~failures ~params ~metrics v
+  in
+  {
+    f_result;
+    epochs = Folklore.epochs_used root;
+    fc = mk_common ~params ~metrics ~correct;
+  }
+
+type tradeoff_outcome = {
+  t_value : int;
+  how : Tradeoff.how;
+  tc : common;
+}
+
+let tradeoff_with ~strategy ~graph ~failures ~params ~b ~f ~seed =
+  let proto =
+    {
+      Engine.name = "tradeoff";
+      init = (fun u ~rng -> Tradeoff.create ~strategy params ~b ~f ~me:u ~rng);
+      step =
+        (fun ~round ~me:_ ~state ~inbox ->
+          let out = Tradeoff.step state ~round ~inbox in
+          (state, out));
+      msg_bits = Message.msg_bits params;
+      root_done = Tradeoff.root_done;
+    }
+  in
+  let max_rounds = Tradeoff.max_rounds params ~b in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds ~seed proto in
+  let root = states.(Graph.root) in
+  let t_value = Tradeoff.root_result root in
+  let correct = check_value ~graph ~failures ~params ~metrics t_value in
+  { t_value; how = Tradeoff.root_how root; tc = mk_common ~params ~metrics ~correct }
+
+let tradeoff ~graph ~failures ~params ~b ~f ~seed =
+  tradeoff_with ~strategy:Tradeoff.Sampled ~graph ~failures ~params ~b ~f ~seed
+
+type unknown_f_outcome = {
+  u_value : int;
+  u_how : Unknown_f.how;
+  uc : common;
+}
+
+let unknown_f ~graph ~failures ~params ~seed =
+  let proto =
+    {
+      Engine.name = "unknown_f";
+      init = (fun u ~rng:_ -> Unknown_f.create params ~me:u);
+      step =
+        (fun ~round ~me:_ ~state ~inbox ->
+          let out = Unknown_f.step state ~round ~inbox in
+          (state, out));
+      msg_bits = Message.msg_bits params;
+      root_done = Unknown_f.root_done;
+    }
+  in
+  let max_rounds = Unknown_f.max_rounds params in
+  let states, metrics = Engine.run ~graph ~failures ~max_rounds ~seed proto in
+  let root = states.(Graph.root) in
+  let u_value = Unknown_f.root_result root in
+  let correct = check_value ~graph ~failures ~params ~metrics u_value in
+  { u_value; u_how = Unknown_f.root_how root; uc = mk_common ~params ~metrics ~correct }

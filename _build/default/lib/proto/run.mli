@@ -1,0 +1,126 @@
+(** End-to-end runners: instantiate a protocol on a topology, drive it
+    through the engine under a failure schedule, and package the outcome
+    together with metrics and ground-truth checks. *)
+
+module Metrics = Ftagg_sim.Metrics
+
+type common = {
+  metrics : Metrics.t;
+  rounds : int;  (** rounds until the run halted *)
+  flooding_rounds : int;  (** [ceil (rounds / d)] *)
+  correct : bool;  (** result within the correctness interval (an abort /
+                       no-clean-epoch outcome is reported as correct only
+                       if the protocol is allowed to give up there) *)
+}
+
+(** {2 Single AGG / AGG+VERI executions} *)
+
+type pair_outcome = {
+  verdict : Pair.verdict;
+  trace : Checker.agg_trace;  (** for structural ground truth *)
+  veri_end : int;  (** global round of VERI's last round *)
+  lfc : bool;  (** ground truth: did the run contain an LFC? *)
+  edge_failures : int;
+      (** ground truth: the model's edge-failure count at the end of the
+          run — edges incident to crashed {e or disconnected} nodes (§2
+          counts disconnection as failure) *)
+  pc : common;
+}
+
+val pair :
+  ?ablation:Agg.ablation ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  seed:int ->
+  unit ->
+  pair_outcome
+(** One AGG+VERI pair starting at round 1.  [pc.correct] is [true] when
+    AGG aborted (it gave up explicitly) or its value is in the
+    correctness interval. *)
+
+type agg_outcome = {
+  agg_result : Agg.result;
+  agg_trace : Checker.agg_trace;
+  ac : common;
+}
+
+val agg :
+  ?ablation:Agg.ablation ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  seed:int ->
+  unit ->
+  agg_outcome
+
+(** {2 Whole-protocol runs} *)
+
+type value_outcome = {
+  value : int;
+  vc : common;
+}
+
+val brute_force :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  seed:int ->
+  value_outcome
+
+type folklore_outcome = {
+  f_result : Folklore.result;
+  epochs : int;
+  fc : common;
+}
+
+val folklore :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  mode:Folklore.mode ->
+  seed:int ->
+  folklore_outcome
+(** [fc.correct] for [Naive] mode reports the actual interval check — the
+    motivating baseline is {e expected} to fail it under failures. *)
+
+type tradeoff_outcome = {
+  t_value : int;
+  how : Tradeoff.how;
+  tc : common;
+}
+
+val tradeoff :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  tradeoff_outcome
+(** Algorithm 1 with the paper's sampled-interval strategy. *)
+
+val tradeoff_with :
+  strategy:Tradeoff.strategy ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  tradeoff_outcome
+(** Same, with an explicit interval-selection strategy (the [Sequential]
+    derandomized ablation of bench E15). *)
+
+type unknown_f_outcome = {
+  u_value : int;
+  u_how : Unknown_f.how;
+  uc : common;
+}
+
+val unknown_f :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  seed:int ->
+  unknown_f_outcome

@@ -1,0 +1,46 @@
+(** Synopsis diffusion with Flajolet–Martin sketches — the
+    order-and-duplicate-insensitive approximate aggregation of Nath,
+    Gibbons, Seshan & Anderson [14], cited in the paper's related work.
+
+    Each node builds an FM synopsis of its contribution (its id for
+    COUNT; [input] pseudo-elements for SUM) and every round broadcasts
+    its current synopsis; receivers OR-merge.  Because merging is
+    idempotent, multipath delivery costs nothing and the scheme shrugs
+    off crashes that leave the graph connected — but the answer is only
+    a [(1 ± ε)] estimate, never exact.  This is the classic contrast to
+    the paper's zero-error protocols (benchmark E12).
+
+    A synopsis is [k] independent bitmaps of {!bitmap_bits} bits; element
+    [e] sets bit [geometric(1/2)] of bitmap [h(e) summarised per bitmap];
+    the estimate is [2^(mean lowest-zero-bit) / 0.77351]. *)
+
+type outcome = {
+  estimate : float;
+  relative_error : float;  (** against the true aggregate over all nodes *)
+  cc : int;
+  rounds : int;
+}
+
+val bitmap_bits : int
+(** Bits per FM bitmap (32). *)
+
+val run_count :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  k:int ->
+  rounds:int ->
+  seed:int ->
+  outcome
+(** Approximate COUNT of participating nodes with [k] bitmaps. *)
+
+val run_sum :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  inputs:int array ->
+  k:int ->
+  rounds:int ->
+  seed:int ->
+  outcome
+(** Approximate SUM: node [i] inserts [inputs.(i)] distinct
+    pseudo-elements.  Inputs must be modest (the insertion loop is
+    linear in the input value). *)

@@ -1,0 +1,151 @@
+module Bits = Ftagg_util.Bits
+module Prng = Ftagg_util.Prng
+
+let bf_exec = -1  (* execution tag of the brute-force fallback *)
+
+type how = Via_pair of int | Via_brute_force
+
+type strategy = Sampled | Sequential
+
+type exec = { y : int; start : int; pair : Pair.node }
+
+type node = {
+  p : Params.t;  (* pair-parameterised: [t] already set to ⌊2f/x⌋ *)
+  b : int;
+  me : int;
+  x : int;
+  selected : int list;  (* root only; ascending distinct interval indices *)
+  mutable current : exec option;
+  mutable bf : Brute_force.node option;
+  mutable bf_start : int;
+  mutable output : (int * how) option;
+}
+
+let intervals (p : Params.t) ~b =
+  if b < 21 * p.Params.c then invalid_arg "Tradeoff: need b >= 21c";
+  (b - (2 * p.Params.c)) / (19 * p.Params.c)
+
+let pair_t p ~b ~f =
+  if f < 0 then invalid_arg "Tradeoff: f must be >= 0";
+  2 * f / intervals p ~b
+
+let max_rounds (p : Params.t) ~b = b * p.Params.d
+
+let interval_len p = 19 * Params.cd p
+
+let create ?(strategy = Sampled) (p : Params.t) ~b ~f ~me ~rng =
+  let x = intervals p ~b in
+  let t = pair_t p ~b ~f in
+  let p = { p with Params.t = t } in
+  let selected =
+    if me <> Ftagg_graph.Graph.root then []
+    else
+      match strategy with
+      | Sequential -> List.init x (fun i -> i + 1)
+      | Sampled ->
+        (* log N integers drawn with replacement from [1, x]; duplicates
+           collapse (Algorithm 1 runs each distinct interval once). *)
+        let draws = max 1 (Bits.bits_for p.Params.n) in
+        let module IS = Set.Make (Int) in
+        let s = ref IS.empty in
+        for _ = 1 to draws do
+          s := IS.add (Prng.in_range rng 1 x) !s
+        done;
+        IS.elements !s
+  in
+  {
+    p;
+    b;
+    me;
+    x;
+    selected;
+    current = None;
+    bf = None;
+    bf_start = (b * p.Params.d) - (2 * Params.cd p);
+    output = None;
+  }
+
+let root_done node = node.output <> None
+
+let step node ~round ~inbox =
+  let p = node.p in
+  let is_root = node.me = Ftagg_graph.Graph.root in
+  if node.output <> None then []
+  else begin
+    let pair_inbox y =
+      List.filter_map
+        (fun (sender, Message.{ exec; body }) ->
+          if exec = y then Some (sender, body) else None)
+        inbox
+    in
+    (* Expire a finished execution. *)
+    (match node.current with
+    | Some { start; _ } when round - start + 1 > Pair.duration p -> node.current <- None
+    | _ -> ());
+    let out = ref [] in
+    (* Root: start a pair at the head of each selected interval. *)
+    (if is_root then
+       match
+         List.find_opt (fun y -> ((y - 1) * interval_len p) + 1 = round) node.selected
+       with
+       | Some y ->
+         node.current <- Some { y; start = round; pair = Pair.create p ~me:node.me }
+       | None -> ());
+    (* Non-root: activation by a tree_construct of a new execution. *)
+    (if (not is_root) && node.current = None then
+       match
+         List.find_opt
+           (fun (_, Message.{ exec; body }) ->
+             exec >= 1 && match body with Message.Tree_construct _ -> true | _ -> false)
+           inbox
+       with
+       | Some (_, Message.{ exec = y; body = Message.Tree_construct { level; _ } }) ->
+         (* A level-(s+1) node receives its first tree_construct in round
+            2s+2 of the execution: the phase-1 recurrence is recv = 2·level
+            (ack in the receipt round, tree_construct one round later). *)
+         let rr = (2 * level) + 2 in
+         node.current <- Some { y; start = round - rr + 1; pair = Pair.create p ~me:node.me }
+       | _ -> ());
+    (* Advance the current pair. *)
+    (match node.current with
+    | Some { y; start; pair } ->
+      let rr = round - start + 1 in
+      let bodies = Pair.step pair ~rr ~inbox:(pair_inbox y) in
+      out := List.map (fun body -> Message.{ exec = y; body }) bodies;
+      if is_root && rr = Pair.duration p then begin
+        let v = Pair.root_verdict pair in
+        (match v.Pair.result with
+        | Agg.Value value when v.Pair.veri_ok -> node.output <- Some (value, Via_pair y)
+        | Agg.Value _ | Agg.Aborted -> ());
+        node.current <- None
+      end
+    | None -> ());
+    (* Brute-force fallback in the last 2c flooding rounds. *)
+    if node.output = None then begin
+      (if is_root && round = node.bf_start then node.bf <- Some (Brute_force.create p ~me:node.me));
+      (if (not is_root) && node.bf = None
+       && List.exists (fun (_, Message.{ exec; _ }) -> exec = bf_exec) inbox
+      then node.bf <- Some (Brute_force.create p ~me:node.me));
+      match node.bf with
+      | Some bf ->
+        let rr = round - node.bf_start + 1 in
+        let bodies = Brute_force.step bf ~rr ~inbox:(pair_inbox bf_exec) in
+        out := !out @ List.map (fun body -> Message.{ exec = bf_exec; body }) bodies;
+        if is_root && round = node.bf_start + Brute_force.duration p - 1 then
+          node.output <- Some (Brute_force.root_result bf, Via_brute_force)
+      | None -> ()
+    end;
+    !out
+  end
+
+let root_result node =
+  match node.output with
+  | Some (v, _) -> v
+  | None -> invalid_arg "Tradeoff.root_result: execution not finished"
+
+let root_how node =
+  match node.output with
+  | Some (_, how) -> how
+  | None -> invalid_arg "Tradeoff.root_how: execution not finished"
+
+let selected_intervals node = node.selected

@@ -1,0 +1,62 @@
+(** Algorithm 1 — the near-optimal communication-time tradeoff protocol
+    (Theorem 1).
+
+    Given a TC budget of [b] flooding rounds ([b >= 21c]) and a failure
+    budget [f], the first [b − 2c] flooding rounds are divided into
+    [x = ⌊(b−2c)/19c⌋] intervals of [19c] flooding rounds.  The root
+    privately samples [log N] intervals (with replacement); in each
+    selected interval it runs one AGG+VERI pair with [t = ⌊2f/x⌋] and
+    terminates with AGG's result as soon as a pair ends with no abort and
+    a [true] verdict.  If every sampled interval fails (probability
+    [≤ 1/N]), the last [2c] flooding rounds run the brute-force protocol.
+
+    Expected CC: [O((f/b·logN + logN) · min(b, f, logN))]
+    [= O(f/b·log²N + log²N)]; TC ≤ [b·d] rounds; the output is always a
+    correct aggregate. *)
+
+type node
+
+type how =
+  | Via_pair of int  (** accepted in the interval with this index *)
+  | Via_brute_force
+
+type strategy =
+  | Sampled  (** the paper's Algorithm 1: log N random intervals *)
+  | Sequential
+      (** derandomized ablation: scan intervals 1, 2, 3, … until one
+          succeeds.  Still always correct, but the adversary can dirty
+          up to ~x/2 consecutive intervals with its budget, driving CC
+          back up to O(f·log N) — the experiment that shows what the
+          private-coin sampling buys (bench E15). *)
+
+val create :
+  ?strategy:strategy ->
+  Params.t ->
+  b:int ->
+  f:int ->
+  me:int ->
+  rng:Ftagg_util.Prng.t ->
+  node
+(** [b] in flooding rounds; raises [Invalid_argument] if [b < 21c].  The
+    [t] field of the given params is ignored (the protocol derives its
+    own [⌊2f/x⌋]).  [rng] supplies the root's private coins for interval
+    selection (unused under [Sequential]); other nodes never draw from
+    it.  Default strategy: [Sampled]. *)
+
+val max_rounds : Params.t -> b:int -> int
+(** [b·d] — pass to the engine. *)
+
+val intervals : Params.t -> b:int -> int
+(** [x = ⌊(b−2c)/19c⌋]. *)
+
+val pair_t : Params.t -> b:int -> f:int -> int
+(** [⌊2f/x⌋] — the per-interval tolerance. *)
+
+val step : node -> round:int -> inbox:(int * Message.t) list -> Message.t list
+(** [round] is the global round (the root initiates at round 1). *)
+
+val root_done : node -> bool
+val root_result : node -> int
+val root_how : node -> how
+val selected_intervals : node -> int list
+(** Root only: the sampled distinct interval indices, ascending. *)

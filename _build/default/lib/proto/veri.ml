@@ -1,0 +1,201 @@
+(* Phase layout in execution-relative rounds:
+     failed-parent detection : 1      .. 2cd+1
+     failed-child  detection : 2cd+2  .. 4cd+2
+     LFC detection           : 4cd+3  .. 5cd+3   (root outputs last round) *)
+
+type node = {
+  p : Params.t;
+  me : int;
+  flood : Message.body Flood.t;
+  activated : bool;
+  level : int;
+  parent : int;
+  children : int list;
+  ancestors : int array;
+  max_level : int;
+  crit : (int, unit) Hashtbl.t;  (* critical failures, carried over from AGG *)
+  failed_parents : (int, int) Hashtbl.t;  (* claimed node -> max depth claimed *)
+  failed_children : (int, unit) Hashtbl.t;
+  lfc_tails : (int, unit) Hashtbl.t;
+  not_lfc_tails : (int, unit) Hashtbl.t;
+  mutable overflow : bool;
+  mutable sent_bits : int;
+  mutable verdict : bool option;
+}
+
+let duration p = (5 * Params.cd p) + 3
+
+let create (p : Params.t) ~me ~from_agg =
+  let crit = Hashtbl.create 4 in
+  List.iter (fun v -> Hashtbl.replace crit v ()) (Agg.crit_seen from_agg);
+  {
+    p;
+    me;
+    flood = Flood.create ();
+    activated = Agg.activated from_agg;
+    level = Agg.level from_agg;
+    parent = Agg.parent from_agg;
+    children = Agg.children from_agg;
+    ancestors = Agg.ancestors from_agg;
+    max_level = Agg.max_level from_agg;
+    crit;
+    failed_parents = Hashtbl.create 4;
+    failed_children = Hashtbl.create 4;
+    lfc_tails = Hashtbl.create 4;
+    not_lfc_tails = Hashtbl.create 4;
+    overflow = false;
+    sent_bits = 0;
+    verdict = None;
+  }
+
+let note_flood node = function
+  | Message.Failed_parent { node = v; depth } ->
+    let prev = Option.value (Hashtbl.find_opt node.failed_parents v) ~default:min_int in
+    Hashtbl.replace node.failed_parents v (max prev depth)
+  | Message.Failed_child v -> Hashtbl.replace node.failed_children v ()
+  | Message.Lfc_tail v -> Hashtbl.replace node.lfc_tails v ()
+  | Message.Not_lfc_tail v -> Hashtbl.replace node.not_lfc_tails v ()
+  | Message.Veri_overflow -> node.overflow <- true
+  | _ -> ()
+
+let originate node body = if Flood.originate node.flood body then note_flood node body
+
+let ancestor_index node ~bound v =
+  let rec go i =
+    if i > bound then None
+    else if node.ancestors.(i) = v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let boundary_index node =
+  let t2 = 2 * node.p.Params.t in
+  let rec go j =
+    if j > t2 then None
+    else
+      let a = node.ancestors.(j) in
+      if a = -1 then None
+      else if a = Ftagg_graph.Graph.root || Hashtbl.mem node.crit a then Some j
+      else go (j + 1)
+  in
+  go 0
+
+(* LFC determinations by witnesses (Algorithm 3, lines 20–31). *)
+let make_determinations node =
+  let t = node.p.Params.t in
+  let t2 = 2 * t in
+  let j_opt = boundary_index node in
+  let j_bound = match j_opt with Some j -> j | None -> t2 in
+  let claims = Hashtbl.fold (fun v _ acc -> v :: acc) node.failed_parents [] in
+  List.iter
+    (fun v ->
+      match ancestor_index node ~bound:t2 v with
+      | Some i when i <= t && i <= j_bound ->
+        (* I am a witness of [v]: find the nearest failed child / fragment
+           boundary at or above it. *)
+        let k_opt =
+          let rec scan k =
+            if k > t2 then None
+            else
+              let a = node.ancestors.(k) in
+              if a = -1 then None
+              else if
+                Hashtbl.mem node.failed_children a
+                || a = Ftagg_graph.Graph.root
+                || Hashtbl.mem node.crit a
+              then Some k
+              else scan (k + 1)
+          in
+          scan i
+        in
+        let is_tail = match k_opt with None -> true | Some k -> k - i + 1 >= t in
+        originate node (if is_tail then Message.Lfc_tail v else Message.Not_lfc_tail v)
+      | _ -> ())
+    claims
+
+let compute_verdict node =
+  if node.overflow then false
+  else if Hashtbl.length node.lfc_tails > 0 then false
+  else
+    not
+      (Hashtbl.fold
+         (fun v depth bad ->
+           bad
+           || (depth >= node.p.Params.t && not (Hashtbl.mem node.not_lfc_tails v)))
+         node.failed_parents false)
+
+let step node ~rr ~inbox =
+  let p = node.p in
+  let cd = Params.cd p in
+  let is_root = node.me = Ftagg_graph.Graph.root in
+  if node.overflow then begin
+    List.iter
+      (fun (_, body) ->
+        if body = Message.Veri_overflow then ignore (Flood.receive node.flood body))
+      inbox;
+    let out = List.filter (fun b -> b = Message.Veri_overflow) (Flood.drain node.flood) in
+    List.iter (fun b -> node.sent_bits <- node.sent_bits + Message.bits p b) out;
+    if is_root && rr = duration p then node.verdict <- Some false;
+    out
+  end
+  else begin
+    (* 1. Flood intake. *)
+    List.iter
+      (fun (_, body) ->
+        if Message.is_flood body then
+          if Flood.receive node.flood body then note_flood node body)
+      inbox;
+    (* 2. Phase actions (only tree participants act; others just forward). *)
+    if node.activated then begin
+      (* Failed-parent detection. *)
+      if is_root && rr = 1 then originate node Message.Detect_failed_parent;
+      if (not is_root) && rr = node.level + 1 then begin
+        let heard_parent = List.exists (fun (sender, _) -> sender = node.parent) inbox in
+        if not heard_parent then
+          originate node
+            (Message.Failed_parent
+               { node = node.parent; depth = node.max_level - node.level + 1 })
+      end;
+      (* Failed-child detection: everyone beats at phase round cd−level+1. *)
+      let fc_action = (2 * cd) + 1 + (cd - node.level + 1) in
+      if rr = fc_action then begin
+        match node.children with
+        | [] -> originate node Message.Detect_failed_child
+        | children ->
+          List.iter
+            (fun v ->
+              let heard = List.exists (fun (sender, _) -> sender = v) inbox in
+              if not heard then originate node (Message.Failed_child v))
+            children
+      end;
+      (* LFC determination. *)
+      if rr = (4 * cd) + 3 then make_determinations node
+    end;
+    let outgoing = Flood.drain node.flood in
+    (* Budget enforcement (§5.1). *)
+    let cost = List.fold_left (fun acc b -> acc + Message.bits p b) 0 outgoing in
+    let outgoing =
+      if node.sent_bits + cost > Params.veri_bit_budget p then begin
+        node.overflow <- true;
+        ignore (Flood.originate node.flood Message.Veri_overflow);
+        ignore (Flood.drain node.flood);
+        let only = [ Message.Veri_overflow ] in
+        node.sent_bits <-
+          node.sent_bits + List.fold_left (fun a b -> a + Message.bits p b) 0 only;
+        only
+      end
+      else begin
+        node.sent_bits <- node.sent_bits + cost;
+        outgoing
+      end
+    in
+    if is_root && rr = duration p then node.verdict <- Some (compute_verdict node);
+    outgoing
+  end
+
+let root_verdict node =
+  match node.verdict with
+  | Some v -> v
+  | None -> invalid_arg "Veri.root_verdict: execution not finished"
+
+let overflowed node = node.overflow

@@ -1,0 +1,90 @@
+module Graph = Ftagg_graph.Graph
+module Gen = Ftagg_graph.Gen
+module Failure = Ftagg_sim.Failure
+module Metrics = Ftagg_sim.Metrics
+module Prng = Ftagg_util.Prng
+
+type adversary =
+  | Adv_none
+  | Adv_random of int
+  | Adv_burst of int
+  | Adv_chain
+  | Adv_high_degree
+  | Adv_per_interval of int
+
+let adversary_name = function
+  | Adv_none -> "none"
+  | Adv_random s -> Printf.sprintf "random(%d)" s
+  | Adv_burst s -> Printf.sprintf "burst(%d)" s
+  | Adv_chain -> "chain"
+  | Adv_high_degree -> "high-degree"
+  | Adv_per_interval s -> Printf.sprintf "per-interval(%d)" s
+
+type cell = {
+  family : string;
+  adversary : string;
+  cc : int;
+  flooding_rounds : int;
+  correct : bool;
+}
+
+type landscape = {
+  cells : cell list;
+  worst : cell;
+}
+
+let default_adversaries ~seed =
+  [
+    Adv_none;
+    Adv_random seed;
+    Adv_random (seed + 1);
+    Adv_burst seed;
+    Adv_chain;
+    Adv_high_degree;
+    Adv_per_interval seed;
+  ]
+
+let schedule_of graph ~params ~f ~b adversary =
+  let n = Graph.n graph in
+  let window = b * params.Params.d in
+  match adversary with
+  | Adv_none -> Failure.none ~n
+  | Adv_random s -> Failure.random graph ~rng:(Prng.create s) ~budget:f ~max_round:window
+  | Adv_burst s -> Failure.burst graph ~rng:(Prng.create s) ~budget:f ~round:(max 1 (window / 3))
+  | Adv_chain ->
+    Failure.chain ~n ~first:1
+      ~len:(min (max 1 (f / 2)) (n - 2))
+      ~round:(max 1 ((2 * Params.cd params) + 5))
+  | Adv_high_degree -> Failure.high_degree graph ~budget:f ~round:(max 1 (window / 4))
+  | Adv_per_interval s ->
+    Failure.per_interval graph ~rng:(Prng.create s) ~budget:f
+      ~interval_len:(19 * Params.cd params)
+      ~intervals:(max 1 (Tradeoff.intervals params ~b))
+
+let sweep_tradeoff ~n ~f ~b ~seed () =
+  let cells =
+    List.concat_map
+      (fun (family, fam) ->
+        let graph = Gen.build fam ~n ~seed in
+        let inputs = Array.init n (fun i -> (i mod 7) + 1) in
+        let params = Params.make ~c:2 ~graph ~inputs () in
+        List.map
+          (fun adversary ->
+            let failures = schedule_of graph ~params ~f ~b adversary in
+            let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed in
+            {
+              family;
+              adversary = adversary_name adversary;
+              cc = Metrics.cc o.Run.tc.Run.metrics;
+              flooding_rounds = o.Run.tc.Run.flooding_rounds;
+              correct = o.Run.tc.Run.correct;
+            })
+          (default_adversaries ~seed))
+      (Gen.all_families ~seed)
+  in
+  let worst =
+    match cells with
+    | [] -> invalid_arg "Worstcase.sweep_tradeoff: empty sweep"
+    | first :: rest -> List.fold_left (fun acc c -> if c.cc > acc.cc then c else acc) first rest
+  in
+  { cells; worst }

@@ -1,0 +1,45 @@
+(** Empirical worst-case search over topologies and adversaries.
+
+    The paper's complexity measure [FT₀(SUM_N, f, b)] maximises a
+    protocol's bottleneck communication over {e all} connected topologies
+    and oblivious adversaries.  Exhausting that space is impossible, so
+    this module does what an experimentalist can: sweep a topology-family
+    grid crossed with an adversary-schedule grid, run the protocol on
+    each cell, and report the maximising cell.  The benchmark harness
+    (E14) uses it to approximate the [FT₀] landscape for Algorithm 1. *)
+
+type adversary =
+  | Adv_none
+  | Adv_random of int  (** seed *)
+  | Adv_burst of int  (** seed; burst a third of the way in *)
+  | Adv_chain  (** id-contiguous chain kill early in the run *)
+  | Adv_high_degree
+  | Adv_per_interval of int  (** seed *)
+
+val adversary_name : adversary -> string
+
+type cell = {
+  family : string;
+  adversary : string;
+  cc : int;
+  flooding_rounds : int;
+  correct : bool;
+}
+
+type landscape = {
+  cells : cell list;  (** every evaluated cell *)
+  worst : cell;  (** the CC-maximising cell *)
+}
+
+val sweep_tradeoff :
+  n:int ->
+  f:int ->
+  b:int ->
+  seed:int ->
+  unit ->
+  landscape
+(** Run Algorithm 1 over every topology family × adversary cell at the
+    given size.  Every cell's output is also checked for correctness
+    (recorded in the cell; the caller can assert them all). *)
+
+val default_adversaries : seed:int -> adversary list

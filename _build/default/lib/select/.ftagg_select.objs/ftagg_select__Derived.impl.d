@@ -1,0 +1,1 @@
+lib/select/derived.ml: Array Float Ftagg_caaf Ftagg_graph Ftagg_proto Ftagg_sim

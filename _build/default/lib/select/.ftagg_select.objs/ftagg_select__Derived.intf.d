@@ -1,0 +1,1 @@
+lib/select/derived.mli: Ftagg_graph Ftagg_proto Ftagg_sim

@@ -1,0 +1,1 @@
+lib/select/selection.ml: Array Ftagg_caaf Ftagg_graph Ftagg_proto Ftagg_sim Ftagg_util

@@ -1,0 +1,1 @@
+lib/select/selection.mli: Ftagg_graph Ftagg_proto Ftagg_sim

@@ -1,0 +1,33 @@
+(** Derived statistics over one network: AVERAGE, VARIANCE and RANGE via
+    sequential fault-tolerant CAAF runs.
+
+    None of these are CAAFs themselves, but each decomposes into CAAFs
+    (§2's observation): AVERAGE = SUM / COUNT, VARIANCE = SUM(x²)/COUNT −
+    AVERAGE², RANGE = MAX − MIN.  Each component is computed by one
+    Algorithm 1 execution; runs are chained under a single global failure
+    schedule (each sees the schedule shifted to its own start round).
+
+    Because components may observe slightly different surviving
+    populations, the composites carry the components' interval guarantees
+    rather than a single crisp interval; on a failure-free run they are
+    exact. *)
+
+type outcome = {
+  average : float;
+  variance : float;
+  range : int;
+  population : int;  (** the COUNT component's value *)
+  metrics : Ftagg_sim.Metrics.t;  (** merged across all component runs *)
+  rounds : int;
+}
+
+val summary :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Ftagg_proto.Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  outcome
+(** Five chained Algorithm 1 runs: SUM, COUNT, SUM of squares, MAX, MIN.
+    The params' CAAF field is ignored (each component picks its own). *)

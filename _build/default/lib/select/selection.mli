@@ -1,0 +1,48 @@
+(** Fault-tolerant SELECTION and MEDIAN by binary search over COUNT.
+
+    §2 of the paper notes (citing Patt-Shamir [16]) that MEDIAN and
+    SELECTION reduce to COUNT by binary search over the output domain.
+    This module performs that orchestration on top of the Algorithm 1
+    tradeoff protocol: each probe [v] floods the threshold and runs one
+    fault-tolerant COUNT of [{i : input_i <= v}]; [⌈log₂(max+1)⌉] probes
+    pin the answer.
+
+    Correctness under failures is interval-shaped, like every aggregate
+    here: each COUNT lies between the survivor count and the full count,
+    so the returned order statistic lies between the [k]-th smallest of
+    the survivors' inputs and the [k]-th smallest of all inputs. *)
+
+type outcome = {
+  value : int;  (** the selected order statistic *)
+  probes : int;  (** COUNT executions performed *)
+  metrics : Ftagg_sim.Metrics.t;  (** merged across all probes *)
+  rounds : int;  (** total rounds across all probes *)
+}
+
+val select :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Ftagg_proto.Params.t ->
+  b:int ->
+  f:int ->
+  k:int ->
+  seed:int ->
+  outcome
+(** The [k]-th smallest input ([1]-based) among participating nodes.
+    [failures] is a single global schedule spanning the whole
+    orchestration; each probe sees it shifted to its own start round. *)
+
+val median :
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Ftagg_proto.Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  outcome
+(** One extra COUNT to learn the population size [m], then
+    [select ~k:((m+1)/2)]. *)
+
+val kth_smallest : int list -> int -> int
+(** Reference order statistic ([1]-based) for checking, on a non-empty
+    list with [1 <= k <= length]. *)

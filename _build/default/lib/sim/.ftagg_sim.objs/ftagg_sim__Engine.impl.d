@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Failure Ftagg_graph Ftagg_util List Metrics

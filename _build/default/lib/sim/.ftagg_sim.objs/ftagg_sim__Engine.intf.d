@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Failure Ftagg_graph Ftagg_util Metrics

@@ -1,0 +1,1 @@
+lib/sim/failure.ml: Array Format Ftagg_graph Ftagg_util Hashtbl List

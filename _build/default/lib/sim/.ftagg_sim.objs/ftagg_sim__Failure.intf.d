@@ -1,0 +1,1 @@
+lib/sim/failure.mli: Format Ftagg_graph Ftagg_util

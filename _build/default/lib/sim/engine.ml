@@ -1,0 +1,60 @@
+module Graph = Ftagg_graph.Graph
+module Prng = Ftagg_util.Prng
+
+type node_id = int
+
+type ('state, 'msg) protocol = {
+  name : string;
+  init : node_id -> rng:Prng.t -> 'state;
+  step :
+    round:int ->
+    me:node_id ->
+    state:'state ->
+    inbox:(node_id * 'msg) list ->
+    'state * 'msg list;
+  msg_bits : 'msg -> int;
+  root_done : 'state -> bool;
+}
+
+let run ?observer ?(loss = 0.0) ~graph ~failures ~max_rounds ~seed proto =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Engine.run: loss must be in [0, 1)";
+  let n = Graph.n graph in
+  let rng = Prng.create seed in
+  let loss_rng = Prng.split rng in
+  let delivered () = loss = 0.0 || Prng.float loss_rng 1.0 >= loss in
+  let states = Array.init n (fun u -> proto.init u ~rng:(Prng.split rng)) in
+  let metrics = Metrics.create n in
+  (* [in_flight.(u)] holds what [u] broadcast in the previous round (its
+     logical payloads), to be delivered to u's neighbours this round. *)
+  let in_flight : 'msg list array = Array.make n [] in
+  let next_flight : 'msg list array = Array.make n [] in
+  let round = ref 1 in
+  let halted = ref false in
+  while (not !halted) && !round <= max_rounds do
+    let r = !round in
+    Metrics.note_round metrics r;
+    for u = 0 to n - 1 do
+      if Failure.is_alive failures ~node:u ~round:r then begin
+        let inbox =
+          List.concat_map
+            (fun v ->
+              if in_flight.(v) = [] then []
+              else if delivered () then List.map (fun m -> (v, m)) in_flight.(v)
+              else [])
+            (Graph.neighbors graph u)
+        in
+        let state', out = proto.step ~round:r ~me:u ~state:states.(u) ~inbox in
+        states.(u) <- state';
+        next_flight.(u) <- out;
+        (match observer with Some f -> f ~round:r ~node:u out | None -> ());
+        let bits = List.fold_left (fun acc m -> acc + proto.msg_bits m) 0 out in
+        Metrics.charge metrics ~node:u ~bits
+      end
+      else next_flight.(u) <- []
+    done;
+    Array.blit next_flight 0 in_flight 0 n;
+    Array.fill next_flight 0 n [];
+    if proto.root_done states.(Graph.root) then halted := true;
+    incr round
+  done;
+  (states, metrics)

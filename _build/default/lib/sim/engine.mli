@@ -1,0 +1,58 @@
+(** Synchronous round-driven execution engine.
+
+    Implements the paper's model (§2): protocols proceed in rounds; in each
+    round a node first receives everything its neighbours broadcast in the
+    previous round, computes locally, and may broadcast a single message,
+    delivered to all live neighbours next round.
+
+    A protocol is a per-node automaton over an abstract payload type.  The
+    automaton may emit several logical payloads in one round; the engine
+    combines them into the single physical broadcast the model allows and
+    charges their summed bit widths to the sender (matching the pseudo-code
+    comment in the paper's Algorithm 2). *)
+
+type node_id = int
+
+type ('state, 'msg) protocol = {
+  name : string;
+  init : node_id -> rng:Ftagg_util.Prng.t -> 'state;
+      (** Initial state.  [rng] is a private-coin stream for this node,
+          derived from the run seed. *)
+  step :
+    round:int ->
+    me:node_id ->
+    state:'state ->
+    inbox:(node_id * 'msg) list ->
+    'state * 'msg list;
+      (** One round of local computation.  [inbox] holds the logical
+          payloads received this round with their senders, in sender order.
+          The returned payloads are broadcast together; an empty list means
+          the node stays silent. *)
+  msg_bits : 'msg -> int;
+      (** Bit width charged per logical payload. *)
+  root_done : 'state -> bool;
+      (** Checked on the root after every round; a [true] halts the run
+          (the paper's executions end when the root outputs). *)
+}
+
+val run :
+  ?observer:(round:int -> node:int -> 'msg list -> unit) ->
+  ?loss:float ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Failure.t ->
+  max_rounds:int ->
+  seed:int ->
+  ('state, 'msg) protocol ->
+  'state array * Metrics.t
+(** Execute the protocol.  Returns the final state of every node (crashed
+    nodes keep the state they had when they crashed) and the metrics.
+    Halts after [max_rounds] rounds or as soon as [root_done] holds.
+
+    [observer] is invoked once per live node per round with the node's
+    outgoing broadcast (possibly empty) — the hook behind {!Trace}.
+
+    [loss] (default 0) drops each per-edge delivery independently with the
+    given probability.  {b This leaves the paper's model}: every guarantee
+    in the library assumes reliable local broadcast; the knob exists so
+    the bench harness can demonstrate (E16) that the crash-only guarantees
+    do not survive lossy links. *)

@@ -1,0 +1,147 @@
+module Graph = Ftagg_graph.Graph
+module Prng = Ftagg_util.Prng
+
+let never = max_int
+
+type t = int array (* crash round per node; [never] if it survives *)
+
+let none ~n = Array.make n never
+
+let of_list ~n entries =
+  let t = Array.make n never in
+  List.iter
+    (fun (node, round) ->
+      if node <= 0 || node >= n then
+        invalid_arg "Failure.of_list: node out of range or root";
+      if round < 1 then invalid_arg "Failure.of_list: round must be >= 1";
+      t.(node) <- min t.(node) round)
+    entries;
+  t
+
+let crash_round t u = t.(u)
+
+let crashed_by t ~round =
+  let acc = ref [] in
+  for u = Array.length t - 1 downto 0 do
+    if t.(u) <= round then acc := u :: !acc
+  done;
+  !acc
+
+let crashed_nodes t = crashed_by t ~round:(never - 1)
+
+let is_alive t ~node ~round = t.(node) > round
+
+let shift t ~by =
+  Array.map (fun r -> if r = never then never else max 1 (r - by)) t
+
+let edge_failures g t =
+  List.length
+    (List.filter (fun (u, v) -> t.(u) <> never || t.(v) <> never) (Graph.edges g))
+
+let edge_failures_in_window g t ~first ~last =
+  let first_crash (u, v) = min t.(u) t.(v) in
+  List.length
+    (List.filter
+       (fun e ->
+         let r = first_crash e in
+         r >= first && r <= last)
+       (Graph.edges g))
+
+(* Incremental edge-failure cost of crashing [u] given [crashed]. *)
+let marginal_cost g crashed u =
+  List.length (List.filter (fun v -> not (Hashtbl.mem crashed v)) (Graph.neighbors g u))
+
+let budgeted_crashes g ~rng ~budget ~pick_round =
+  let n = Graph.n g in
+  let t = Array.make n never in
+  let crashed = Hashtbl.create 16 in
+  let candidates = Array.init (n - 1) (fun i -> i + 1) in
+  Prng.shuffle rng candidates;
+  let spent = ref 0 in
+  Array.iter
+    (fun u ->
+      let cost = marginal_cost g crashed u in
+      if !spent + cost <= budget && cost > 0 then begin
+        spent := !spent + cost;
+        Hashtbl.replace crashed u ();
+        t.(u) <- pick_round ()
+      end)
+    candidates;
+  t
+
+let random g ~rng ~budget ~max_round =
+  budgeted_crashes g ~rng ~budget ~pick_round:(fun () -> Prng.in_range rng 1 (max max_round 1))
+
+let burst g ~rng ~budget ~round = budgeted_crashes g ~rng ~budget ~pick_round:(fun () -> round)
+
+let kill_nodes ~n ~nodes ~round = of_list ~n (List.map (fun u -> (u, round)) nodes)
+
+let chain ~n ~first ~len ~round =
+  if first <= 0 then invalid_arg "Failure.chain: must not include the root";
+  let nodes = List.init len (fun i -> first + i) in
+  kill_nodes ~n ~nodes ~round
+
+let high_degree g ~budget ~round =
+  let n = Graph.n g in
+  let t = Array.make n never in
+  let crashed = Hashtbl.create 8 in
+  let by_degree =
+    List.init (n - 1) (fun i -> i + 1)
+    |> List.sort (fun u v -> compare (Graph.degree g v) (Graph.degree g u))
+  in
+  let spent = ref 0 in
+  List.iter
+    (fun u ->
+      let cost = marginal_cost g crashed u in
+      if !spent + cost <= budget && cost > 0 then begin
+        spent := !spent + cost;
+        Hashtbl.replace crashed u ();
+        t.(u) <- round
+      end)
+    by_degree;
+  t
+
+let per_interval g ~rng ~budget ~interval_len ~intervals =
+  if intervals < 1 || interval_len < 1 then
+    invalid_arg "Failure.per_interval: need positive interval geometry";
+  let n = Graph.n g in
+  let t = Array.make n never in
+  let crashed = Hashtbl.create 8 in
+  let candidates = Array.init (n - 1) (fun i -> i + 1) in
+  Prng.shuffle rng candidates;
+  (* Round-robin crashes over the interval windows so every window gets
+     hit before any gets a second crash, within the edge budget. *)
+  let spent = ref 0 in
+  let slot = ref 0 in
+  Array.iter
+    (fun u ->
+      let cost = marginal_cost g crashed u in
+      if cost > 0 && !spent + cost <= budget then begin
+        spent := !spent + cost;
+        Hashtbl.replace crashed u ();
+        t.(u) <- (!slot * interval_len) + 1 + Prng.int rng interval_len;
+        slot := (!slot + 1) mod intervals
+      end)
+    candidates;
+  t
+
+let neighborhood g ~center ~round =
+  let nodes =
+    center :: Graph.neighbors g center
+    |> List.filter (fun u -> u <> Graph.root)
+  in
+  kill_nodes ~n:(Graph.n g) ~nodes ~round
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  let first = ref true in
+  Array.iteri
+    (fun u r ->
+      if r <> never then begin
+        if not !first then Format.fprintf ppf ",@ ";
+        first := false;
+        Format.fprintf ppf "%d@@%d" u r
+      end)
+    t;
+  if !first then Format.fprintf ppf "(none)";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Per-run communication/time accounting.
+
+    The paper's CC is the number of bits the *bottleneck* node sends over
+    the whole execution; TC is the number of rounds (reported in flooding
+    rounds of [d] rounds each by callers). *)
+
+type t
+
+val create : int -> t
+(** [create n] for a system of [n] nodes. *)
+
+val charge : t -> node:int -> bits:int -> unit
+(** Record a local broadcast of [bits] bits by [node]. *)
+
+val note_round : t -> int -> unit
+(** Record that the given round executed (rounds are 1-based). *)
+
+val bits_sent : t -> int -> int
+(** Total bits broadcast by a node. *)
+
+val msgs_sent : t -> int -> int
+(** Number of (non-empty) broadcasts by a node. *)
+
+val cc : t -> int
+(** Max bits over all nodes — the paper's communication complexity. *)
+
+val total_bits : t -> int
+val rounds : t -> int
+(** Number of rounds executed before the run halted. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into acc m] adds [m]'s bit/message counts and round count into
+    [acc] — sequential composition of executions.  Used to account
+    repeated sub-protocol runs (e.g. the COUNT runs of SELECTION) as one
+    execution. *)

@@ -1,0 +1,40 @@
+type 'msg event = {
+  round : int;
+  node : int;
+  payloads : 'msg list;
+}
+
+type 'msg t = {
+  keep_silent : bool;
+  mutable rev_events : 'msg event list;
+  mutable count : int;
+}
+
+let create ?(keep_silent = false) () = { keep_silent; rev_events = []; count = 0 }
+
+let observer t ~round ~node payloads =
+  if t.keep_silent || payloads <> [] then begin
+    t.rev_events <- { round; node; payloads } :: t.rev_events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.rev_events
+
+let length t = t.count
+
+let broadcasts_of t ~node = List.filter (fun e -> e.node = node) (events t)
+
+let rounds_active t ~node =
+  List.filter_map
+    (fun e -> if e.node = node && e.payloads <> [] then Some e.round else None)
+    (events t)
+
+let pp ~pp_msg ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "r%04d n%03d:" e.round e.node;
+      List.iter (fun m -> Format.fprintf ppf " %a" pp_msg m) e.payloads;
+      Format.fprintf ppf "@,")
+    (events t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/twoparty/bounds.mli:

@@ -1,0 +1,1 @@
+lib/twoparty/channel.ml: List Printf

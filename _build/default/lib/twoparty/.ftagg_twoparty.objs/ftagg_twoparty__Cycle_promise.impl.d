@@ -1,0 +1,1 @@
+lib/twoparty/cycle_promise.ml: Array Ftagg_util

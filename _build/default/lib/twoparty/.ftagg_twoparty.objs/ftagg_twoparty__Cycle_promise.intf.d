@@ -1,0 +1,1 @@
+lib/twoparty/cycle_promise.mli: Ftagg_util

@@ -1,0 +1,1 @@
+lib/twoparty/equality.ml: Array Channel Cycle_promise Ftagg_util Unionsize

@@ -1,0 +1,1 @@
+lib/twoparty/equality.mli: Cycle_promise

@@ -1,0 +1,1 @@
+lib/twoparty/sperner.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/twoparty/unionsize.ml: Array Channel Cycle_promise Ftagg_util Hashtbl List

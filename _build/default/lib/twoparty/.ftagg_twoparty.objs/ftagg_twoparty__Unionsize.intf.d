@@ -1,0 +1,1 @@
+lib/twoparty/unionsize.mli: Channel Cycle_promise

@@ -1,0 +1,30 @@
+type party = Alice | Bob
+
+type t = { mutable alice : int; mutable bob : int }
+
+let create () = { alice = 0; bob = 0 }
+
+let charge t ~from ~bits =
+  match from with
+  | Alice -> t.alice <- t.alice + bits
+  | Bob -> t.bob <- t.bob + bits
+
+let fits v bits = v >= 0 && (bits >= 62 || v < 1 lsl bits)
+
+let send t ~from ~bits v =
+  if not (fits v bits) then
+    invalid_arg (Printf.sprintf "Channel.send: %d does not fit in %d bits" v bits);
+  charge t ~from ~bits;
+  v
+
+let send_list t ~from ~bits_each vs =
+  List.iter
+    (fun v ->
+      if not (fits v bits_each) then invalid_arg "Channel.send_list: value too wide")
+    vs;
+  charge t ~from ~bits:(bits_each * (List.length vs + 1));
+  vs
+
+let bits_of t = function Alice -> t.alice | Bob -> t.bob
+
+let total_bits t = t.alice + t.bob

@@ -1,0 +1,25 @@
+(** A bit-metered two-party channel.
+
+    §7's two-party problems are between Alice and Bob; their communication
+    complexity is the total number of bits exchanged.  Protocols in this
+    library move values through a {!t} and declare the width of each
+    transmission; the channel keeps the ledger the theorems are checked
+    against. *)
+
+type party = Alice | Bob
+
+type t
+
+val create : unit -> t
+
+val send : t -> from:party -> bits:int -> int -> int
+(** [send ch ~from ~bits v] transmits [v] (which must fit in [bits] bits
+    as a non-negative integer) and returns it, charging [bits] to the
+    sender.  Raises [Invalid_argument] if the value does not fit. *)
+
+val send_list : t -> from:party -> bits_each:int -> int list -> int list
+(** Transmit a list, charging [bits_each] per element plus a
+    length prefix of [bits_each] bits. *)
+
+val bits_of : t -> party -> int
+val total_bits : t -> int

@@ -1,0 +1,47 @@
+module Prng = Ftagg_util.Prng
+
+type t = {
+  n : int;
+  q : int;
+  x : int array;
+  y : int array;
+}
+
+let make ~n ~q ~x ~y =
+  if n < 1 then invalid_arg "Cycle_promise.make: n must be >= 1";
+  if q < 2 then invalid_arg "Cycle_promise.make: q must be >= 2";
+  if Array.length x <> n || Array.length y <> n then
+    invalid_arg "Cycle_promise.make: wrong string length";
+  Array.iteri
+    (fun i xi ->
+      let yi = y.(i) in
+      if xi < 0 || xi >= q || yi < 0 || yi >= q then
+        invalid_arg "Cycle_promise.make: character out of range";
+      if yi <> xi && yi <> (xi + 1) mod q then
+        invalid_arg "Cycle_promise.make: cycle promise violated")
+    x;
+  { n; q; x; y }
+
+let random ~rng ~n ~q ?(force_equal = false) () =
+  let x = Array.init n (fun _ -> Prng.int rng q) in
+  let y =
+    Array.map (fun xi -> if force_equal || Prng.bool rng then xi else (xi + 1) mod q) x
+  in
+  make ~n ~q ~x ~y
+
+let random_sparse ~rng ~n ~q ~zero_frac =
+  let x =
+    Array.init n (fun _ ->
+        if Prng.float rng 1.0 < zero_frac then 0 else Prng.int rng q)
+  in
+  let y = Array.map (fun xi -> if Prng.bool rng then xi else (xi + 1) mod q) x in
+  make ~n ~q ~x ~y
+
+let union_size t =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.x.(i) <> 0 || t.y.(i) <> 0 then incr count
+  done;
+  !count
+
+let equal t = t.x = t.y

@@ -1,0 +1,29 @@
+(** Inputs for the §7 two-party problems.
+
+    An instance of UNIONSIZECP/EQUALITYCP consists of strings
+    [X, Y ∈ \[0, q−1\]^n] under the {e cycle promise}: for every [i],
+    [Y_i = X_i] or [Y_i = (X_i + 1) mod q]. *)
+
+type t = {
+  n : int;
+  q : int;
+  x : int array;
+  y : int array;
+}
+
+val make : n:int -> q:int -> x:int array -> y:int array -> t
+(** Validates ranges and the promise. *)
+
+val random : rng:Ftagg_util.Prng.t -> n:int -> q:int -> ?force_equal:bool -> unit -> t
+(** Uniform [X], then each [Y_i] independently equals [X_i] or
+    [X_i + 1 mod q] with probability ½ ([force_equal] pins [Y = X]). *)
+
+val random_sparse : rng:Ftagg_util.Prng.t -> n:int -> q:int -> zero_frac:float -> t
+(** Like {!random} but each [X_i] is 0 with probability [zero_frac]
+    (exercising the [A₀]-heavy corner of UNIONSIZECP). *)
+
+val union_size : t -> int
+(** Ground truth: [|{i : X_i ≠ 0 or Y_i ≠ 0}|]. *)
+
+val equal : t -> bool
+(** Ground truth: [X = Y]. *)

@@ -1,0 +1,48 @@
+module Bits = Ftagg_util.Bits
+
+type outcome = {
+  equal : bool;
+  total_bits : int;
+  oracle_bits : int;
+  overhead_bits : int;
+}
+
+let solve (inst : Cycle_promise.t) =
+  let { Cycle_promise.n; q; x; y } = inst in
+  let ch = Channel.create () in
+  let union = Unionsize.solve_on ch inst in
+  let oracle_bits = Channel.total_bits ch in
+  let sum a = Array.fold_left ( + ) 0 a in
+  (* Bob -> Alice: ΣY (log n + log q bits) and the zero count z (log n). *)
+  let sum_bits = max 1 (Bits.bits_for_value (n * (q - 1))) in
+  let cnt_bits = max 1 (Bits.bits_for_value n) in
+  let sum_y = Channel.send ch ~from:Channel.Bob ~bits:sum_bits (sum y) in
+  let z =
+    Channel.send ch ~from:Channel.Bob ~bits:cnt_bits
+      (Array.fold_left (fun acc c -> if c = 0 then acc + 1 else acc) 0 y)
+  in
+  let equal = sum x = sum_y && union = n - z in
+  {
+    equal;
+    total_bits = Channel.total_bits ch;
+    oracle_bits;
+    overhead_bits = Channel.total_bits ch - oracle_bits;
+  }
+
+let solve_trivial (inst : Cycle_promise.t) =
+  let { Cycle_promise.n = _; q; x; y } = inst in
+  let ch = Channel.create () in
+  let char_bits = max 1 (Bits.bits_for q) in
+  let equal = ref true in
+  Array.iteri
+    (fun i xi ->
+      let xi' = Channel.send ch ~from:Channel.Alice ~bits:char_bits xi in
+      if xi' <> y.(i) then equal := false)
+    x;
+  let verdict = Channel.send ch ~from:Channel.Bob ~bits:1 (if !equal then 1 else 0) in
+  {
+    equal = verdict = 1;
+    total_bits = Channel.total_bits ch;
+    oracle_bits = 0;
+    overhead_bits = Channel.total_bits ch;
+  }

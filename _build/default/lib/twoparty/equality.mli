@@ -1,0 +1,22 @@
+(** EQUALITYCP(n, q): decide whether [X = Y] under the cycle promise —
+    and the Theorem 8 reduction to UNIONSIZECP.
+
+    The reduction: run the UNIONSIZECP oracle; Bob then sends [ΣY_i]
+    ([⌈log n⌉ + ⌈log q⌉] bits) and [z], the number of zeros in [Y]
+    ([⌈log n⌉] bits); Alice outputs [X = Y] iff [ΣX = ΣY] and the union
+    size equals [n − z].  Total overhead beyond the oracle:
+    [O(log q) + O(log n)]. *)
+
+type outcome = {
+  equal : bool;
+  total_bits : int;
+  oracle_bits : int;  (** bits spent inside the UNIONSIZECP call *)
+  overhead_bits : int;  (** the reduction's own bits *)
+}
+
+val solve : Cycle_promise.t -> outcome
+
+val solve_trivial : Cycle_promise.t -> outcome
+(** The promise-free baseline: Alice ships her whole string
+    ([n·⌈log q⌉] bits) and Bob answers.  Shows what Theorem 8's reduction
+    saves when [q] is large. *)

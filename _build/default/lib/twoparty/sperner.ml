@@ -1,0 +1,85 @@
+let modulus = 1_000_000_007
+
+let lemma11_matrix q =
+  if q < 2 then invalid_arg "Sperner.lemma11_matrix: q must be >= 2";
+  Array.init q (fun i ->
+      Array.init q (fun j ->
+          if j = i then 1 else if j = (i + 1) mod q then -1 else 0))
+
+let rank_mod_p m =
+  let rows = Array.length m in
+  if rows = 0 then 0
+  else begin
+    let cols = Array.length m.(0) in
+    let a =
+      Array.map (Array.map (fun v -> ((v mod modulus) + modulus) mod modulus)) m
+    in
+    (* Modular inverse by Fermat: p is prime and fits in 30 bits, so
+       products stay within 60 bits — safe native-int arithmetic. *)
+    let rec power b e acc =
+      if e = 0 then acc
+      else power (b * b mod modulus) (e / 2) (if e land 1 = 1 then acc * b mod modulus else acc)
+    in
+    let inv v = power v (modulus - 2) 1 in
+    let rank = ref 0 in
+    let row = ref 0 in
+    let col = ref 0 in
+    while !row < rows && !col < cols do
+      (* Find a pivot in this column. *)
+      let pivot = ref (-1) in
+      for r = !row to rows - 1 do
+        if !pivot = -1 && a.(r).(!col) <> 0 then pivot := r
+      done;
+      if !pivot = -1 then incr col
+      else begin
+        let p = !pivot in
+        let tmp = a.(p) in
+        a.(p) <- a.(!row);
+        a.(!row) <- tmp;
+        let piv_inv = inv a.(!row).(!col) in
+        for c = !col to cols - 1 do
+          a.(!row).(c) <- a.(!row).(c) * piv_inv mod modulus
+        done;
+        for r = !row + 1 to rows - 1 do
+          let factor = a.(r).(!col) in
+          if factor <> 0 then
+            for c = !col to cols - 1 do
+              a.(r).(c) <- ((a.(r).(c) - (factor * a.(!row).(c) mod modulus)) mod modulus + modulus) mod modulus
+            done
+        done;
+        incr rank;
+        incr row;
+        incr col
+      end
+    done;
+    !rank
+  end
+
+let rows_sum_to_zero m =
+  let rows = Array.length m in
+  if rows = 0 then true
+  else begin
+    let cols = Array.length m.(0) in
+    let ok = ref true in
+    for c = 0 to cols - 1 do
+      let s = ref 0 in
+      for r = 0 to rows - 1 do
+        s := !s + m.(r).(c)
+      done;
+      if !s <> 0 then ok := false
+    done;
+    !ok
+  end
+
+let lemma11_rank q =
+  let m = lemma11_matrix q in
+  let rk = rank_mod_p m in
+  (* rank_p <= rank_Q <= q−1 (rows sum to zero); equality certifies. *)
+  if not (rows_sum_to_zero m) then failwith "Sperner.lemma11_rank: structure violated";
+  if rk <> q - 1 then
+    failwith (Printf.sprintf "Sperner.lemma11_rank: modular rank %d <> q-1 = %d" rk (q - 1));
+  q - 1
+
+let equality_lower_bound ~n ~q =
+  if q < 2 then invalid_arg "Sperner.equality_lower_bound";
+  float_of_int n *. (log (1.0 +. (1.0 /. float_of_int (q - 1))) /. log 2.0)

@@ -1,0 +1,32 @@
+(** The Sperner-capacity rank argument behind Lemma 11.
+
+    Theorem 9 (Calderbank–Frankl–Graham–Li–Shepp) bounds the number of
+    pairwise "doubly cycle-separated" strings by [rank(M)^n] for any
+    [q × q] matrix [M] with ones on the diagonal, zeros at offsets
+    [2 … q−1], and arbitrary reals at offset [1] (cyclically).  Lemma 11
+    chooses [−1] at offset 1, for which [rank(M) = q − 1]: the rows sum
+    to zero (rank ≤ q−1) and the first [q−1] rows are independent
+    (rank ≥ q−1).  This yields
+    [R₀^pri(EQUALITYCP) ≥ log((q/(q−1))^n) ≥ n/(q−1)].
+
+    We verify the rank exactly: Gaussian elimination over a prime field
+    gives [rank_p(M) ≤ rank_ℚ(M)], and the all-rows-sum-to-zero identity
+    gives [rank_ℚ(M) ≤ q−1]; observing [rank_p(M) = q−1] pins the
+    rational rank. *)
+
+val lemma11_matrix : int -> int array array
+(** [lemma11_matrix q]: the [q × q] matrix with [M_{i,i} = 1],
+    [M_{i,(i+1) mod q} = −1], all other entries 0. *)
+
+val rank_mod_p : int array array -> int
+(** Exact rank of an integer matrix over GF(1_000_000_007). *)
+
+val rows_sum_to_zero : int array array -> bool
+
+val lemma11_rank : int -> int
+(** Certified rational rank of {!lemma11_matrix}[ q]: raises if the
+    modular rank and the structural bound disagree with [q − 1]. *)
+
+val equality_lower_bound : n:int -> q:int -> float
+(** Lemma 11's bound [n·log₂(1 + 1/(q−1))] on
+    [R₀^pri(EQUALITYCP_{n,q})], in bits. *)

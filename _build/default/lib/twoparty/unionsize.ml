@@ -1,0 +1,61 @@
+module Bits = Ftagg_util.Bits
+
+type outcome = {
+  answer : int;
+  alice_bits : int;
+  bob_bits : int;
+  total_bits : int;
+}
+
+let class_sets ~q s =
+  let sets = Array.make q [] in
+  Array.iteri (fun i c -> sets.(c) <- i :: sets.(c)) s;
+  sets
+
+let solve_on ch (inst : Cycle_promise.t) =
+  let { Cycle_promise.n; q; x; y } = inst in
+  let idx_bits = max 1 (Bits.bits_for n) in
+  let cnt_bits = max 1 (Bits.bits_for_value n) in
+  let class_bits = max 1 (Bits.bits_for q) in
+  (* Alice's side. *)
+  let a_sets = class_sets ~q x in
+  let a_counts = Array.map List.length a_sets in
+  let k_star = ref 0 in
+  Array.iteri (fun k c -> if c < a_counts.(!k_star) then k_star := k) a_counts;
+  let k_star = !k_star in
+  (* Aggregate of |A_k| over the walk k = k*, k*+1, ..., q−1 (empty when
+     k* = 0: u_0 is then computed directly from the set). *)
+  let walk_sum = ref 0 in
+  for k = k_star to q - 1 do
+    walk_sum := !walk_sum + a_counts.(k)
+  done;
+  let k_star' = Channel.send ch ~from:Channel.Alice ~bits:class_bits k_star in
+  let a_kstar = Channel.send_list ch ~from:Channel.Alice ~bits_each:idx_bits a_sets.(k_star) in
+  let walk_sum' = Channel.send ch ~from:Channel.Alice ~bits:cnt_bits !walk_sum in
+  (* Bob's side. *)
+  let b_sets = class_sets ~q y in
+  let b_counts = Array.map List.length b_sets in
+  let u_kstar =
+    let in_b = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace in_b i ()) b_sets.(k_star');
+    List.length (List.filter (Hashtbl.mem in_b) a_kstar)
+  in
+  (* Unroll u_{k+1} = |B_{k+1}| − |A_k| + u_k along the walk.  Bob only
+     needs Σ|B_{k+1}| (his own counts) and Alice's aggregate Σ|A_k|. *)
+  let b_walk_sum = ref 0 in
+  for k = k_star' to q - 1 do
+    b_walk_sum := !b_walk_sum + b_counts.((k + 1) mod q)
+  done;
+  let u_0 = u_kstar + !b_walk_sum - walk_sum' in
+  let answer = n - u_0 in
+  Channel.send ch ~from:Channel.Bob ~bits:cnt_bits answer
+
+let solve inst =
+  let ch = Channel.create () in
+  let answer = solve_on ch inst in
+  {
+    answer;
+    alice_bits = Channel.bits_of ch Channel.Alice;
+    bob_bits = Channel.bits_of ch Channel.Bob;
+    total_bits = Channel.total_bits ch;
+  }

@@ -1,0 +1,28 @@
+(** UNIONSIZECP(n, q): Alice and Bob, holding cycle-promise strings [X]
+    and [Y], compute [|{i : X_i ≠ 0 or Y_i ≠ 0}|] (Alice must learn it).
+
+    {b The protocol} (deterministic, matching the [O(n/q·log n + log q)]
+    upper bound of [4]).  Write [A_k = {i : X_i = k}],
+    [B_k = {i : Y_i = k}], [u_k = |A_k ∩ B_k|], [v_k = |A_k ∩ B_{k+1}|].
+    The promise gives [|A_k| = u_k + v_k] and [|B_k| = u_k + v_{k−1}],
+    hence the walk recurrence [u_{k+1} = |B_{k+1}| − |A_k| + u_k].  The
+    answer is [n − u_0].  Alice picks the sparsest class [k*]
+    ([|A_{k*}| ≤ n/q]) and sends: [k*] ([⌈log q⌉] bits), the index set
+    [A_{k*}] ([≤ (n/q + 1)·⌈log n⌉] bits), and the aggregate
+    [Σ_{k ∈ walk} |A_k|] ([⌈log n⌉] bits, walk = [k*, …, q−1]).  Bob
+    computes [u_{k*} = |A_{k*} ∩ B_{k*}|] from the set, unrolls the walk
+    with his own [|B_k|] counts, and returns the answer ([⌈log n⌉] bits). *)
+
+type outcome = {
+  answer : int;
+  alice_bits : int;
+  bob_bits : int;
+  total_bits : int;
+}
+
+val solve : Cycle_promise.t -> outcome
+(** Run the protocol on an instance.  [answer] is what Alice learns. *)
+
+val solve_on : Channel.t -> Cycle_promise.t -> int
+(** Same, over a caller-supplied channel (used by the EQUALITYCP
+    reduction to account a composite transcript). *)

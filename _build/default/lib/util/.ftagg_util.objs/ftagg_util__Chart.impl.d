@@ -1,0 +1,1 @@
+lib/util/chart.ml: Array Buffer Float Fun List Printf String

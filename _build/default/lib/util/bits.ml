@@ -1,0 +1,21 @@
+let log2_floor k =
+  if k < 1 then invalid_arg "Bits.log2_floor";
+  let rec go acc k = if k <= 1 then acc else go (acc + 1) (k lsr 1) in
+  go 0 k
+
+let log2_ceil k =
+  if k < 1 then invalid_arg "Bits.log2_ceil";
+  let fl = log2_floor k in
+  if 1 lsl fl = k then fl else fl + 1
+
+let bits_for k =
+  if k < 0 then invalid_arg "Bits.bits_for"
+  else if k = 0 then 0
+  else if k = 1 then 1
+  else log2_ceil k
+
+let bits_for_value v = bits_for (v + 1)
+
+let pow2 k =
+  if k < 0 || k >= 62 then invalid_arg "Bits.pow2";
+  1 lsl k

@@ -1,0 +1,24 @@
+(** Bit-width arithmetic for the paper's communication-cost accounting.
+
+    The paper measures communication complexity in bits: node ids cost
+    [ceil(log2 N)] bits, values cost the width of their domain, and so on.
+    This module centralises those widths so every protocol charges the same
+    costs the theorems do. *)
+
+val bits_for : int -> int
+(** [bits_for k] is the number of bits needed to represent [k] distinct
+    values, i.e. [ceil(log2 k)], with [bits_for 0 = 0] and
+    [bits_for 1 = 1] (one value still occupies a field). *)
+
+val bits_for_value : int -> int
+(** [bits_for_value v] is the width of the range [\[0, v\]], i.e.
+    [bits_for (v + 1)]. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil k] is [ceil(log2 k)] for [k >= 1]. *)
+
+val log2_floor : int -> int
+(** [log2_floor k] is [floor(log2 k)] for [k >= 1]. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2^k] for [0 <= k < 62]. *)

@@ -1,0 +1,63 @@
+(* Splitmix64 (Steele, Lea & Flood 2014).  64-bit state, one add + three
+   xor-shift-multiply rounds per output. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = mix (int64 g) }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Draw 62 bits (the widest non-negative native int) and reject the tail
+     to avoid modulo bias. *)
+  let draw () = Int64.to_int (Int64.shift_right_logical (int64 g) 2) in
+  let limit = (max_int / bound) * bound in
+  let rec go v = if v < limit then v mod bound else go (draw ()) in
+  go (draw ())
+
+let in_range g lo hi =
+  if hi < lo then invalid_arg "Prng.in_range: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (int64 g) 11) in
+  bound *. (float_of_int bits53 /. 9007199254740992.0)
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g k n =
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > n";
+  (* Floyd's algorithm: k iterations, set-based. *)
+  let module IS = Set.Make (Int) in
+  let s = ref IS.empty in
+  for j = n - k to n - 1 do
+    let v = int g (j + 1) in
+    if IS.mem v !s then s := IS.add j !s else s := IS.add v !s
+  done;
+  IS.elements !s

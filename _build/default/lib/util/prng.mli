@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the library (topology generation, input
+    assignment, failure schedules, protocol coin flips) draws from an
+    explicit {!t} so that runs are pure functions of their seeds.  The
+    generator is splitmix64: tiny state, high quality, and cheap {!split}
+    for deriving independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** Independent copy with identical state (same future outputs). *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s remaining stream.  Used to hand
+    sub-seeds to components without coupling their draw counts. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement g k n] draws [k] distinct integers from
+    [\[0, n)], in increasing order.  Requires [k <= n]. *)

@@ -1,0 +1,27 @@
+(** Aligned ASCII tables for the benchmark/experiment harness.
+
+    The bench binary reproduces the paper's figures and tables as textual
+    series; this module renders them readably and uniformly. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_int_row : t -> int list -> unit
+val add_rule : t -> unit
+(** Append a horizontal separator. *)
+
+val render : t -> string
+(** Render including header, rules and title. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val fmt_float : float -> string
+(** Compact fixed-point rendering used across benches. *)

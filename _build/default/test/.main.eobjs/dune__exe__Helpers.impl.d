@@ -1,0 +1,1 @@
+test/helpers.ml: Agg Alcotest Array Ftagg Gen List Pair Params Run

@@ -1,0 +1,1 @@
+test/test_agg.ml: Agg Alcotest Array Caaf Checker Failure Ftagg Gen Graph Helpers Instances Lazy List Message Metrics Option Params Printf Prng QCheck QCheck_alcotest Run Test Topo

@@ -1,0 +1,1 @@
+test/test_caaf.ml: Alcotest Caaf Ftagg Gen Helpers Instances List Printf Prng QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_checker.ml: Agg Alcotest Checker Failure Ftagg Gen Graph Helpers List Params Printf Run

@@ -1,0 +1,1 @@
+test/test_cross.ml: Agg Alcotest Array Caaf Engine Failure Folklore Ftagg Gen Graph Helpers Instances List Message Metrics Network Pair Params Printf Prng Run

@@ -1,0 +1,1 @@
+test/test_deep.ml: Agg Alcotest Array Caaf Engine Failure Format Ftagg Fun Gen Graph Helpers Instances List Message Metrics Params Printf Prng Run Trace

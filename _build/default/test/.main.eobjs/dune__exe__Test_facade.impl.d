@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Array Chart Failure Format Ftagg Gen Graph Helpers Instances List Network Selection String Worstcase

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Ftagg Gen Graph Helpers List Path Printf QCheck QCheck_alcotest Test Topo

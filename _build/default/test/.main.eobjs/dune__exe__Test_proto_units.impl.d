@@ -1,0 +1,1 @@
+test/test_proto_units.ml: Alcotest Array Engine Failure Flood Ftagg Fun Gen Graph Helpers Lazy List Message Params Path Printf

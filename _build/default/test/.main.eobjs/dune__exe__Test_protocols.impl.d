@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Checker Failure Folklore Ftagg Gen Graph Helpers Lazy List Metrics Params Prng QCheck QCheck_alcotest Run Test Topo Tradeoff Unknown_f

@@ -1,0 +1,1 @@
+test/test_representative.ml: Agg Alcotest Array Checker Failure Ftagg Gen Graph Helpers Lazy List Option Pair Params Prng QCheck QCheck_alcotest Run Test Topo

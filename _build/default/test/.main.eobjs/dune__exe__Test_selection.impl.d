@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Array Failure Ftagg Gen Graph Helpers List Metrics Params Path Printf Prng QCheck QCheck_alcotest Selection Test Topo

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Failure Ftagg Gen Helpers Lazy List Metrics Printf Prng QCheck QCheck_alcotest Test Topo

@@ -1,0 +1,1 @@
+test/test_twoparty.ml: Alcotest Array Bounds Cycle_promise Equality Ftagg Helpers List Printf Prng QCheck QCheck_alcotest Sperner Test Unionsize

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Float Ftagg Helpers List Printf Prng QCheck QCheck_alcotest Stats String Table Test

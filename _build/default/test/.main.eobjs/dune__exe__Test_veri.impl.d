@@ -1,0 +1,1 @@
+test/test_veri.ml: Agg Alcotest Failure Ftagg Gen Graph Helpers Lazy List Message Metrics Pair Params Printf Prng QCheck QCheck_alcotest Run Test Topo

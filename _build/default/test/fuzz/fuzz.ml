@@ -1,0 +1,109 @@
+(* Extended randomized campaign — a heavier hammer than `dune runtest`.
+
+   Every trial draws a random topology, parameters and adversary, runs an
+   AGG+VERI pair and a full Algorithm 1 execution, and checks every
+   guarantee the paper states plus the structural §4.3 representative-set
+   property.  Run with a trial count (default 200):
+
+     dune exec test/fuzz/fuzz.exe -- 2000
+
+   Exits non-zero and prints a reproducer line on the first violation. *)
+
+open Ftagg
+
+type violation = {
+  what : string;
+  repro : string;
+}
+
+exception Violation of violation
+
+let check ~repro what ok = if not ok then raise (Violation { what; repro })
+
+let families = [| Gen.Path; Gen.Ring; Gen.Grid; Gen.Star; Gen.Binary_tree;
+                  Gen.Complete; Gen.Random 0.05; Gen.Random 0.15; Gen.Caterpillar;
+                  Gen.Lollipop; Gen.Torus; Gen.Random_regular 4 |]
+
+let adversary rng graph ~budget ~window =
+  let n = Graph.n graph in
+  match Prng.int rng 5 with
+  | 0 -> Failure.none ~n
+  | 1 -> Failure.random graph ~rng ~budget ~max_round:window
+  | 2 -> Failure.burst graph ~rng ~budget ~round:(1 + Prng.int rng window)
+  | 3 ->
+    Failure.chain ~n ~first:1
+      ~len:(1 + Prng.int rng (max 1 (min budget (n - 3))))
+      ~round:(1 + Prng.int rng window)
+  | _ -> Failure.high_degree graph ~budget ~round:(1 + Prng.int rng window)
+
+let trial rng i =
+  let fam = families.(Prng.int rng (Array.length families)) in
+  let n = 10 + Prng.int rng 40 in
+  let n = if fam = Gen.Torus then max n 12 else n in
+  let seed = Prng.int rng 1_000_000 in
+  let graph = Gen.build fam ~n ~seed in
+  let t = Prng.int rng 6 in
+  let inputs = Array.init n (fun k -> (k * 7 mod 50) + 1) in
+  let params = Params.make ~c:2 ~t ~graph ~inputs () in
+  let budget = Prng.int rng 14 in
+  let pair_window = Pair.duration params in
+  let failures = adversary rng graph ~budget ~window:pair_window in
+  let repro =
+    Printf.sprintf "trial %d: family=%s n=%d seed=%d t=%d budget=%d failures=[%s]" i
+      (Gen.family_name fam) n seed t budget
+      (Format.asprintf "%a" Failure.pp failures)
+  in
+  (* --- the pair: Table 2 + budgets + representative set --- *)
+  let o = Run.pair ~graph ~failures ~params ~seed () in
+  let cap =
+    Params.agg_bit_budget params + Params.veri_bit_budget params
+    + Message.bits params Message.Agg_abort
+    + Message.bits params Message.Veri_overflow
+  in
+  check ~repro "pair CC within combined budgets" (Metrics.cc o.Run.pc.Run.metrics <= cap);
+  (if o.Run.edge_failures <= t then begin
+     check ~repro "scenario1: no abort"
+       (match o.Run.verdict.Pair.result with Agg.Value _ -> true | Agg.Aborted -> false);
+     check ~repro "scenario1: correct" o.Run.pc.Run.correct;
+     check ~repro "scenario1: VERI true" o.Run.verdict.Pair.veri_ok
+   end
+   else if not o.Run.lfc then check ~repro "scenario2: correct-or-abort" o.Run.pc.Run.correct
+   else check ~repro "scenario3: VERI false" (not o.Run.verdict.Pair.veri_ok));
+  (match o.Run.verdict.Pair.result with
+  | Agg.Aborted -> ()
+  | Agg.Value _ ->
+    let selected = Agg.selected_sources o.Run.trace.Checker.agg_nodes.(Graph.root) in
+    let r =
+      Checker.representative_set o.Run.trace ~selected ~end_round:o.Run.pc.Run.rounds
+    in
+    check ~repro "partial sums match schedule recomputation" r.Checker.psums_match;
+    if o.Run.verdict.Pair.veri_ok then begin
+      check ~repro "representative: disjoint" r.Checker.disjoint;
+      check ~repro "representative: covers survivors" r.Checker.covers_alive
+    end);
+  (* --- Algorithm 1: Theorem 1 end to end --- *)
+  let b = 63 + (21 * Prng.int rng 6) in
+  let f = max budget 1 in
+  let failures2 =
+    adversary rng graph ~budget ~window:(b * params.Params.d)
+  in
+  let o2 = Run.tradeoff ~graph ~failures:failures2 ~params ~b ~f ~seed:(seed + 1) in
+  check ~repro "Theorem 1: correct" o2.Run.tc.Run.correct;
+  check ~repro "Theorem 1: TC <= b" (o2.Run.tc.Run.flooding_rounds <= b)
+
+let () =
+  let trials =
+    match Sys.argv with
+    | [| _; k |] -> int_of_string k
+    | _ -> 200
+  in
+  let rng = Prng.create 20260704 in
+  (try
+     for i = 1 to trials do
+       trial rng i;
+       if i mod 100 = 0 then Printf.printf "… %d/%d trials clean\n%!" i trials
+     done
+   with Violation v ->
+     Printf.eprintf "VIOLATION: %s\n  %s\n" v.what v.repro;
+     exit 1);
+  Printf.printf "fuzz: %d trials, every guarantee held\n" trials

@@ -1,0 +1,57 @@
+(* Shared builders for the test suites. *)
+
+open Ftagg
+
+(* Alias: inside [open QCheck] scopes, [Gen] means QCheck.Gen, so the
+   topology generators go by [Topo] there. *)
+module Topo = Gen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_true msg b = Alcotest.(check bool) msg true b
+
+(* A deterministic input assignment: node i holds i + 1 (so every sum is
+   sensitive to exactly which nodes were included). *)
+let default_inputs n = Array.init n (fun i -> i + 1)
+
+let total inputs = Array.fold_left ( + ) 0 inputs
+
+let params_of ?(c = 2) ?(t = 0) ?caaf graph ~inputs =
+  Params.make ~c ~t ?caaf ~graph ~inputs ()
+
+(* The topology sweep used across integration tests: every family at a
+   smallish size. *)
+let sweep_graphs =
+  lazy
+    (List.map
+       (fun (name, fam) -> (name, Gen.build fam ~n:30 ~seed:11))
+       (Gen.all_families ~seed:11))
+
+(* A composite correctness check on a finished pair run, per Table 2. *)
+type pair_expect = {
+  e_name : string;
+  e_correct_required : bool;  (* AGG must be correct-or-abort *)
+  e_no_abort : bool;  (* AGG must not abort *)
+  e_veri : bool option;  (* Some true / Some false = required verdict *)
+}
+
+let scenario_of (o : Run.pair_outcome) ~t =
+  if o.Run.edge_failures <= t then `At_most_t
+  else if not o.Run.lfc then `Over_t_no_lfc
+  else `Over_t_lfc
+
+let check_pair_guarantees (o : Run.pair_outcome) ~t =
+  (match scenario_of o ~t with
+  | `At_most_t ->
+    (* Scenario 1: correct result, no abort, VERI true. *)
+    check_true "scenario1: AGG must not abort"
+      (match o.Run.verdict.Pair.result with Agg.Value _ -> true | Agg.Aborted -> false);
+    check_true "scenario1: result must be correct" o.Run.pc.Run.correct;
+    check_true "scenario1: VERI must output true" o.Run.verdict.Pair.veri_ok
+  | `Over_t_no_lfc ->
+    (* Scenario 2: correct result or abort; VERI unconstrained. *)
+    check_true "scenario2: AGG must be correct or aborted" o.Run.pc.Run.correct
+  | `Over_t_lfc ->
+    (* Scenario 3: VERI must output false. *)
+    check_true "scenario3: VERI must output false" (not o.Run.verdict.Pair.veri_ok));
+  ()

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "ftagg"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("sim", Test_sim.suite);
+      ("caaf", Test_caaf.suite);
+      ("proto-units", Test_proto_units.suite);
+      ("agg", Test_agg.suite);
+      ("veri", Test_veri.suite);
+      ("protocols", Test_protocols.suite);
+      ("checker", Test_checker.suite);
+      ("selection", Test_selection.suite);
+      ("twoparty", Test_twoparty.suite);
+      ("extensions", Test_extensions.suite);
+      ("facade", Test_facade.suite);
+      ("deep", Test_deep.suite);
+      ("representative", Test_representative.suite);
+      ("cross", Test_cross.suite);
+    ]

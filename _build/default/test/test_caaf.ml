@@ -1,0 +1,169 @@
+(* Tests for the CAAF layer: operator laws, domain widths, correctness
+   intervals. *)
+
+open Ftagg
+open Helpers
+
+let instances_with_input_gen =
+  (* Pair each instance with a generator of valid inputs for it. *)
+  [
+    (Instances.sum, 1000);
+    (Instances.count, 1);
+    (Instances.max_, 1000);
+    (Instances.min_, 1000);
+    (Instances.bool_or, 1);
+    (Instances.bool_and, 1);
+    (Instances.gcd, 1000);
+    (Instances.modsum 97, 96);
+  ]
+
+let test_identity_laws () =
+  List.iter
+    (fun ((caaf : Caaf.t), max_input) ->
+      let g = Prng.create 2 in
+      for _ = 1 to 50 do
+        let v = Prng.int g (max_input + 1) in
+        check_int
+          (Printf.sprintf "%s: identity is neutral" caaf.Caaf.name)
+          v
+          (caaf.Caaf.combine caaf.Caaf.identity v)
+      done)
+    instances_with_input_gen
+
+let test_aggregate_empty () =
+  check_int "sum of nothing" 0 (Caaf.aggregate Instances.sum []);
+  check_int "and of nothing" 1 (Caaf.aggregate Instances.bool_and [])
+
+let test_aggregate_examples () =
+  check_int "sum" 10 (Caaf.aggregate Instances.sum [ 1; 2; 3; 4 ]);
+  check_int "count" 4 (Caaf.aggregate Instances.count [ 1; 1; 1; 1 ]);
+  check_int "max" 9 (Caaf.aggregate Instances.max_ [ 3; 9; 1 ]);
+  check_int "min" 1 (Caaf.aggregate Instances.min_ [ 3; 9; 1 ]);
+  check_int "or" 1 (Caaf.aggregate Instances.bool_or [ 0; 0; 1 ]);
+  check_int "and" 0 (Caaf.aggregate Instances.bool_and [ 1; 0; 1 ]);
+  check_int "gcd" 6 (Caaf.aggregate Instances.gcd [ 12; 18; 30 ]);
+  check_int "modsum" 3 (Caaf.aggregate (Instances.modsum 7) [ 5; 5 ])
+
+let test_domain_bits () =
+  check_int "sum width" 10 (Instances.sum.Caaf.domain_bits ~n:100 ~max_input:10);
+  check_int "count width" 7 (Instances.count.Caaf.domain_bits ~n:100 ~max_input:10);
+  check_int "or width" 1 (Instances.bool_or.Caaf.domain_bits ~n:100 ~max_input:1);
+  check_int "max width" 4 (Instances.max_.Caaf.domain_bits ~n:100 ~max_input:10)
+
+let test_interval_monotone_increasing () =
+  let lo, hi = Caaf.correct_interval Instances.sum ~base:[ 1; 2 ] ~optional:[ 10; 20 ] in
+  check_int "sum lo" 3 lo;
+  check_int "sum hi" 33 hi;
+  let lo, hi = Caaf.correct_interval Instances.max_ ~base:[ 5 ] ~optional:[ 9 ] in
+  check_int "max lo" 5 lo;
+  check_int "max hi" 9 hi
+
+let test_interval_monotone_decreasing () =
+  let lo, hi = Caaf.correct_interval Instances.min_ ~base:[ 5 ] ~optional:[ 2 ] in
+  check_int "min lo" 2 lo;
+  check_int "min hi" 5 hi;
+  (* gcd is classified non-monotone (zero inputs break numeric
+     monotonicity); the exhaustive interval is still exact *)
+  let lo, hi = Caaf.correct_interval Instances.gcd ~base:[ 12; 18 ] ~optional:[ 9 ] in
+  check_int "gcd lo" 3 lo;
+  check_int "gcd hi" 6 hi;
+  let lo, hi = Caaf.correct_interval Instances.gcd ~base:[ 0 ] ~optional:[ 4; 6 ] in
+  check_int "gcd all-zero base lo" 0 lo;
+  check_int "gcd all-zero base hi" 6 hi
+
+let test_interval_non_monotone_exact () =
+  (* modsum 10 over base [5], optional [7]: subsets give 5 and 2 *)
+  let lo, hi = Caaf.correct_interval (Instances.modsum 10) ~base:[ 5 ] ~optional:[ 7 ] in
+  check_int "modsum lo" 2 lo;
+  check_int "modsum hi" 5 hi
+
+let test_interval_non_monotone_too_big () =
+  Alcotest.check_raises "non-monotone cap"
+    (Invalid_argument
+       "Caaf.correct_interval: too many optional inputs for a non-monotone operator")
+    (fun () ->
+      ignore
+        (Caaf.correct_interval (Instances.modsum 7) ~base:[]
+           ~optional:(List.init 21 (fun i -> i))))
+
+let test_is_correct () =
+  check_true "inside" (Caaf.is_correct Instances.sum ~base:[ 1 ] ~optional:[ 5 ] 4);
+  check_true "at lo" (Caaf.is_correct Instances.sum ~base:[ 1 ] ~optional:[ 5 ] 1);
+  check_true "at hi" (Caaf.is_correct Instances.sum ~base:[ 1 ] ~optional:[ 5 ] 6);
+  check_true "below" (not (Caaf.is_correct Instances.sum ~base:[ 1 ] ~optional:[ 5 ] 0));
+  check_true "above" (not (Caaf.is_correct Instances.sum ~base:[ 1 ] ~optional:[ 5 ] 7))
+
+let test_modsum_validation () =
+  Alcotest.check_raises "modsum m>=2"
+    (Invalid_argument "Instances.modsum: modulus must be >= 2") (fun () ->
+      ignore (Instances.modsum 1))
+
+let qcheck_tests =
+  let open QCheck in
+  let ops =
+    List.map (fun ((c : Caaf.t), m) -> (c.Caaf.name, c, m)) instances_with_input_gen
+  in
+  List.concat_map
+    (fun (name, (caaf : Caaf.t), max_input) ->
+      let input = int_range 0 max_input in
+      [
+        Test.make
+          ~name:(Printf.sprintf "%s: commutative" name)
+          ~count:200 (pair input input)
+          (fun (a, b) -> caaf.Caaf.combine a b = caaf.Caaf.combine b a);
+        Test.make
+          ~name:(Printf.sprintf "%s: associative" name)
+          ~count:200 (triple input input input)
+          (fun (a, b, c) ->
+            caaf.Caaf.combine (caaf.Caaf.combine a b) c
+            = caaf.Caaf.combine a (caaf.Caaf.combine b c));
+        Test.make
+          ~name:(Printf.sprintf "%s: aggregate order-independent" name)
+          ~count:100
+          (list_of_size Gen.(int_range 1 8) input)
+          (fun xs ->
+            let rev = Caaf.aggregate caaf (List.rev xs) in
+            Caaf.aggregate caaf xs = rev);
+        Test.make
+          ~name:(Printf.sprintf "%s: partial aggregates fit the declared width" name)
+          ~count:100
+          (list_of_size Gen.(int_range 1 20) input)
+          (fun xs ->
+            let bits = caaf.Caaf.domain_bits ~n:20 ~max_input in
+            let v = Caaf.aggregate caaf xs in
+            v >= 0 && v < 1 lsl (max 1 bits));
+      ])
+    ops
+  @ [
+      Test.make ~name:"interval brackets any subset's aggregate (monotone ops)" ~count:200
+        (pair (list_of_size Gen.(int_range 1 5) (int_range 0 50))
+           (list_of_size Gen.(int_range 0 5) (int_range 0 50)))
+        (fun (base, optional) ->
+          (* the base (survivor set) always contains the root in real runs *)
+          QCheck.assume (base <> []);
+          List.for_all
+            (fun caaf ->
+              let lo, hi = Caaf.correct_interval caaf ~base ~optional in
+              (* the base-only and everything aggregates must be inside *)
+              let a = Caaf.aggregate caaf base in
+              let b = Caaf.aggregate caaf (base @ optional) in
+              lo <= a && a <= hi && lo <= b && b <= hi)
+            [ Instances.sum; Instances.max_; Instances.min_ ]);
+    ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("caaf: identities", test_identity_laws);
+      ("caaf: aggregate empty", test_aggregate_empty);
+      ("caaf: aggregate examples", test_aggregate_examples);
+      ("caaf: domain widths", test_domain_bits);
+      ("caaf: interval increasing", test_interval_monotone_increasing);
+      ("caaf: interval decreasing", test_interval_monotone_decreasing);
+      ("caaf: interval non-monotone", test_interval_non_monotone_exact);
+      ("caaf: interval cap", test_interval_non_monotone_too_big);
+      ("caaf: is_correct", test_is_correct);
+      ("caaf: modsum validation", test_modsum_validation);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,126 @@
+(* The public facade: the Network high-level API, plus the presentation
+   helpers (Chart, Graph.to_dot, Failure.pp) and the worst-case sweep. *)
+
+open Ftagg
+open Helpers
+
+let test_network_sum_failure_free () =
+  let net = Network.create Gen.Grid ~n:25 ~seed:1 () in
+  let inputs = Array.init 25 (fun i -> i) in
+  let r = Network.sum net ~inputs ~b:50 ~f:3 in
+  check_int "sum exact" (total inputs) r.Network.value;
+  check_true "correct" r.Network.correct;
+  check_true "cc positive" (r.Network.cc > 0);
+  check_true "within budget" (r.Network.flooding_rounds <= 50)
+
+let test_network_aggregate_caaf () =
+  let net = Network.create Gen.Ring ~n:20 ~seed:2 () in
+  let inputs = Array.init 20 (fun i -> i + 5) in
+  let r = Network.aggregate net ~caaf:Instances.max_ ~inputs ~b:50 ~f:2 in
+  check_int "max" 24 r.Network.value
+
+let test_network_with_failures () =
+  let net = Network.create Gen.Grid ~n:36 ~seed:3 () in
+  let inputs = Array.make 36 7 in
+  let failures = Network.random_failures net ~budget:5 ~seed:9 in
+  let r = Network.sum net ~inputs ~failures ~b:63 ~f:5 in
+  check_true "correct under failures" r.Network.correct
+
+let test_network_unknown_f () =
+  let net = Network.create Gen.Grid ~n:25 ~seed:4 () in
+  let inputs = Array.make 25 2 in
+  let r = Network.aggregate_unknown_f net ~inputs in
+  check_int "unknown-f exact" 50 r.Network.value;
+  check_true "correct" r.Network.correct
+
+let test_network_select_median () =
+  let net = Network.create Gen.Grid ~n:25 ~seed:5 () in
+  let inputs = Array.init 25 (fun i -> (i * 31) mod 97) in
+  let sel = Network.select net ~inputs ~b:50 ~f:2 ~k:7 in
+  check_int "k=7" (Selection.kth_smallest (Array.to_list inputs) 7) sel.Selection.value;
+  let med = Network.median net ~inputs ~b:50 ~f:2 in
+  check_int "median" (Selection.kth_smallest (Array.to_list inputs) 13) med.Selection.value
+
+let test_network_diameter () =
+  let net = Network.create Gen.Path ~n:10 ~seed:6 () in
+  check_int "path diameter" 9 (Network.diameter net);
+  check_int "n" 10 (Network.n net)
+
+let test_chart_bars () =
+  let s = Chart.bars ~width:10 ~title:"t" [ ("a", 10.0); ("bb", 5.0) ] in
+  check_true "title" (String.sub s 0 1 = "t");
+  check_true "two lines + title"
+    (List.length (String.split_on_char '\n' (String.trim s)) = 3);
+  (* the max bar is full width: contains 10 block glyphs = 30 bytes *)
+  check_true "scales to max" (String.length s > 30)
+
+let test_chart_bars_zero () =
+  let s = Chart.bars [ ("x", 0.0) ] in
+  check_true "no crash on zeros" (String.length s > 0)
+
+let test_chart_log_bars () =
+  let s = Chart.log_bars ~width:20 [ ("small", 2.0); ("big", 1024.0) ] in
+  check_true "renders" (String.length s > 0)
+
+let test_chart_spark () =
+  check_true "empty" (Chart.spark [] = "");
+  let s = Chart.spark [ 1.0; 2.0; 3.0; 4.0 ] in
+  (* 4 glyphs x 3 bytes *)
+  check_int "four glyphs" 12 (String.length s);
+  let flat = Chart.spark [ 5.0; 5.0 ] in
+  check_int "flat series renders lowest glyph twice" 6 (String.length flat)
+
+(* tiny substring check to avoid a string-library dependency *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_graph_to_dot () =
+  let g = Gen.path 3 in
+  let dot = Graph.to_dot ~name:"p3" g in
+  check_true "header" (String.length dot > 10 && String.sub dot 0 8 = "graph p3");
+  check_true "edge present" (contains dot "0 -- 1");
+  check_true "root styled" (contains dot "doublecircle")
+
+let test_failure_pp () =
+  let t = Failure.of_list ~n:5 [ (2, 7); (4, 9) ] in
+  let s = Format.asprintf "%a" Failure.pp t in
+  check_true "mentions 2@7" (String.length s >= 7);
+  let none = Format.asprintf "%a" Failure.pp (Failure.none ~n:3) in
+  check_true "none rendering" (none = "(none)")
+
+let test_worstcase_sweep_small () =
+  let land_ = Worstcase.sweep_tradeoff ~n:20 ~f:4 ~b:63 ~seed:1 () in
+  check_true "has cells" (List.length land_.Worstcase.cells > 20);
+  check_true "worst is max"
+    (List.for_all
+       (fun c -> c.Worstcase.cc <= land_.Worstcase.worst.Worstcase.cc)
+       land_.Worstcase.cells);
+  check_true "Theorem 1 across the landscape"
+    (List.for_all (fun c -> c.Worstcase.correct) land_.Worstcase.cells)
+
+let test_worstcase_adversary_names () =
+  List.iter
+    (fun adv -> check_true "nonempty name" (Worstcase.adversary_name adv <> ""))
+    (Worstcase.default_adversaries ~seed:1)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("network: sum", test_network_sum_failure_free);
+      ("network: caaf", test_network_aggregate_caaf);
+      ("network: failures", test_network_with_failures);
+      ("network: unknown f", test_network_unknown_f);
+      ("network: select/median", test_network_select_median);
+      ("network: diameter", test_network_diameter);
+      ("chart: bars", test_chart_bars);
+      ("chart: zeros", test_chart_bars_zero);
+      ("chart: log bars", test_chart_log_bars);
+      ("chart: spark", test_chart_spark);
+      ("graph: to_dot", test_graph_to_dot);
+      ("failure: pp", test_failure_pp);
+      ("worstcase: sweep", test_worstcase_sweep_small);
+      ("worstcase: names", test_worstcase_adversary_names);
+    ]

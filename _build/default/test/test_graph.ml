@@ -1,0 +1,159 @@
+(* Unit and property tests for ftagg_graph: Graph, Gen, Path. *)
+
+open Ftagg
+open Helpers
+
+let test_of_edges_basic () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  check_int "n" 4 (Graph.n g);
+  check_int "edges" 3 (Graph.num_edges g);
+  check_true "has 0-1" (Graph.has_edge g 0 1);
+  check_true "symmetric" (Graph.has_edge g 1 0);
+  check_true "no 0-2" (not (Graph.has_edge g 0 2));
+  check_int "deg 1" 2 (Graph.degree g 1)
+
+let test_of_edges_dedup () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1) ] in
+  check_int "duplicate edges collapse" 1 (Graph.num_edges g)
+
+let test_of_edges_rejects () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edges ~n:3 [ (0, 3) ]))
+
+let test_remove_nodes () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let g' = Graph.remove_nodes g [ 1 ] in
+  check_true "removed not mem" (not (Graph.mem g' 1));
+  check_int "edges after removal" 1 (Graph.num_edges g');
+  check_true "neighbors exclude removed" (Graph.neighbors g' 0 = []);
+  (* the original graph is untouched *)
+  check_int "original intact" 3 (Graph.num_edges g)
+
+let test_neighbors_sorted () =
+  let g = Graph.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  check_true "sorted adjacency" (Graph.neighbors g 2 = [ 0; 1; 3; 4 ])
+
+let test_bfs_path () =
+  let g = Gen.path 6 in
+  let dist = Path.bfs g 0 in
+  Array.iteri (fun i d -> check_int (Printf.sprintf "dist to %d" i) i d) dist
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let dist = Path.bfs g 0 in
+  check_true "unreachable is max_int" (dist.(2) = max_int && dist.(3) = max_int)
+
+let test_diameter_families () =
+  check_true "path diameter" (Path.diameter (Gen.path 10) = Some 9);
+  check_true "ring diameter" (Path.diameter (Gen.ring 10) = Some 5);
+  check_true "star diameter" (Path.diameter (Gen.star 10) = Some 2);
+  check_true "complete diameter" (Path.diameter (Gen.complete 10) = Some 1)
+
+let test_diameter_disconnected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_true "disconnected diameter" (Path.diameter g = None);
+  check_true "not connected" (not (Path.is_connected g))
+
+let test_component_of () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  check_true "component of 0" (Path.component_of g 0 = [ 0; 1; 2 ]);
+  check_true "component of 3" (Path.component_of g 3 = [ 3; 4 ]);
+  check_true "root reach" (Path.reachable_from_root g = [ 0; 1; 2 ])
+
+let test_grid_structure () =
+  let g = Gen.grid 9 in
+  (* 3x3 grid: corner degrees 2, center degree 4 *)
+  check_int "corner degree" 2 (Graph.degree g 0);
+  check_int "center degree" 4 (Graph.degree g 4);
+  check_true "diameter 4" (Path.diameter g = Some 4)
+
+let test_binary_tree_structure () =
+  let g = Gen.binary_tree 7 in
+  check_int "root degree" 2 (Graph.degree g 0);
+  check_int "edges" 6 (Graph.num_edges g);
+  check_true "leaf degree" (Graph.degree g 6 = 1)
+
+let test_caterpillar_connected_with_leaves () =
+  let g = Gen.caterpillar 20 in
+  check_true "connected" (Path.is_connected g);
+  check_int "n" 20 (Graph.n g);
+  check_int "tree edge count" 19 (Graph.num_edges g)
+
+let test_lollipop_shape () =
+  let g = Gen.lollipop 20 in
+  check_true "connected" (Path.is_connected g);
+  (* the clique half has k(k-1)/2 edges, so way more than a tree *)
+  check_true "dense half" (Graph.num_edges g > 30)
+
+let test_all_families_connected () =
+  List.iter
+    (fun (name, fam) ->
+      List.iter
+        (fun n ->
+          let g = Gen.build fam ~n ~seed:5 in
+          check_true (Printf.sprintf "%s n=%d connected" name n) (Path.is_connected g);
+          check_int (Printf.sprintf "%s n=%d size" name n) n (Graph.n g))
+        [ 12; 17; 40 ])
+    (Gen.all_families ~seed:5)
+
+let test_random_connected_seeded () =
+  let a = Gen.random_connected ~n:30 ~p:0.1 ~seed:3 in
+  let b = Gen.random_connected ~n:30 ~p:0.1 ~seed:3 in
+  check_true "same seed, same graph" (Graph.edges a = Graph.edges b);
+  let c = Gen.random_connected ~n:30 ~p:0.1 ~seed:4 in
+  check_true "different seed, different graph" (Graph.edges a <> Graph.edges c)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"generated graphs are connected with sane diameter" ~count:60
+      (pair (int_range 12 60) small_int)
+      (fun (n, seed) ->
+        List.for_all
+          (fun (_, fam) ->
+            let g = Topo.build fam ~n ~seed in
+            Path.is_connected g
+            && match Path.diameter g with Some d -> d >= 1 && d < n | None -> false)
+          (Topo.all_families ~seed));
+    Test.make ~name:"bfs distances satisfy triangle inequality along edges" ~count:40
+      (pair (int_range 5 40) small_int)
+      (fun (n, seed) ->
+        let g = Topo.random_connected ~n ~p:0.1 ~seed in
+        let dist = Path.bfs g 0 in
+        List.for_all (fun (u, v) -> abs (dist.(u) - dist.(v)) <= 1) (Graph.edges g));
+    Test.make ~name:"removing nodes never adds reachability" ~count:40
+      (pair (int_range 6 40) small_int)
+      (fun (n, seed) ->
+        let g = Topo.random_connected ~n ~p:0.08 ~seed in
+        let removed = [ 1 + (seed mod (n - 1)); 1 + ((seed * 7) mod (n - 1)) ] in
+        let g' = Graph.remove_nodes g removed in
+        let before = Path.reachable_from_root g in
+        let after = Path.reachable_from_root g' in
+        List.for_all (fun u -> List.mem u before) after);
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("graph: of_edges", test_of_edges_basic);
+      ("graph: dedup", test_of_edges_dedup);
+      ("graph: rejects bad edges", test_of_edges_rejects);
+      ("graph: remove_nodes", test_remove_nodes);
+      ("graph: neighbors sorted", test_neighbors_sorted);
+      ("path: bfs on path", test_bfs_path);
+      ("path: bfs unreachable", test_bfs_unreachable);
+      ("path: diameters of families", test_diameter_families);
+      ("path: disconnected", test_diameter_disconnected);
+      ("path: components", test_component_of);
+      ("gen: grid structure", test_grid_structure);
+      ("gen: binary tree structure", test_binary_tree_structure);
+      ("gen: caterpillar", test_caterpillar_connected_with_leaves);
+      ("gen: lollipop", test_lollipop_shape);
+      ("gen: all families connected", test_all_families_connected);
+      ("gen: random seeded", test_random_connected_seeded);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,362 @@
+(* End-to-end protocol tests: brute force, folklore, naive TAG,
+   Algorithm 1 (Theorem 1), and the unknown-f doubling protocol. *)
+
+open Ftagg
+open Helpers
+
+(* --- Brute force --- *)
+
+let test_brute_force_exact_failure_free () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let params = params_of g ~inputs:(default_inputs n) in
+      let o = Run.brute_force ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 in
+      check_int (name ^ ": exact") (total (default_inputs n)) o.Run.value)
+    (Lazy.force sweep_graphs)
+
+let test_brute_force_always_correct () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let n = Graph.n g in
+          let params = params_of g ~inputs:(default_inputs n) in
+          let failures =
+            Failure.random g ~rng:(Prng.create seed) ~budget:(n / 2) ~max_round:50
+          in
+          let o = Run.brute_force ~graph:g ~failures ~params ~seed in
+          check_true (name ^ ": correct under heavy failures") o.Run.vc.Run.correct)
+        [ 1; 2; 3; 4; 5 ])
+    (Lazy.force sweep_graphs)
+
+let test_brute_force_cc_order_n_log_n () =
+  (* CC grows like N log N: every node forwards every value. *)
+  let cc_of n =
+    let g = Gen.grid n in
+    let params = params_of g ~inputs:(default_inputs n) in
+    let o = Run.brute_force ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 in
+    Metrics.cc o.Run.vc.Run.metrics
+  in
+  let c25 = cc_of 25 and c100 = cc_of 100 in
+  check_true "superlinear growth" (c100 > 3 * c25);
+  check_true "within N log N scale" (c100 < 100 * 10 * 30)
+
+(* --- Folklore and naive TAG --- *)
+
+let test_folklore_exact_failure_free () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let params = params_of g ~inputs:(default_inputs n) in
+      let o =
+        Run.folklore ~graph:g ~failures:(Failure.none ~n) ~params
+          ~mode:(Folklore.Retry 3) ~seed:1
+      in
+      (match o.Run.f_result with
+      | Folklore.Value v -> check_int (name ^ ": exact") (total (default_inputs n)) v
+      | Folklore.No_clean_epoch -> Alcotest.fail (name ^ ": dirty without failures"));
+      check_int (name ^ ": one epoch suffices") 1 o.Run.epochs)
+    (Lazy.force sweep_graphs)
+
+let test_folklore_retries_until_clean () =
+  (* One node dies mid-epoch-1: the root must detect the dirty epoch and
+     succeed on a retry. *)
+  let g = Gen.grid 25 in
+  let params = params_of g ~inputs:(default_inputs 25) in
+  let epoch = Folklore.epoch_duration params in
+  (* kill node 5 during epoch 1's aggregation but after its ack *)
+  let failures = Failure.kill_nodes ~n:25 ~nodes:[ 5 ] ~round:(epoch - Params.cd params) in
+  let o = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry 4) ~seed:2 in
+  check_true "took more than one epoch" (o.Run.epochs > 1);
+  (match o.Run.f_result with
+  | Folklore.Value _ -> ()
+  | Folklore.No_clean_epoch -> Alcotest.fail "never clean");
+  check_true "correct" o.Run.fc.Run.correct
+
+let test_folklore_correct_random () =
+  List.iter
+    (fun seed ->
+      let g = Gen.grid 36 in
+      let params = params_of g ~inputs:(default_inputs 36) in
+      let f = 6 in
+      let mode = Folklore.Retry (f + 1) in
+      let failures =
+        Failure.random g ~rng:(Prng.create seed) ~budget:f
+          ~max_round:(Folklore.duration params mode)
+      in
+      let o = Run.folklore ~graph:g ~failures ~params ~mode ~seed in
+      check_true "folklore correct" o.Run.fc.Run.correct)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_naive_tag_breaks_under_failures () =
+  (* The motivating baseline: killing an internal node mid-aggregation
+     silently loses its whole subtree. *)
+  let g = Gen.path 12 in
+  let params = params_of g ~inputs:(default_inputs 12) in
+  let cd = Params.cd params in
+  (* node 1 dies after acking, before its aggregation action *)
+  let failures = Failure.kill_nodes ~n:12 ~nodes:[ 1 ] ~round:((2 * cd) + 3) in
+  let o = Run.folklore ~graph:g ~failures ~params ~mode:Folklore.Naive ~seed:3 in
+  match o.Run.f_result with
+  | Folklore.Value v ->
+    (* nodes 2..11 are disconnected (path), so "correct" would allow the
+       loss; the point is the naive protocol cannot tell anything
+       happened — on a ring where the subtree stays alive it is plainly
+       wrong: *)
+    check_int "path: subtree lost" 1 v;
+    let g = Gen.ring 12 in
+    let params = params_of g ~inputs:(default_inputs 12) in
+    let cd = Params.cd params in
+    let failures = Failure.kill_nodes ~n:12 ~nodes:[ 1 ] ~round:((2 * cd) + 3) in
+    let o = Run.folklore ~graph:g ~failures ~params ~mode:Folklore.Naive ~seed:3 in
+    (match o.Run.f_result with
+    | Folklore.Value v -> check_true "ring: naive TAG is incorrect" (not
+        (Checker.result_correct ~graph:g ~failures ~end_round:o.Run.fc.Run.rounds ~params v))
+    | Folklore.No_clean_epoch -> Alcotest.fail "naive mode always outputs")
+  | Folklore.No_clean_epoch -> Alcotest.fail "naive mode always outputs"
+
+(* --- Algorithm 1 (Theorem 1) --- *)
+
+let tradeoff_on g ~b ~f ~seed =
+  let n = Graph.n g in
+  let params = params_of g ~inputs:(default_inputs n) in
+  let failures =
+    Failure.random g ~rng:(Prng.create (seed * 3)) ~budget:f ~max_round:(b * params.Params.d)
+  in
+  Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed
+
+let test_tradeoff_requires_b_21c () =
+  let g = Gen.grid 16 in
+  let params = params_of g ~inputs:(default_inputs 16) in
+  Alcotest.check_raises "b >= 21c" (Invalid_argument "Tradeoff: need b >= 21c") (fun () ->
+      ignore (Run.tradeoff ~graph:g ~failures:(Failure.none ~n:16) ~params ~b:41 ~f:1 ~seed:1))
+
+let test_tradeoff_exact_failure_free () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let params = params_of g ~inputs:(default_inputs n) in
+      let o = Run.tradeoff ~graph:g ~failures:(Failure.none ~n) ~params ~b:63 ~f:4 ~seed:1 in
+      check_int (name ^ ": exact") (total (default_inputs n)) o.Run.t_value;
+      check_true (name ^ ": accepted via a pair")
+        (match o.Run.how with Tradeoff.Via_pair _ -> true | Tradeoff.Via_brute_force -> false))
+    (Lazy.force sweep_graphs)
+
+let test_theorem1_always_correct () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let o = tradeoff_on g ~b:63 ~f:6 ~seed in
+          check_true (name ^ ": Theorem 1 correctness") o.Run.tc.Run.correct)
+        [ 1; 2; 3; 4; 5 ])
+    (Lazy.force sweep_graphs)
+
+let test_theorem1_time_bound () =
+  List.iter
+    (fun (name, g) ->
+      let o = tradeoff_on g ~b:63 ~f:6 ~seed:2 in
+      check_true (name ^ ": TC <= b flooding rounds") (o.Run.tc.Run.flooding_rounds <= 63))
+    (Lazy.force sweep_graphs)
+
+let test_tradeoff_interval_arithmetic () =
+  let g = Gen.grid 64 in
+  let params = params_of g ~inputs:(default_inputs 64) in
+  check_int "x at b=21c" 1 (Tradeoff.intervals params ~b:42);
+  check_int "x at b=40c" 2 (Tradeoff.intervals params ~b:80);
+  check_int "t = 2f/x" 16 (Tradeoff.pair_t params ~b:42 ~f:8);
+  check_int "t halves with x" 8 (Tradeoff.pair_t params ~b:80 ~f:8)
+
+let test_tradeoff_survives_concentrated_burst () =
+  (* All failures land in one early interval; the protocol must still
+     output a correct value (possibly via a later interval or the
+     brute-force fallback). *)
+  let g = Gen.grid 49 in
+  let params = params_of g ~inputs:(default_inputs 49) in
+  List.iter
+    (fun seed ->
+      let failures = Failure.burst g ~rng:(Prng.create seed) ~budget:12 ~round:40 in
+      let o = Run.tradeoff ~graph:g ~failures ~params ~b:120 ~f:12 ~seed in
+      check_true "correct under burst" o.Run.tc.Run.correct)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_tradeoff_lfc_never_accepted () =
+  (* A chain failure forcing an LFC in interval 1: VERI must reject it and
+     the run must still end correctly. *)
+  let g = Gen.ring 30 in
+  let params = params_of g ~inputs:(default_inputs 30) in
+  let failures = Failure.chain ~n:30 ~first:1 ~len:8 ~round:70 in
+  let o = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:4 ~seed:4 in
+  check_true "correct despite LFC" o.Run.tc.Run.correct
+
+let test_folklore_worst_case_epochs () =
+  (* one fresh crash per epoch: the folklore protocol pays one epoch per
+     failure — its O(f) TC worst case *)
+  let n = 25 in
+  let g = Gen.grid n in
+  let params = params_of g ~inputs:(default_inputs n) in
+  let epoch = Folklore.epoch_duration params in
+  let cd = Params.cd params in
+  let crashes = 3 in
+  (* node k+1 dies during epoch k+1's aggregation window (after its ack) *)
+  let failures =
+    Failure.of_list ~n
+      (List.init crashes (fun k -> (k + 1, (k * epoch) + (2 * cd) + 10)))
+  in
+  let o = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry (crashes + 2)) ~seed:4 in
+  check_true "paid one epoch per crash" (o.Run.epochs >= crashes);
+  check_true "still correct" o.Run.fc.Run.correct
+
+(* --- Sequential (derandomized) strategy --- *)
+
+let test_sequential_strategy_correct () =
+  let g = Gen.grid 49 in
+  let params = params_of g ~inputs:(default_inputs 49) in
+  List.iter
+    (fun seed ->
+      let failures =
+        Failure.random g ~rng:(Prng.create seed) ~budget:8
+          ~max_round:(84 * params.Params.d)
+      in
+      let o =
+        Run.tradeoff_with ~strategy:Tradeoff.Sequential ~graph:g ~failures ~params ~b:84
+          ~f:8 ~seed
+      in
+      check_true "sequential correct" o.Run.tc.Run.correct;
+      check_true "sequential within budget" (o.Run.tc.Run.flooding_rounds <= 84))
+    [ 1; 2; 3 ]
+
+let test_sequential_pays_for_dirty_intervals () =
+  (* an LFC chain in interval 1 forces the sequential scan to burn that
+     interval; the failure-free tail still succeeds *)
+  let n = 64 in
+  let w = 8 in
+  let g = Gen.grid n in
+  let params = params_of g ~inputs:(default_inputs n) in
+  let b = 764 in
+  let f = 50 in
+  let t = Tradeoff.pair_t params ~b ~f in
+  let kill_round = (2 * Params.cd params) + 5 in
+  let failures =
+    Failure.of_list ~n (List.init t (fun r -> (((r + 1) * w) + 1, kill_round)))
+  in
+  let seq =
+    Run.tradeoff_with ~strategy:Tradeoff.Sequential ~graph:g ~failures ~params ~b ~f
+      ~seed:1
+  in
+  check_true "still correct" seq.Run.tc.Run.correct;
+  (match seq.Run.how with
+  | Tradeoff.Via_pair y -> check_true "skipped the dirty interval" (y >= 2)
+  | Tradeoff.Via_brute_force -> ());
+  (* a clean schedule accepts at interval 1 *)
+  let clean =
+    Run.tradeoff_with ~strategy:Tradeoff.Sequential ~graph:g
+      ~failures:(Failure.none ~n) ~params ~b ~f ~seed:1
+  in
+  check_true "clean accepts immediately"
+    (match clean.Run.how with Tradeoff.Via_pair 1 -> true | _ -> false)
+
+(* --- Unknown f --- *)
+
+let test_unknown_f_exact_failure_free () =
+  let g = Gen.grid 36 in
+  let params = params_of g ~inputs:(default_inputs 36) in
+  let o = Run.unknown_f ~graph:g ~failures:(Failure.none ~n:36) ~params ~seed:1 in
+  check_int "exact" (total (default_inputs 36)) o.Run.u_value;
+  check_true "accepted in slot 0"
+    (match o.Run.u_how with Unknown_f.Via_slot 0 -> true | _ -> false)
+
+let test_unknown_f_correct_random () =
+  List.iter
+    (fun seed ->
+      let g = Gen.grid 36 in
+      let params = params_of g ~inputs:(default_inputs 36) in
+      let failures =
+        Failure.random g ~rng:(Prng.create seed) ~budget:8
+          ~max_round:(Unknown_f.max_rounds params)
+      in
+      let o = Run.unknown_f ~graph:g ~failures ~params ~seed in
+      check_true "unknown-f correct" o.Run.uc.Run.correct)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_unknown_f_early_termination () =
+  (* With few actual failures the protocol stops in an early slot, so its
+     CC tracks the actual failure count, not a worst-case bound. *)
+  let g = Gen.grid 64 in
+  let params = params_of g ~inputs:(default_inputs 64) in
+  let few = Failure.random g ~rng:(Prng.create 2) ~budget:2 ~max_round:100 in
+  let o_few = Run.unknown_f ~graph:g ~failures:few ~params ~seed:2 in
+  let many = Failure.burst g ~rng:(Prng.create 3) ~budget:24 ~round:60 in
+  let o_many = Run.unknown_f ~graph:g ~failures:many ~params ~seed:3 in
+  let slot = function Unknown_f.Via_slot gx -> gx | Unknown_f.Via_brute_force -> 99 in
+  check_true "few failures end in an early slot" (slot o_few.Run.u_how <= 2);
+  check_true "more failures need later slots or fallback"
+    (slot o_many.Run.u_how >= slot o_few.Run.u_how);
+  check_true "both correct" (o_few.Run.uc.Run.correct && o_many.Run.uc.Run.correct)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Theorem 1: Algorithm 1 always correct (random graphs+adversaries)"
+      ~count:30
+      (quad (int_range 12 36) (int_range 0 10) (int_range 63 130) small_int)
+      (fun (n, f, b, seed) ->
+        let g = Topo.random_connected ~n ~p:0.1 ~seed in
+        let params = params_of g ~inputs:(default_inputs n) in
+        let failures =
+          Failure.random g ~rng:(Prng.create (seed + 11)) ~budget:f
+            ~max_round:(b * params.Params.d)
+        in
+        let o = Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed in
+        o.Run.tc.Run.correct && o.Run.tc.Run.flooding_rounds <= b);
+    Test.make ~name:"brute force: always correct under arbitrary crash schedules" ~count:30
+      (triple (int_range 8 30) (int_range 0 20) small_int)
+      (fun (n, budget, seed) ->
+        let g = Topo.random_connected ~n ~p:0.15 ~seed in
+        let params = params_of g ~inputs:(default_inputs n) in
+        let failures =
+          Failure.random g ~rng:(Prng.create (seed + 1)) ~budget ~max_round:80
+        in
+        let o = Run.brute_force ~graph:g ~failures ~params ~seed in
+        o.Run.vc.Run.correct);
+    Test.make ~name:"folklore: correct whenever it reports a value" ~count:30
+      (triple (int_range 8 30) (int_range 0 8) small_int)
+      (fun (n, f, seed) ->
+        let g = Topo.random_connected ~n ~p:0.15 ~seed in
+        let params = params_of g ~inputs:(default_inputs n) in
+        let mode = Folklore.Retry (f + 1) in
+        let failures =
+          Failure.random g ~rng:(Prng.create (seed + 2)) ~budget:f
+            ~max_round:(Folklore.duration params mode)
+        in
+        let o = Run.folklore ~graph:g ~failures ~params ~mode ~seed in
+        o.Run.fc.Run.correct);
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("brute: exact failure-free", test_brute_force_exact_failure_free);
+      ("brute: always correct", test_brute_force_always_correct);
+      ("brute: CC scale", test_brute_force_cc_order_n_log_n);
+      ("folklore: exact failure-free", test_folklore_exact_failure_free);
+      ("folklore: retries until clean", test_folklore_retries_until_clean);
+      ("folklore: correct random", test_folklore_correct_random);
+      ("naive TAG: breaks under failures", test_naive_tag_breaks_under_failures);
+      ("folklore: worst-case epochs", test_folklore_worst_case_epochs);
+      ("tradeoff: b >= 21c", test_tradeoff_requires_b_21c);
+      ("tradeoff: exact failure-free", test_tradeoff_exact_failure_free);
+      ("tradeoff: Theorem 1 correctness", test_theorem1_always_correct);
+      ("tradeoff: Theorem 1 time bound", test_theorem1_time_bound);
+      ("tradeoff: interval arithmetic", test_tradeoff_interval_arithmetic);
+      ("tradeoff: concentrated burst", test_tradeoff_survives_concentrated_burst);
+      ("tradeoff: LFC never accepted", test_tradeoff_lfc_never_accepted);
+      ("sequential: correct", test_sequential_strategy_correct);
+      ("sequential: dirty interval skipped", test_sequential_pays_for_dirty_intervals);
+      ("unknown-f: exact failure-free", test_unknown_f_exact_failure_free);
+      ("unknown-f: correct random", test_unknown_f_correct_random);
+      ("unknown-f: early termination", test_unknown_f_early_termination);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,127 @@
+(* Differential validation of §4.3: the root's selected partial sums must
+   form a representative set — pairwise-disjoint included-input sets that
+   cover every node still alive (and connected) at the end — and each
+   partial sum's arithmetic must match an independent schedule-driven
+   recomputation of what it aggregated. *)
+
+open Ftagg
+open Helpers
+
+let validate ?expect_cover (o : Run.pair_outcome) =
+  match o.Run.verdict.Pair.result with
+  | Agg.Aborted -> ()
+  | Agg.Value _ ->
+    let root = o.Run.trace.Checker.agg_nodes.(Graph.root) in
+    let selected = Agg.selected_sources root in
+    let r =
+      Checker.representative_set o.Run.trace ~selected ~end_round:o.Run.pc.Run.rounds
+    in
+    check_true "partial-sum arithmetic matches the schedule recomputation"
+      r.Checker.psums_match;
+    (* Disjointness and coverage are exactly §4.3's claim; they are
+       guaranteed whenever VERI accepts (no LFC, Theorem 5's machinery). *)
+    if Option.value expect_cover ~default:o.Run.verdict.Pair.veri_ok then begin
+      check_true "no double counting" r.Checker.disjoint;
+      check_true "covers every alive node" r.Checker.covers_alive
+    end
+
+let test_representative_failure_free () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let params = params_of ~t:3 g ~inputs:(default_inputs n) in
+      let o = Run.pair ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 () in
+      ignore name;
+      validate ~expect_cover:true o)
+    (Lazy.force sweep_graphs)
+
+let test_representative_random_failures () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let n = Graph.n g in
+          let params = params_of ~t:4 g ~inputs:(default_inputs n) in
+          let failures =
+            Failure.random g ~rng:(Prng.create (seed * 19)) ~budget:4 ~max_round:300
+          in
+          let o = Run.pair ~graph:g ~failures ~params ~seed () in
+          ignore name;
+          validate o)
+        [ 1; 2; 3 ])
+    (Lazy.force sweep_graphs)
+
+let test_representative_spec_phase_kills () =
+  (* the Figure 3 regime: deaths at the start of speculative flooding
+     force blocked sums to be recovered by descendants — the selected set
+     must still be disjoint and covering *)
+  let n = 36 in
+  let g = Gen.grid n in
+  let params = params_of ~t:5 g ~inputs:(default_inputs n) in
+  let cd = Params.cd params in
+  List.iter
+    (fun seed ->
+      let failures =
+        Failure.burst g ~rng:(Prng.create seed) ~budget:5 ~round:((4 * cd) + 3)
+      in
+      let o = Run.pair ~graph:g ~failures ~params ~seed () in
+      validate o)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_included_inputs_failure_free () =
+  (* without failures the root's own partial sum includes everyone *)
+  let n = 25 in
+  let g = Gen.grid n in
+  let params = params_of ~t:2 g ~inputs:(default_inputs n) in
+  let o = Run.agg ~graph:g ~failures:(Failure.none ~n) ~params ~seed:2 () in
+  let included = Checker.included_inputs o.Run.agg_trace ~source:Graph.root in
+  check_int "root includes all" n (List.length included)
+
+let test_included_inputs_cut_subtree () =
+  (* killing node 1 of a path before its action excludes its whole
+     subtree from the root's partial sum *)
+  let n = 8 in
+  let g = Gen.path n in
+  let params = params_of ~t:2 g ~inputs:(default_inputs n) in
+  let cd = Params.cd params in
+  let failures = Failure.kill_nodes ~n ~nodes:[ 1 ] ~round:((2 * cd) + 3) in
+  let o = Run.agg ~graph:g ~failures ~params ~seed:3 () in
+  let included = Checker.included_inputs o.Run.agg_trace ~source:Graph.root in
+  check_true "only the root remains" (included = [ 0 ])
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"representative set holds whenever VERI accepts" ~count:40
+      (triple (int_range 12 36) (int_range 1 5) small_int)
+      (fun (n, t, seed) ->
+        let g = Topo.random_connected ~n ~p:0.1 ~seed in
+        let params = params_of ~t g ~inputs:(default_inputs n) in
+        let failures =
+          Failure.random g ~rng:(Prng.create (seed + 3)) ~budget:(2 * t) ~max_round:400
+        in
+        let o = Run.pair ~graph:g ~failures ~params ~seed () in
+        match o.Run.verdict.Pair.result with
+        | Agg.Aborted -> true
+        | Agg.Value _ ->
+          let selected = Agg.selected_sources o.Run.trace.Checker.agg_nodes.(Graph.root) in
+          let r =
+            Checker.representative_set o.Run.trace ~selected
+              ~end_round:o.Run.pc.Run.rounds
+          in
+          r.Checker.psums_match
+          && ((not o.Run.verdict.Pair.veri_ok)
+             || (r.Checker.disjoint && r.Checker.covers_alive)));
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("representative: failure-free", test_representative_failure_free);
+      ("representative: random failures", test_representative_random_failures);
+      ("representative: spec-phase kills", test_representative_spec_phase_kills);
+      ("included: failure-free", test_included_inputs_failure_free);
+      ("included: cut subtree", test_included_inputs_cut_subtree);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,218 @@
+(* §7 machinery: cycle-promise instances, the UNIONSIZECP protocol, the
+   EQUALITYCP reduction (Theorem 8), the Sperner rank (Lemma 11), and
+   the bound evaluators. *)
+
+open Ftagg
+open Helpers
+
+let test_cycle_promise_validation () =
+  Alcotest.check_raises "promise violated"
+    (Invalid_argument "Cycle_promise.make: cycle promise violated") (fun () ->
+      ignore (Cycle_promise.make ~n:2 ~q:3 ~x:[| 0; 0 |] ~y:[| 2; 0 |]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Cycle_promise.make: character out of range") (fun () ->
+      ignore (Cycle_promise.make ~n:1 ~q:3 ~x:[| 3 |] ~y:[| 0 |]))
+
+let test_cycle_promise_wraparound () =
+  (* q-1 -> 0 is a legal promise step *)
+  let inst = Cycle_promise.make ~n:1 ~q:4 ~x:[| 3 |] ~y:[| 0 |] in
+  check_int "union counts x<>0" 1 (Cycle_promise.union_size inst);
+  check_true "not equal" (not (Cycle_promise.equal inst))
+
+let test_union_size_ground_truth () =
+  let inst = Cycle_promise.make ~n:4 ~q:3 ~x:[| 0; 0; 1; 2 |] ~y:[| 0; 1; 1; 0 |] in
+  (* i=0: both 0 -> out; i=1: y=1 -> in; i=2,3: x<>0 -> in *)
+  check_int "union size" 3 (Cycle_promise.union_size inst)
+
+let test_unionsize_exact_small () =
+  (* Exhaustive check over all promise instances for small n, q. *)
+  let q = 3 and n = 4 in
+  let rec strings k acc =
+    if k = 0 then acc
+    else
+      strings (k - 1) (List.concat_map (fun s -> List.init q (fun c -> c :: s)) acc)
+  in
+  let all_x = strings n [ [] ] in
+  List.iter
+    (fun xl ->
+      let x = Array.of_list xl in
+      (* enumerate all promise-respecting y via bitmask of shifts *)
+      for mask = 0 to (1 lsl n) - 1 do
+        let y =
+          Array.mapi (fun i xi -> if mask land (1 lsl i) <> 0 then (xi + 1) mod q else xi) x
+        in
+        let inst = Cycle_promise.make ~n ~q ~x ~y in
+        let o = Unionsize.solve inst in
+        check_int "exhaustive unionsize" (Cycle_promise.union_size inst) o.Unionsize.answer
+      done)
+    all_x
+
+let test_unionsize_sparse_instances () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 100 do
+    let n = 1 + Prng.int rng 200 in
+    let q = 2 + Prng.int rng 20 in
+    let inst = Cycle_promise.random_sparse ~rng ~n ~q ~zero_frac:0.7 in
+    let o = Unionsize.solve inst in
+    check_int "sparse unionsize" (Cycle_promise.union_size inst) o.Unionsize.answer
+  done
+
+let test_unionsize_cc_within_bound () =
+  (* Measured bits stay within a small constant of the paper's
+     O(n/q·log n + log q) closed form. *)
+  List.iter
+    (fun (n, q) ->
+      let rng = Prng.create (n + q) in
+      let inst = Cycle_promise.random ~rng ~n ~q () in
+      let o = Unionsize.solve inst in
+      let bound = Bounds.unionsize_upper ~n ~q in
+      check_true
+        (Printf.sprintf "n=%d q=%d: %d bits vs bound %.0f" n q o.Unionsize.total_bits bound)
+        (float_of_int o.Unionsize.total_bits <= (4.0 *. bound) +. 64.0))
+    [ (100, 2); (1000, 4); (1000, 32); (10000, 16); (10000, 128); (500, 500) ]
+
+let test_unionsize_cc_above_lower_bound () =
+  (* Sanity: no measured run beats the Theorem 12 lower bound. *)
+  List.iter
+    (fun (n, q) ->
+      let rng = Prng.create (n * q) in
+      let inst = Cycle_promise.random ~rng ~n ~q () in
+      let o = Unionsize.solve inst in
+      check_true "measured >= lower bound"
+        (float_of_int o.Unionsize.total_bits >= Bounds.unionsize_lower ~n ~q))
+    [ (1000, 4); (4096, 8); (10000, 32) ]
+
+let test_equality_reduction_correct () =
+  let rng = Prng.create 6 in
+  for i = 1 to 300 do
+    let n = 1 + Prng.int rng 64 in
+    let q = 2 + Prng.int rng 16 in
+    let inst =
+      if i mod 3 = 0 then Cycle_promise.random ~rng ~n ~q ~force_equal:true ()
+      else Cycle_promise.random ~rng ~n ~q ()
+    in
+    let o = Equality.solve inst in
+    check_bool "equality verdict" (Cycle_promise.equal inst) o.Equality.equal
+  done
+
+let test_equality_overhead_is_logarithmic () =
+  (* Theorem 8: the reduction adds only O(log q) + O(log n) bits. *)
+  List.iter
+    (fun (n, q) ->
+      let rng = Prng.create 7 in
+      let inst = Cycle_promise.random ~rng ~n ~q () in
+      let o = Equality.solve inst in
+      let logn = Bounds.log2 (float_of_int n) and logq = Bounds.log2 (float_of_int q) in
+      check_true
+        (Printf.sprintf "overhead %d vs 3(logn+logq)" o.Equality.overhead_bits)
+        (float_of_int o.Equality.overhead_bits <= (3.0 *. (logn +. logq)) +. 16.0))
+    [ (1000, 8); (10000, 64); (100000, 4) ]
+
+let test_equality_trivial_baseline () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 100 do
+    let n = 1 + Prng.int rng 64 in
+    let q = 2 + Prng.int rng 16 in
+    let inst = Cycle_promise.random ~rng ~n ~q () in
+    let o = Equality.solve_trivial inst in
+    check_bool "trivial verdict" (Cycle_promise.equal inst) o.Equality.equal;
+    check_true "costs about n log q"
+      (o.Equality.total_bits >= n && o.Equality.total_bits <= (n * 6) + 1)
+  done;
+  (* the reduction beats the trivial protocol once q is large *)
+  let inst = Cycle_promise.random ~rng ~n:10000 ~q:512 () in
+  let red = Equality.solve inst and triv = Equality.solve_trivial inst in
+  check_true "reduction cheaper at large q" (red.Equality.total_bits < triv.Equality.total_bits)
+
+let test_lemma11_matrix_shape () =
+  let m = Sperner.lemma11_matrix 5 in
+  check_int "diag" 1 m.(2).(2);
+  check_int "offset1" (-1) m.(2).(3);
+  check_int "wrap" (-1) m.(4).(0);
+  check_int "zero elsewhere" 0 m.(2).(0);
+  check_true "rows sum to zero" (Sperner.rows_sum_to_zero m)
+
+let test_lemma11_rank_sweep () =
+  List.iter
+    (fun q -> check_int (Printf.sprintf "rank q=%d" q) (q - 1) (Sperner.lemma11_rank q))
+    [ 2; 3; 4; 5; 8; 13; 16; 31; 64; 100 ]
+
+let test_rank_mod_p_general () =
+  check_int "identity rank" 3 (Sperner.rank_mod_p [| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |]);
+  check_int "dependent rows" 1 (Sperner.rank_mod_p [| [| 1; 2 |]; [| 2; 4 |] |]);
+  check_int "zero matrix" 0 (Sperner.rank_mod_p [| [| 0; 0 |]; [| 0; 0 |] |]);
+  check_int "negative entries" 2 (Sperner.rank_mod_p [| [| 1; -1 |]; [| 1; 1 |] |])
+
+let test_equality_lower_bound_formula () =
+  (* n * log2(1 + 1/(q-1)) >= n/(q-1) in bits-of-log2 terms per Lemma 11 *)
+  List.iter
+    (fun q ->
+      let b = Sperner.equality_lower_bound ~n:1000 ~q in
+      check_true
+        (Printf.sprintf "q=%d bound vs n/(q-1)" q)
+        (b >= 1000.0 /. float_of_int (q - 1) /. (log 2.0 /. 1.0) *. 0.69))
+    [ 2; 3; 10; 50 ]
+
+let test_bounds_shapes () =
+  (* Theorem 1 upper bound decreases in b and increases in f. *)
+  check_true "decreasing in b"
+    (Bounds.sum_upper_bound ~n:1024 ~f:100 ~b:200
+    <= Bounds.sum_upper_bound ~n:1024 ~f:100 ~b:50);
+  check_true "increasing in f"
+    (Bounds.sum_upper_bound ~n:1024 ~f:200 ~b:50
+    >= Bounds.sum_upper_bound ~n:1024 ~f:100 ~b:50);
+  check_true "lower below upper"
+    (Bounds.sum_lower_bound ~n:1024 ~f:100 ~b:50
+    <= Bounds.sum_upper_bound ~n:1024 ~f:100 ~b:50);
+  (* the gap between them is polylog: within log^2 N * log b *)
+  let n = 1 lsl 16 and f = 5000 and b = 64 in
+  let up = Bounds.sum_upper_bound ~n ~f ~b and lo = Bounds.sum_lower_bound ~n ~f ~b in
+  let polylog = Bounds.log2 (float_of_int n) ** 2.0 *. Bounds.log2 (float_of_int b) in
+  check_true "polylog gap" (up /. lo <= polylog)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"unionsize protocol is exact on random instances" ~count:300
+      (triple (int_range 1 128) (int_range 2 24) small_int)
+      (fun (n, q, seed) ->
+        let rng = Prng.create seed in
+        let inst = Cycle_promise.random ~rng ~n ~q () in
+        (Unionsize.solve inst).Unionsize.answer = Cycle_promise.union_size inst);
+    Test.make ~name:"equality reduction agrees with ground truth" ~count:300
+      (triple (int_range 1 96) (int_range 2 24) small_int)
+      (fun (n, q, seed) ->
+        let rng = Prng.create seed in
+        let inst = Cycle_promise.random ~rng ~n ~q () in
+        (Equality.solve inst).Equality.equal = Cycle_promise.equal inst);
+    Test.make ~name:"random instances always satisfy the promise they claim" ~count:200
+      (triple (int_range 1 64) (int_range 2 16) small_int)
+      (fun (n, q, seed) ->
+        let rng = Prng.create seed in
+        let inst = Cycle_promise.random ~rng ~n ~q () in
+        Array.for_all2
+          (fun xi yi -> yi = xi || yi = (xi + 1) mod q)
+          inst.Cycle_promise.x inst.Cycle_promise.y);
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("cp: validation", test_cycle_promise_validation);
+      ("cp: wraparound legal", test_cycle_promise_wraparound);
+      ("cp: union ground truth", test_union_size_ground_truth);
+      ("unionsize: exhaustive small", test_unionsize_exact_small);
+      ("unionsize: sparse", test_unionsize_sparse_instances);
+      ("unionsize: CC within bound", test_unionsize_cc_within_bound);
+      ("unionsize: CC above lower bound", test_unionsize_cc_above_lower_bound);
+      ("equality: reduction correct", test_equality_reduction_correct);
+      ("equality: Theorem 8 overhead", test_equality_overhead_is_logarithmic);
+      ("equality: trivial baseline", test_equality_trivial_baseline);
+      ("sperner: matrix shape", test_lemma11_matrix_shape);
+      ("sperner: rank sweep", test_lemma11_rank_sweep);
+      ("sperner: modular rank general", test_rank_mod_p_general);
+      ("sperner: lower bound formula", test_equality_lower_bound_formula);
+      ("bounds: curve shapes", test_bounds_shapes);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

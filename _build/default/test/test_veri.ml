@@ -1,0 +1,219 @@
+(* VERI (§5) and the AGG+VERI pair: Theorems 6–7 and the Table 2
+   guarantee matrix. *)
+
+open Ftagg
+open Helpers
+
+let run_pair ?(c = 2) ~t graph ~failures ~seed =
+  let n = Graph.n graph in
+  let params = params_of ~c ~t graph ~inputs:(default_inputs n) in
+  (Run.pair ~graph ~failures ~params ~seed (), params)
+
+let test_theorem6_time_bound () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let o, params = run_pair ~t:2 g ~failures:(Failure.none ~n) ~seed:1 in
+      (* the pair runs 12cd+7 rounds = (7cd+4 AGG) + (5cd+3 VERI) *)
+      check_int (name ^ ": pair duration") ((12 * Params.cd params) + 7) o.Run.pc.Run.rounds)
+    (Lazy.force sweep_graphs)
+
+let test_theorem6_bit_budget () =
+  (* VERI's per-node bits stay within (5t+7)(3logN+10) plus one overflow
+     symbol.  We bound the pair total by the sum of both budgets. *)
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      List.iter
+        (fun t ->
+          let failures =
+            Failure.random g ~rng:(Prng.create (t + 3)) ~budget:(2 * t) ~max_round:400
+          in
+          let params = params_of ~t g ~inputs:(default_inputs n) in
+          let o = Run.pair ~graph:g ~failures ~params ~seed:t () in
+          let budget =
+            Params.agg_bit_budget params + Params.veri_bit_budget params
+            + Message.bits params Message.Agg_abort
+            + Message.bits params Message.Veri_overflow
+          in
+          for u = 0 to n - 1 do
+            check_true
+              (Printf.sprintf "%s t=%d node %d within combined budget" name t u)
+              (Metrics.bits_sent o.Run.pc.Run.metrics u <= budget)
+          done)
+        [ 0; 2; 5 ])
+    (Lazy.force sweep_graphs)
+
+let test_theorem7_true_under_t_failures () =
+  (* Theorem 7's hypothesis counts the model's edge failures, which
+     include edges of nodes disconnected from the root — so the guard
+     below uses the model count, not just the injected crashes. *)
+  let checked = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let t = 4 in
+          let failures =
+            Failure.random g ~rng:(Prng.create (seed * 13)) ~budget:t ~max_round:300
+          in
+          let o, _ = run_pair ~t g ~failures ~seed in
+          if o.Run.edge_failures <= t then begin
+            incr checked;
+            check_true (name ^ ": VERI true with <= t failures") o.Run.verdict.Pair.veri_ok
+          end)
+        [ 1; 2; 3; 4 ])
+    (Lazy.force sweep_graphs);
+  check_true "guard kept enough cases" (!checked >= 15)
+
+let test_theorem7_false_under_lfc () =
+  (* A chain of t failures on a ring's tree arm, with live descendants
+     kept connected around the ring: VERI must output false. *)
+  let g = Gen.ring 30 in
+  let t = 5 in
+  let failures = Failure.chain ~n:30 ~first:1 ~len:t ~round:70 in
+  let o, _ = run_pair ~t g ~failures ~seed:2 in
+  check_true "ground truth has LFC" o.Run.lfc;
+  check_true "VERI outputs false" (not o.Run.verdict.Pair.veri_ok)
+
+let test_theorem7_long_chain_catches_bad_agg () =
+  (* Chain of 2t+1 failures: the witnesses' ancestor windows overflow and
+     AGG may undercount; VERI must still output false so Algorithm 1
+     never accepts the bad value. *)
+  let g = Gen.ring 30 in
+  let t = 5 in
+  let failures = Failure.chain ~n:30 ~first:1 ~len:((2 * t) + 1) ~round:70 in
+  let o, _ = run_pair ~t g ~failures ~seed:3 in
+  check_true "LFC present" o.Run.lfc;
+  check_true "VERI catches it" (not o.Run.verdict.Pair.veri_ok)
+
+let test_table2_never_violated_random () =
+  (* Random adversaries across families: every run must land in an
+     allowed Table 2 cell. *)
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let t = 3 in
+          let budget = seed mod 12 in
+          let failures =
+            Failure.random g ~rng:(Prng.create (seed * 7)) ~budget ~max_round:400
+          in
+          let o, _ = run_pair ~t g ~failures ~seed in
+          ignore name;
+          check_pair_guarantees o ~t)
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+    (Lazy.force sweep_graphs)
+
+let test_table2_never_violated_bursts () =
+  (* Concentrated bursts at varied phases of the execution. *)
+  let g = Gen.grid 36 in
+  let params = params_of ~t:3 g ~inputs:(default_inputs 36) in
+  let dur = Pair.duration params in
+  List.iter
+    (fun frac ->
+      List.iter
+        (fun seed ->
+          let round = max 1 (dur * frac / 10) in
+          let failures = Failure.burst g ~rng:(Prng.create seed) ~budget:8 ~round in
+          let o = Run.pair ~graph:g ~failures ~params ~seed () in
+          check_pair_guarantees o ~t:3)
+        [ 1; 2; 3 ])
+    [ 1; 3; 5; 7; 9 ]
+
+let test_veri_failed_parent_detection () =
+  (* Killing an internal node between AGG's end and VERI's start makes it
+     a failed parent; with witnesses alive VERI still answers true when
+     no LFC can exist (single failure, t=1... a single failed internal
+     node with live descendants IS an LFC for t=1, so use t=3). *)
+  let g = Gen.ring 20 in
+  let params = params_of ~t:3 g ~inputs:(default_inputs 20) in
+  let agg_end = Agg.duration params in
+  let failures = Failure.kill_nodes ~n:20 ~nodes:[ 4 ] ~round:(agg_end + 2) in
+  let o = Run.pair ~graph:g ~failures ~params ~seed:5 () in
+  (* node 4 died after AGG: the result is the exact total and VERI, with a
+     1-chain < t, answers true *)
+  check_true "no LFC" (not o.Run.lfc);
+  check_true "verdict true" o.Run.verdict.Pair.veri_ok;
+  check_true "correct" o.Run.pc.Run.correct
+
+let test_veri_overflow_forces_false () =
+  (* t = 0 gives VERI a 7·(3logN+10)-bit budget; a massive kill between
+     AGG and VERI floods enough failed_parent/failed_child traffic that
+     some node overflows or a chain is claimed — either way the verdict
+     must be false, and per-node bits stay capped. *)
+  let fired = ref 0 in
+  List.iter
+    (fun seed ->
+      let n = 49 in
+      let g = Gen.grid n in
+      let params = params_of ~t:0 g ~inputs:(default_inputs n) in
+      let agg_end = Agg.duration params in
+      let failures =
+        Failure.burst g ~rng:(Prng.create seed) ~budget:24 ~round:(agg_end + 2)
+      in
+      let o = Run.pair ~graph:g ~failures ~params ~seed () in
+      if not o.Run.verdict.Pair.veri_ok then incr fired;
+      let cap =
+        Params.agg_bit_budget params + Params.veri_bit_budget params
+        + Message.bits params Message.Agg_abort
+        + Message.bits params Message.Veri_overflow
+      in
+      for u = 0 to n - 1 do
+        check_true "bits capped" (Metrics.bits_sent o.Run.pc.Run.metrics u <= cap)
+      done)
+    [ 1; 2; 3; 4 ];
+  check_true "verdict false under post-AGG massacre" (!fired >= 3)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Table 2 guarantees on random graphs and adversaries" ~count:60
+      (quad (int_range 10 36) (int_range 1 5) (int_range 0 14) small_int)
+      (fun (n, t, budget, seed) ->
+        let g = Topo.random_connected ~n ~p:0.1 ~seed in
+        let failures =
+          Failure.random g ~rng:(Prng.create (seed + 5)) ~budget ~max_round:500
+        in
+        let params = params_of ~t g ~inputs:(default_inputs n) in
+        let o = Run.pair ~graph:g ~failures ~params ~seed () in
+        match scenario_of o ~t with
+        | `At_most_t ->
+          o.Run.pc.Run.correct && o.Run.verdict.Pair.veri_ok
+          && (match o.Run.verdict.Pair.result with
+             | Agg.Value _ -> true
+             | Agg.Aborted -> false)
+        | `Over_t_no_lfc -> o.Run.pc.Run.correct
+        | `Over_t_lfc -> not o.Run.verdict.Pair.veri_ok);
+    Test.make ~name:"pair CC stays within the combined theorem budgets" ~count:40
+      (triple (int_range 10 30) (int_range 0 5) small_int)
+      (fun (n, t, seed) ->
+        let g = Topo.random_connected ~n ~p:0.12 ~seed in
+        let failures =
+          Failure.random g ~rng:(Prng.create (seed + 9)) ~budget:(3 * t) ~max_round:400
+        in
+        let params = params_of ~t g ~inputs:(default_inputs n) in
+        let o = Run.pair ~graph:g ~failures ~params ~seed () in
+        let budget =
+          Params.agg_bit_budget params + Params.veri_bit_budget params
+          + Message.bits params Message.Agg_abort
+          + Message.bits params Message.Veri_overflow
+        in
+        Metrics.cc o.Run.pc.Run.metrics <= budget);
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("veri: Theorem 6 time bound", test_theorem6_time_bound);
+      ("veri: Theorem 6 bit budget", test_theorem6_bit_budget);
+      ("veri: Theorem 7 true under <= t failures", test_theorem7_true_under_t_failures);
+      ("veri: Theorem 7 false under LFC", test_theorem7_false_under_lfc);
+      ("veri: long chain caught", test_theorem7_long_chain_catches_bad_agg);
+      ("pair: Table 2 random adversaries", test_table2_never_violated_random);
+      ("pair: Table 2 bursts", test_table2_never_violated_bursts);
+      ("veri: failed parent after AGG", test_veri_failed_parent_detection);
+      ("veri: overflow/mass-failure forces false", test_veri_overflow_forces_false);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
