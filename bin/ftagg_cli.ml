@@ -105,37 +105,37 @@ let run_cmd =
     in
     (match String.lowercase_ascii protocol with
     | "tradeoff" ->
-      let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed in
-      print_common "tradeoff" (string_of_int o.Run.t_value) o.Run.tc;
+      let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed () in
+      print_common "tradeoff" (string_of_int (Run.value_exn o.Run.result)) o.Run.common;
       Printf.printf "via        : %s\n"
         (match o.Run.how with
         | Tradeoff.Via_pair y -> Printf.sprintf "AGG+VERI pair in interval %d" y
         | Tradeoff.Via_brute_force -> "brute-force fallback")
     | "brute" ->
-      let o = Run.brute_force ~graph ~failures ~params ~seed in
-      print_common "brute" (string_of_int o.Run.value) o.Run.vc
+      let o = Run.brute_force ~graph ~failures ~params ~seed () in
+      print_common "brute" (string_of_int (Run.value_exn o.Run.result)) o.Run.common
     | "folklore" ->
-      let o = Run.folklore ~graph ~failures ~params ~mode:(Folklore.Retry (f + 1)) ~seed in
+      let o = Run.folklore ~graph ~failures ~params ~mode:(Folklore.Retry (f + 1)) ~seed () in
       let v =
         match o.Run.f_result with
         | Folklore.Value v -> string_of_int v
         | Folklore.No_clean_epoch -> "<no clean epoch>"
       in
-      print_common "folklore" v o.Run.fc;
+      print_common "folklore" v o.Run.common;
       Printf.printf "epochs     : %d\n" o.Run.epochs
     | "naive" ->
-      let o = Run.folklore ~graph ~failures ~params ~mode:Folklore.Naive ~seed in
+      let o = Run.folklore ~graph ~failures ~params ~mode:Folklore.Naive ~seed () in
       let v =
         match o.Run.f_result with
         | Folklore.Value v -> string_of_int v
         | Folklore.No_clean_epoch -> "<dirty>"
       in
-      print_common "naive-TAG" v o.Run.fc
+      print_common "naive-TAG" v o.Run.common
     | "unknown-f" | "unknown_f" ->
-      let o = Run.unknown_f ~graph ~failures ~params ~seed in
-      print_common "unknown-f" (string_of_int o.Run.u_value) o.Run.uc;
+      let o = Run.unknown_f ~graph ~failures ~params ~seed () in
+      print_common "unknown-f" (string_of_int (Run.value_exn o.Run.result)) o.Run.common;
       Printf.printf "via        : %s\n"
-        (match o.Run.u_how with
+        (match o.Run.how with
         | Unknown_f.Via_slot g -> Printf.sprintf "slot %d (t = %d)" g (1 lsl g)
         | Unknown_f.Via_brute_force -> "brute-force fallback")
     | "pair" ->
@@ -145,17 +145,17 @@ let run_cmd =
         | Agg.Value v -> string_of_int v
         | Agg.Aborted -> "<aborted>"
       in
-      print_common "AGG+VERI" v o.Run.pc;
+      print_common "AGG+VERI" v o.Run.common;
       Printf.printf "VERI says  : %b   (ground truth: LFC = %b, %d edge failures in window)\n"
         o.Run.verdict.Pair.veri_ok o.Run.lfc o.Run.edge_failures
     | "agg" ->
       let o = Run.agg ~graph ~failures ~params ~seed () in
       let v =
-        match o.Run.agg_result with
+        match o.Run.result with
         | Agg.Value v -> string_of_int v
         | Agg.Aborted -> "<aborted>"
       in
-      print_common "AGG" v o.Run.ac
+      print_common "AGG" v o.Run.common
     | other -> failwith (Printf.sprintf "unknown protocol %S" other));
     0
   in

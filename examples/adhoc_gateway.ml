@@ -37,7 +37,7 @@ let () =
   (* Worst latency (MAX). *)
   let max_r = Network.aggregate net ~caaf:Instances.max_ ~inputs:latencies ~failures ~b ~f in
   Printf.printf "max latency       : %d ms (verified: %b, %d bits/node cc)\n"
-    max_r.Network.value max_r.Network.correct max_r.Network.cc;
+    (Network.value_exn max_r) max_r.Network.correct max_r.Network.cc;
 
   (* 75th percentile via SELECTION: k = ceil(0.75 n).  (The order must
      stay within the surviving population — the burst severs a few
@@ -69,5 +69,5 @@ let () =
 
   (* The MIN latency, exercising a Decreasing CAAF end to end. *)
   let min_r = Network.aggregate net ~caaf:Instances.min_ ~inputs:latencies ~failures ~b ~f in
-  Printf.printf "min latency       : %d ms (verified: %b)\n" min_r.Network.value
+  Printf.printf "min latency       : %d ms (verified: %b)\n" (Network.value_exn min_r)
     min_r.Network.correct

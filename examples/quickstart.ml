@@ -27,11 +27,11 @@ let () =
      budget f = 5.  The result is guaranteed to lie between the sum of
      the survivors' inputs and the sum of all inputs. *)
   let r = Network.sum net ~inputs ~failures ~b:50 ~f:5 in
-  Printf.printf "sum = %d (all-alive total %d), verified correct: %b\n" r.Network.value
+  Printf.printf "sum = %d (all-alive total %d), verified correct: %b\n" (Network.value_exn r)
     total r.Network.correct;
   Printf.printf "cost: %d bits at the busiest node, %d flooding rounds\n" r.Network.cc
     r.Network.flooding_rounds;
 
   (* Any commutative-associative aggregate works the same way. *)
   let r = Network.aggregate net ~caaf:Instances.max_ ~inputs ~failures ~b:50 ~f:5 in
-  Printf.printf "max = %d, verified correct: %b\n" r.Network.value r.Network.correct
+  Printf.printf "max = %d, verified correct: %b\n" (Network.value_exn r) r.Network.correct

@@ -39,10 +39,10 @@ let () =
   let ones = Array.make n 1 in
   let count_r = Network.aggregate net ~caaf:Instances.count ~inputs:ones ~failures ~b ~f in
 
-  let avg = float_of_int sum_r.Network.value /. float_of_int count_r.Network.value in
-  Printf.printf "sum of readings   : %d (verified: %b)\n" sum_r.Network.value
+  let avg = float_of_int (Network.value_exn sum_r) /. float_of_int (Network.value_exn count_r) in
+  Printf.printf "sum of readings   : %d (verified: %b)\n" (Network.value_exn sum_r)
     sum_r.Network.correct;
-  Printf.printf "sensors counted   : %d of %d (verified: %b)\n" count_r.Network.value n
+  Printf.printf "sensors counted   : %d of %d (verified: %b)\n" (Network.value_exn count_r) n
     count_r.Network.correct;
   Printf.printf "average reading   : %.1f °C\n" (avg /. 10.0);
 
@@ -70,7 +70,7 @@ let () =
   let one_run =
     Network.aggregate net ~caaf:packed_caaf ~inputs:packed_inputs ~failures ~b ~f
   in
-  let psum, pcount = Instances.unpack2 ~bits one_run.Network.value in
+  let psum, pcount = Instances.unpack2 ~bits (Network.value_exn one_run) in
   Printf.printf "single-run average: %.1f °C from one execution (%d bits cc, verified %b)\n"
     (float_of_int psum /. float_of_int (max pcount 1) /. 10.0)
     one_run.Network.cc one_run.Network.correct

@@ -31,8 +31,8 @@ let () =
     let failures =
       Network.random_failures net ~budget:f ~max_round:(4 * d) ~seed:s
     in
-    let o = Run.brute_force ~graph ~failures ~params ~seed:s in
-    Metrics.cc o.Run.vc.Run.metrics
+    let o = Run.brute_force ~graph ~failures ~params ~seed:s () in
+    Metrics.cc o.Run.common.Run.metrics
   in
   let folk s =
     let mode = Folklore.Retry (f + 1) in
@@ -40,8 +40,8 @@ let () =
       Network.random_failures net ~budget:f
         ~max_round:(Folklore.duration params mode) ~seed:s
     in
-    let o = Run.folklore ~graph ~failures ~params ~mode ~seed:s in
-    Metrics.cc o.Run.fc.Run.metrics
+    let o = Run.folklore ~graph ~failures ~params ~mode ~seed:s () in
+    Metrics.cc o.Run.common.Run.metrics
   in
   Printf.printf "brute-force  (TC = O(1)) : CC = %.0f bits\n" (avg_cc brute);
   Printf.printf "folklore     (TC = O(f)) : CC = %.0f bits\n\n" (avg_cc folk);
@@ -62,8 +62,8 @@ let () =
             (* Failures spread over the whole b·d-round execution, the
                regime where Algorithm 1's per-interval analysis bites. *)
             let failures = Network.random_failures net ~budget:f ~max_round:(b * d) ~seed:s in
-            let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed:s in
-            Metrics.cc o.Run.tc.Run.metrics)
+            let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed:s () in
+            Metrics.cc o.Run.common.Run.metrics)
       in
       Table.add_row table
         [

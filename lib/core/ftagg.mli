@@ -79,7 +79,7 @@ module Bounds = Ftagg_twoparty.Bounds
 
 (** {1 High-level API} *)
 
-module Network = struct
+module Network : sig
   (** A ready-to-run system: topology plus model constants. *)
   type t = {
     graph : Graph.t;
@@ -87,6 +87,10 @@ module Network = struct
     seed : int;
   }
 
+  (** What a run tells you, in one record: the root's answer plus the
+      cost and correctness accounting.  [result] is [Agg.Aborted] when
+      the protocol gave up (the facade's protocols never do under the
+      paper's model, but ablations and lossy runs can). *)
   type report = {
     result : Agg.result;  (** the root's answer; [Aborted] if it gave up *)
     correct : bool;  (** checked against the ground-truth interval *)
@@ -95,63 +99,42 @@ module Network = struct
     flooding_rounds : int;
   }
 
-  let value_exn r = Run.value_exn r.result
+  val value_exn : report -> int
+  (** The computed value; raises [Invalid_argument] on [Aborted]. *)
 
-  let create ?(c = 2) ?(seed = 0) (family : Gen.family) ~n () =
-    { graph = Gen.build family ~n ~seed; c; seed }
+  val create : ?c:int -> ?seed:int -> Gen.family -> n:int -> unit -> t
 
-  let n t = Graph.n t.graph
-  let graph t = t.graph
+  val n : t -> int
+  val graph : t -> Graph.t
+  val diameter : t -> int
 
-  let diameter t =
-    match Path.diameter t.graph with Some d -> max d 1 | None -> assert false
+  val no_failures : t -> Failure.t
+  val random_failures : ?max_round:int -> t -> budget:int -> seed:int -> Failure.t
 
-  let no_failures t = Failure.none ~n:(n t)
+  val params : ?caaf:Caaf.t -> t -> inputs:int array -> Params.t
 
-  let random_failures ?(max_round = 1000) t ~budget ~seed =
-    Failure.random t.graph ~rng:(Prng.create seed) ~budget ~max_round
-
-  let params ?caaf t ~inputs = Params.make ~c:t.c ?caaf ~graph:t.graph ~inputs ()
-
-  let report_of (c : Run.common) result =
-    {
-      result;
-      correct = c.Run.correct;
-      cc = Metrics.cc c.Run.metrics;
-      rounds = c.Run.rounds;
-      flooding_rounds = c.Run.flooding_rounds;
-    }
-
+  val aggregate :
+    ?caaf:Caaf.t -> ?failures:Failure.t -> ?loss:float -> t -> inputs:int array -> b:int -> f:int -> report
   (** Fault-tolerant aggregation via Algorithm 1 under a TC budget of [b]
-      flooding rounds and at most [f] edge failures. *)
-  let aggregate ?caaf ?failures ?loss t ~inputs ~b ~f =
-    let params = params ?caaf t ~inputs in
-    let failures = Option.value failures ~default:(no_failures t) in
-    let o = Run.tradeoff ?loss ~graph:t.graph ~failures ~params ~b ~f ~seed:t.seed () in
-    report_of o.Run.common o.Run.result
+      flooding rounds and at most [f] edge failures.  [loss] (default
+      [0.]) is a per-edge delivery loss probability forwarded to the
+      engine — non-zero loss leaves the paper's model. *)
 
+  val sum :
+    ?failures:Failure.t -> ?loss:float -> t -> inputs:int array -> b:int -> f:int -> report
   (** SUM with default settings. *)
-  let sum ?failures ?loss t ~inputs ~b ~f = aggregate ?failures ?loss t ~inputs ~b ~f
 
+  val aggregate_unknown_f :
+    ?caaf:Caaf.t -> ?failures:Failure.t -> ?loss:float -> t -> inputs:int array -> report
   (** Aggregation when [f] is unknown: the doubling-trick protocol. *)
-  let aggregate_unknown_f ?caaf ?failures ?loss t ~inputs =
-    let params = params ?caaf t ~inputs in
-    let failures = Option.value failures ~default:(no_failures t) in
-    let o = Run.unknown_f ?loss ~graph:t.graph ~failures ~params ~seed:t.seed () in
-    report_of o.Run.common o.Run.result
 
+  val select :
+    ?failures:Failure.t -> t -> inputs:int array -> b:int -> f:int -> k:int -> Selection.outcome
   (** The [k]-th smallest input, [1]-based. *)
-  let select ?failures t ~inputs ~b ~f ~k =
-    let params = params t ~inputs in
-    let failures = Option.value failures ~default:(no_failures t) in
-    Selection.select ~graph:t.graph ~failures ~params ~b ~f ~k ~seed:t.seed
 
-  let median ?failures t ~inputs ~b ~f =
-    let params = params t ~inputs in
-    let failures = Option.value failures ~default:(no_failures t) in
-    Selection.median ~graph:t.graph ~failures ~params ~b ~f ~seed:t.seed
+  val median :
+    ?failures:Failure.t -> t -> inputs:int array -> b:int -> f:int -> Selection.outcome
 
-  (* Deprecated pre-overhaul accessor (one release): [report.value] as a
-     function now that the field holds an [Agg.result]. *)
-  let value = value_exn
+  val value : report -> int
+  [@@ocaml.deprecated "use Network.value_exn (report.value is now report.result : Agg.result)"]
 end

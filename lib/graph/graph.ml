@@ -58,6 +58,69 @@ let remove_nodes g nodes =
     nodes;
   { g with present }
 
+module Csr = struct
+  type t = {
+    nodes : int;
+    offsets : int array;
+    targets : int array;
+  }
+
+  (* Rows follow [neighbors] exactly: absent nodes get empty rows, absent
+     neighbours are dropped, and each row is sorted ascending (the order
+     [IS.elements] produces).  The engine's per-round iteration order — and
+     hence its PRNG stream under lossy delivery — is therefore identical to
+     what the list-based view gives. *)
+  let of_graph g =
+    let n = g.n in
+    let offsets = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      let deg =
+        if not g.present.(u) then 0
+        else IS.fold (fun v acc -> if g.present.(v) then acc + 1 else acc) g.adj.(u) 0
+      in
+      offsets.(u + 1) <- offsets.(u) + deg
+    done;
+    let targets = Array.make offsets.(n) 0 in
+    let pos = ref 0 in
+    for u = 0 to n - 1 do
+      if g.present.(u) then
+        IS.iter
+          (fun v ->
+            if g.present.(v) then begin
+              targets.(!pos) <- v;
+              incr pos
+            end)
+          g.adj.(u)
+    done;
+    { nodes = n; offsets; targets }
+
+  let nodes c = c.nodes
+  let degree c u = c.offsets.(u + 1) - c.offsets.(u)
+  let max_degree c =
+    let m = ref 0 in
+    for u = 0 to c.nodes - 1 do
+      if degree c u > !m then m := degree c u
+    done;
+    !m
+
+  let iter_neighbors c u f =
+    for i = c.offsets.(u) to c.offsets.(u + 1) - 1 do
+      f c.targets.(i)
+    done
+
+  let fold_neighbors c u f init =
+    let acc = ref init in
+    for i = c.offsets.(u) to c.offsets.(u + 1) - 1 do
+      acc := f !acc c.targets.(i)
+    done;
+    !acc
+
+  let neighbors_list c u =
+    List.init (degree c u) (fun i -> c.targets.(c.offsets.(u) + i))
+end
+
+let csr = Csr.of_graph
+
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (num_edges g);
   List.iter (fun (u, v) -> Format.fprintf ppf "%d -- %d@," u v) (edges g);

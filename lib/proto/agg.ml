@@ -32,9 +32,29 @@ type node = {
   mutable abort_seen : bool;
   mutable selected : int list;  (* root: sources included in the output *)
   mutable output : result option;
+  (* Cached action rounds, fixed once the node's level is known (at
+     creation for the root, at activation otherwise); -1 = not scheduled.
+     [step] runs for every node every round, so these turn the phase
+     arithmetic into plain comparisons and let quiescent rounds return
+     immediately. *)
+  mutable agg_action : int;  (* execution round of our aggregation send *)
+  mutable spec_action : int;  (* execution round of our speculative flood *)
+  sel_round : int;  (* 6cd + 4: witnesses flood determinations *)
+  final_round : int;  (* root only: the round it outputs; -1 elsewhere *)
 }
 
 let duration p = (7 * Params.cd p) + 4
+
+(* Aggregation happens in round cd − level + 1 of its phase (which starts
+   at 2cd + 2); speculative flooding in phase round level + 1 (pushed a
+   full flooding round later for non-root nodes under [No_speculation]). *)
+let agg_action_round p ~level = (3 * Params.cd p) + 2 - level
+
+let spec_action_round p ~ablation ~is_root ~level =
+  let spec_base = (4 * Params.cd p) + 2 in
+  match ablation with
+  | Full | No_witnesses -> spec_base + level + 1
+  | No_speculation -> if is_root then spec_base + 1 else spec_base + level + 1 + Params.cd p
 
 let create ?(ablation = Full) (p : Params.t) ~me =
   let is_root = me = Ftagg_graph.Graph.root in
@@ -62,6 +82,10 @@ let create ?(ablation = Full) (p : Params.t) ~me =
     abort_seen = false;
     selected = [];
     output = None;
+    agg_action = (if is_root then agg_action_round p ~level:0 else -1);
+    spec_action = (if is_root then spec_action_round p ~ablation ~is_root ~level:0 else -1);
+    sel_round = (6 * Params.cd p) + 4;
+    final_round = (if is_root then duration p else -1);
   }
 
 (* Record the protocol-level consequences of a flood body the node now
@@ -126,6 +150,9 @@ let handle_activation node ~rr ~inbox ~out =
       List.iteri (fun k a -> if k + 2 <= t2 then node.ancestors.(k + 2) <- a) sanc
     end;
     node.tc_send_round <- rr + 1;
+    node.agg_action <- agg_action_round node.p ~level:node.level;
+    node.spec_action <-
+      spec_action_round node.p ~ablation:node.ablation ~is_root:false ~level:node.level;
     out := Message.Ack { parent = sender } :: !out
   | _ -> ()
 
@@ -181,9 +208,35 @@ let compute_output node =
     Value !acc
   end
 
+(* Hot-path helpers: [step] runs for every node every round, so the
+   per-round intake loops and bit folds are top-level recursive functions
+   rather than closures (a closure here is one allocation per node per
+   round). *)
+let rec flood_intake node = function
+  | [] -> ()
+  | (_, body) :: tl ->
+    if Message.is_flood body then
+      if Flood.receive node.flood body then note_flood node body;
+    flood_intake node tl
+
+let rec p2p_intake node = function
+  | [] -> ()
+  | (sender, body) :: tl ->
+    (match body with
+    | Message.Ack { parent } when parent = node.me ->
+      node.children <- sender :: node.children
+    | Message.Aggregation { psum; max_level } when List.mem sender node.children ->
+      Hashtbl.replace node.child_psums sender (psum, max_level)
+    | Message.Flooded_psum _ when sender = node.parent -> node.parent_flood_ever <- true
+    | _ -> ());
+    p2p_intake node tl
+
+let rec bits_of p acc = function
+  | [] -> acc
+  | b :: tl -> bits_of p (acc + Message.bits p b) tl
+
 let step node ~rr ~inbox =
   let p = node.p in
-  let cd = Params.cd p in
   let is_root = node.me = Ftagg_graph.Graph.root in
   if node.abort_seen then begin
     (* Aborted: keep forwarding only the abort symbol. *)
@@ -196,28 +249,29 @@ let step node ~rr ~inbox =
     let out = Flood.drain node.flood in
     let out = List.filter (fun b -> b = Message.Agg_abort) out in
     List.iter (fun b -> node.sent_bits <- node.sent_bits + Message.bits p b) out;
-    if is_root && rr = duration p then node.output <- Some Aborted;
+    if rr = node.final_round then node.output <- Some Aborted;
     out
   end
+  else if
+    (* Quiescent round: nothing arrived, nothing queued, and none of this
+       node's scheduled action rounds (all cached, -1 when unscheduled) is
+       due.  Everything below is then a no-op producing [], so return
+       immediately — this is the common case for most nodes most rounds. *)
+    inbox == []
+    && rr <> node.tc_send_round
+    && rr <> node.agg_action
+    && rr <> node.spec_action
+    && rr <> node.sel_round
+    && rr <> node.final_round
+    && not (Flood.pending node.flood)
+  then []
   else begin
+    let cd = Params.cd p in
     let out = ref [] in
     (* 1. Flood intake: forward first receipts, record side information. *)
-    List.iter
-      (fun (_, body) ->
-        if Message.is_flood body then
-          if Flood.receive node.flood body then note_flood node body)
-      inbox;
+    flood_intake node inbox;
     (* 2. Point-to-point intake. *)
-    List.iter
-      (fun (sender, body) ->
-        match body with
-        | Message.Ack { parent } when parent = node.me ->
-          node.children <- sender :: node.children
-        | Message.Aggregation { psum; max_level } when List.mem sender node.children ->
-          Hashtbl.replace node.child_psums sender (psum, max_level)
-        | Message.Flooded_psum _ when sender = node.parent -> node.parent_flood_ever <- true
-        | _ -> ())
-      inbox;
+    p2p_intake node inbox;
     (* 3. Phase actions. *)
     if (not node.activated) && rr <= (2 * cd) + 1 then handle_activation node ~rr ~inbox ~out;
     if node.activated then begin
@@ -227,8 +281,7 @@ let step node ~rr ~inbox =
           Message.Tree_construct { level = node.level; ancestors = defined_ancestors node }
           :: !out;
       (* Aggregation: act in round cd − level + 1 of the phase. *)
-      let agg_action = (2 * cd) + 1 + (cd - node.level + 1) in
-      if rr = agg_action then begin
+      if rr = node.agg_action then begin
         List.iter
           (fun child ->
             match Hashtbl.find_opt node.child_psums child with
@@ -240,17 +293,10 @@ let step node ~rr ~inbox =
         out := Message.Aggregation { psum = node.psum; max_level = node.max_level } :: !out
       end;
       (* Speculative flooding: root in phase round 1; level l in phase
-         round l+1 iff nothing flooded arrived from the parent this round. *)
-      let spec_base = (4 * cd) + 2 in
-      let spec_action =
-        match node.ablation with
-        | Full | No_witnesses -> spec_base + node.level + 1
-        | No_speculation ->
-          (* wait-and-see variant: non-root nodes hold back a full flooding
-             round to be sure the parent's flood is really absent *)
-          if is_root then spec_base + 1 else spec_base + node.level + 1 + cd
-      in
-      if rr = spec_action then begin
+         round l+1 iff nothing flooded arrived from the parent this round
+         (the No_speculation ablation holds non-root nodes back a full
+         flooding round to be sure the parent's flood is really absent). *)
+      if rr = node.spec_action then begin
         let parent_flooded =
           match node.ablation with
           | No_speculation -> node.parent_flood_ever
@@ -270,12 +316,12 @@ let step node ~rr ~inbox =
           originate node (Message.Flooded_psum { source = node.me; psum = node.psum })
       end;
       (* Selection: witnesses flood determinations in phase round 1. *)
-      if rr = (6 * cd) + 4 && node.ablation <> No_witnesses then make_determinations node
+      if rr = node.sel_round && node.ablation <> No_witnesses then make_determinations node
     end;
     (* 4. Drain floods queued this round. *)
     let outgoing = !out @ Flood.drain node.flood in
     (* 5. Budget enforcement (§4): flood the abort symbol at the threshold. *)
-    let cost = List.fold_left (fun acc b -> acc + Message.bits p b) 0 outgoing in
+    let cost = bits_of p 0 outgoing in
     let outgoing =
       if node.sent_bits + cost > Params.agg_bit_budget p then begin
         node.abort_seen <- true;
@@ -291,7 +337,7 @@ let step node ~rr ~inbox =
         outgoing
       end
     in
-    if is_root && rr = duration p then node.output <- Some (compute_output node);
+    if rr = node.final_round then node.output <- Some (compute_output node);
     outgoing
   end
 

@@ -17,6 +17,8 @@ let receive t body =
 
 let originate = receive
 
+let pending t = t.outbox <> []
+
 let drain t =
   let out = List.rev t.outbox in
   t.outbox <- [];

@@ -19,6 +19,9 @@ val originate : 'body t -> 'body -> bool
 
 val seen : 'body t -> 'body -> bool
 
+val pending : 'body t -> bool
+(** [true] iff the outbox holds bodies queued for forwarding. *)
+
 val drain : 'body t -> 'body list
 (** Bodies to broadcast this round (in queue order); empties the outbox. *)
 

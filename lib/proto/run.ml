@@ -18,46 +18,44 @@ let mk_common ~params ~metrics ~correct =
 let check_value ~graph ~failures ~params ~metrics value =
   Checker.result_correct ~graph ~failures ~end_round:(Metrics.rounds metrics) ~params value
 
-(* Wrap a body-level single-execution automaton as an engine protocol
-   speaking exec-0-tagged messages. *)
-let single_exec_protocol ~name ~create ~step ~is_done =
+let value_exn = function
+  | Agg.Value v -> v
+  | Agg.Aborted -> invalid_arg "Run.value_exn: protocol aborted"
+
+(* Wrap a body-level single-execution automaton as an engine protocol.
+   Single-execution runs never need the exec tag, so the wire messages are
+   raw bodies: the pre-overhaul [{ exec = 0; body }] boxing cost a
+   filter_map + map + per-message reallocation for every node every round
+   on the hot path.  [Message.bits] charges exactly what [Message.msg_bits]
+   charged for the exec-0 wrapping, so the accounting is unchanged. *)
+let single_exec_protocol ~name ~params ~create ~step ~is_done =
   {
     Engine.name;
     init = (fun u ~rng:_ -> create u);
-    step =
-      (fun ~round ~me:_ ~state ~inbox ->
-        let inbox =
-          List.filter_map
-            (fun (s, m) -> if m.Message.exec = 0 then Some (s, m.Message.body) else None)
-            inbox
-        in
-        let bodies = step state ~rr:round ~inbox in
-        (state, List.map (fun body -> Message.{ exec = 0; body }) bodies));
-    msg_bits = (fun _ -> 0);  (* replaced below; see [with_bits] *)
+    step = (fun ~round ~me:_ ~state ~inbox -> (state, step state ~rr:round ~inbox));
+    msg_bits = Message.bits params;
     root_done = is_done;
   }
 
-let with_bits params proto = { proto with Engine.msg_bits = Message.msg_bits params }
-
 type pair_outcome = {
+  result : Agg.result;
   verdict : Pair.verdict;
   trace : Checker.agg_trace;
   veri_end : int;
   lfc : bool;
   edge_failures : int;
-  pc : common;
+  common : common;
 }
 
-let pair ?ablation ~graph ~failures ~params ~seed () =
+let pair ?ablation ?loss ~graph ~failures ~params ~seed () =
   let duration = Pair.duration params in
   let proto =
-    single_exec_protocol ~name:"pair"
+    single_exec_protocol ~name:"pair" ~params
       ~create:(fun u -> Pair.create ?ablation params ~me:u)
       ~step:Pair.step
       ~is_done:(fun _ -> false)
-    |> with_bits params
   in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
+  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
   let verdict = Pair.root_verdict states.(Graph.root) in
   let trace =
     {
@@ -76,59 +74,66 @@ let pair ?ablation ~graph ~failures ~params ~seed () =
     | Agg.Aborted -> true
     | Agg.Value v -> check_value ~graph ~failures ~params ~metrics v
   in
-  { verdict; trace; veri_end; lfc; edge_failures; pc = mk_common ~params ~metrics ~correct }
+  {
+    result = verdict.Pair.result;
+    verdict;
+    trace;
+    veri_end;
+    lfc;
+    edge_failures;
+    common = mk_common ~params ~metrics ~correct;
+  }
 
 type agg_outcome = {
-  agg_result : Agg.result;
-  agg_trace : Checker.agg_trace;
-  ac : common;
+  result : Agg.result;
+  trace : Checker.agg_trace;
+  common : common;
 }
 
-let agg ?ablation ~graph ~failures ~params ~seed () =
+let agg ?ablation ?loss ~graph ~failures ~params ~seed () =
   let duration = Agg.duration params in
   let proto =
-    single_exec_protocol ~name:"agg"
+    single_exec_protocol ~name:"agg" ~params
       ~create:(fun u -> Agg.create ?ablation params ~me:u)
       ~step:Agg.step
       ~is_done:(fun _ -> false)
-    |> with_bits params
   in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
-  let agg_result = Agg.root_result states.(Graph.root) in
-  let agg_trace = { Checker.agg_nodes = states; agg_start = 1; failures; params; graph } in
+  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
+  let result = Agg.root_result states.(Graph.root) in
+  let trace = { Checker.agg_nodes = states; agg_start = 1; failures; params; graph } in
   let correct =
-    match agg_result with
+    match result with
     | Agg.Aborted -> true
     | Agg.Value v -> check_value ~graph ~failures ~params ~metrics v
   in
-  { agg_result; agg_trace; ac = mk_common ~params ~metrics ~correct }
+  { result; trace; common = mk_common ~params ~metrics ~correct }
 
 type value_outcome = {
-  value : int;
-  vc : common;
+  result : Agg.result;
+  common : common;
 }
 
-let brute_force ~graph ~failures ~params ~seed =
+let brute_force ?loss ~graph ~failures ~params ~seed () =
   let duration = Brute_force.duration params in
   let proto =
-    single_exec_protocol ~name:"brute_force"
+    single_exec_protocol ~name:"brute_force" ~params
       ~create:(fun u -> Brute_force.create params ~me:u)
       ~step:Brute_force.step
       ~is_done:(fun _ -> false)
-    |> with_bits params
   in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
-  let value = Brute_force.root_result states.(Graph.root) in
-  let correct = check_value ~graph ~failures ~params ~metrics value in
-  { value; vc = mk_common ~params ~metrics ~correct }
+  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
+  let v = Brute_force.root_result states.(Graph.root) in
+  let correct = check_value ~graph ~failures ~params ~metrics v in
+  { result = Agg.Value v; common = mk_common ~params ~metrics ~correct }
 
 type folklore_outcome = {
+  result : Agg.result;
   f_result : Folklore.result;
   epochs : int;
-  fc : common;
+  common : common;
 }
 
-let folklore ~graph ~failures ~params ~mode ~seed =
+let folklore ?loss ~graph ~failures ~params ~mode ~seed () =
   let duration = Folklore.duration params mode in
   let proto =
     {
@@ -142,27 +147,33 @@ let folklore ~graph ~failures ~params ~mode ~seed =
       root_done = Folklore.root_done;
     }
   in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds:duration ~seed proto in
+  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
   let root = states.(Graph.root) in
   let f_result = Folklore.root_result root in
+  let result =
+    match f_result with
+    | Folklore.No_clean_epoch -> Agg.Aborted
+    | Folklore.Value v -> Agg.Value v
+  in
   let correct =
     match f_result with
     | Folklore.No_clean_epoch -> true
     | Folklore.Value v -> check_value ~graph ~failures ~params ~metrics v
   in
   {
+    result;
     f_result;
     epochs = Folklore.epochs_used root;
-    fc = mk_common ~params ~metrics ~correct;
+    common = mk_common ~params ~metrics ~correct;
   }
 
 type tradeoff_outcome = {
-  t_value : int;
+  result : Agg.result;
   how : Tradeoff.how;
-  tc : common;
+  common : common;
 }
 
-let tradeoff_with ~strategy ~graph ~failures ~params ~b ~f ~seed =
+let tradeoff_with ?loss ~strategy ~graph ~failures ~params ~b ~f ~seed () =
   let proto =
     {
       Engine.name = "tradeoff";
@@ -176,22 +187,26 @@ let tradeoff_with ~strategy ~graph ~failures ~params ~b ~f ~seed =
     }
   in
   let max_rounds = Tradeoff.max_rounds params ~b in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds ~seed proto in
+  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds ~seed proto in
   let root = states.(Graph.root) in
-  let t_value = Tradeoff.root_result root in
-  let correct = check_value ~graph ~failures ~params ~metrics t_value in
-  { t_value; how = Tradeoff.root_how root; tc = mk_common ~params ~metrics ~correct }
+  let v = Tradeoff.root_result root in
+  let correct = check_value ~graph ~failures ~params ~metrics v in
+  {
+    result = Agg.Value v;
+    how = Tradeoff.root_how root;
+    common = mk_common ~params ~metrics ~correct;
+  }
 
-let tradeoff ~graph ~failures ~params ~b ~f ~seed =
-  tradeoff_with ~strategy:Tradeoff.Sampled ~graph ~failures ~params ~b ~f ~seed
+let tradeoff ?loss ~graph ~failures ~params ~b ~f ~seed () =
+  tradeoff_with ?loss ~strategy:Tradeoff.Sampled ~graph ~failures ~params ~b ~f ~seed ()
 
 type unknown_f_outcome = {
-  u_value : int;
-  u_how : Unknown_f.how;
-  uc : common;
+  result : Agg.result;
+  how : Unknown_f.how;
+  common : common;
 }
 
-let unknown_f ~graph ~failures ~params ~seed =
+let unknown_f ?loss ~graph ~failures ~params ~seed () =
   let proto =
     {
       Engine.name = "unknown_f";
@@ -205,8 +220,29 @@ let unknown_f ~graph ~failures ~params ~seed =
     }
   in
   let max_rounds = Unknown_f.max_rounds params in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds ~seed proto in
+  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds ~seed proto in
   let root = states.(Graph.root) in
-  let u_value = Unknown_f.root_result root in
-  let correct = check_value ~graph ~failures ~params ~metrics u_value in
-  { u_value; u_how = Unknown_f.root_how root; uc = mk_common ~params ~metrics ~correct }
+  let v = Unknown_f.root_result root in
+  let correct = check_value ~graph ~failures ~params ~metrics v in
+  {
+    result = Agg.Value v;
+    how = Unknown_f.root_how root;
+    common = mk_common ~params ~metrics ~correct;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated aliases for the pre-overhaul field names (one release).  *)
+(* ------------------------------------------------------------------ *)
+
+let pc (o : pair_outcome) = o.common
+let ac (o : agg_outcome) = o.common
+let agg_result (o : agg_outcome) = o.result
+let agg_trace (o : agg_outcome) = o.trace
+let vc (o : value_outcome) = o.common
+let value (o : value_outcome) = value_exn o.result
+let fc (o : folklore_outcome) = o.common
+let tc (o : tradeoff_outcome) = o.common
+let t_value (o : tradeoff_outcome) = value_exn o.result
+let uc (o : unknown_f_outcome) = o.common
+let u_value (o : unknown_f_outcome) = value_exn o.result
+let u_how (o : unknown_f_outcome) = o.how

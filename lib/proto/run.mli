@@ -1,6 +1,17 @@
 (** End-to-end runners: instantiate a protocol on a topology, drive it
     through the engine under a failure schedule, and package the outcome
-    together with metrics and ground-truth checks. *)
+    together with metrics and ground-truth checks.
+
+    Every entry point returns an outcome record with the same shape: a
+    [result : Agg.result] (the root's answer, [Aborted] when the protocol
+    gave up), a [common : common] with the run's metrics and checks, and
+    protocol-specific evidence fields.  The pre-overhaul names ([vc]/[tc]/
+    [uc]/[pc]/[fc]/[ac], [t_value]/[u_value]/…) survive one release as
+    deprecated accessor functions at the bottom of this interface.
+
+    All entry points accept [?loss] (default [0.]): the per-edge delivery
+    loss probability forwarded to {!Ftagg_sim.Engine.run}.  Non-zero loss
+    leaves the paper's model — see the engine's documentation. *)
 
 module Metrics = Ftagg_sim.Metrics
 
@@ -13,9 +24,13 @@ type common = {
                        if the protocol is allowed to give up there) *)
 }
 
+val value_exn : Agg.result -> int
+(** The computed value; raises [Invalid_argument] on [Agg.Aborted]. *)
+
 (** {2 Single AGG / AGG+VERI executions} *)
 
 type pair_outcome = {
+  result : Agg.result;  (** = [verdict.Pair.result] *)
   verdict : Pair.verdict;
   trace : Checker.agg_trace;  (** for structural ground truth *)
   veri_end : int;  (** global round of VERI's last round *)
@@ -24,29 +39,31 @@ type pair_outcome = {
       (** ground truth: the model's edge-failure count at the end of the
           run — edges incident to crashed {e or disconnected} nodes (§2
           counts disconnection as failure) *)
-  pc : common;
+  common : common;
 }
 
 val pair :
   ?ablation:Agg.ablation ->
+  ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
   seed:int ->
   unit ->
   pair_outcome
-(** One AGG+VERI pair starting at round 1.  [pc.correct] is [true] when
-    AGG aborted (it gave up explicitly) or its value is in the
+(** One AGG+VERI pair starting at round 1.  [common.correct] is [true]
+    when AGG aborted (it gave up explicitly) or its value is in the
     correctness interval. *)
 
 type agg_outcome = {
-  agg_result : Agg.result;
-  agg_trace : Checker.agg_trace;
-  ac : common;
+  result : Agg.result;
+  trace : Checker.agg_trace;
+  common : common;
 }
 
 val agg :
   ?ablation:Agg.ablation ->
+  ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
@@ -57,50 +74,59 @@ val agg :
 (** {2 Whole-protocol runs} *)
 
 type value_outcome = {
-  value : int;
-  vc : common;
+  result : Agg.result;  (** always [Value] — brute force cannot abort *)
+  common : common;
 }
 
 val brute_force :
+  ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
   seed:int ->
+  unit ->
   value_outcome
 
 type folklore_outcome = {
-  f_result : Folklore.result;
+  result : Agg.result;  (** [Aborted] on [No_clean_epoch] *)
+  f_result : Folklore.result;  (** the protocol-level detail *)
   epochs : int;
-  fc : common;
+  common : common;
 }
 
 val folklore :
+  ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
   mode:Folklore.mode ->
   seed:int ->
+  unit ->
   folklore_outcome
-(** [fc.correct] for [Naive] mode reports the actual interval check — the
-    motivating baseline is {e expected} to fail it under failures. *)
+(** [common.correct] for [Naive] mode reports the actual interval check —
+    the motivating baseline is {e expected} to fail it under failures. *)
 
 type tradeoff_outcome = {
-  t_value : int;
+  result : Agg.result;  (** always [Value] — Algorithm 1 falls back to
+                            brute force rather than aborting *)
   how : Tradeoff.how;
-  tc : common;
+  common : common;
 }
 
 val tradeoff :
+  ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
   b:int ->
   f:int ->
   seed:int ->
+  unit ->
   tradeoff_outcome
 (** Algorithm 1 with the paper's sampled-interval strategy. *)
 
 val tradeoff_with :
+  ?loss:float ->
   strategy:Tradeoff.strategy ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
@@ -108,19 +134,64 @@ val tradeoff_with :
   b:int ->
   f:int ->
   seed:int ->
+  unit ->
   tradeoff_outcome
 (** Same, with an explicit interval-selection strategy (the [Sequential]
     derandomized ablation of bench E15). *)
 
 type unknown_f_outcome = {
-  u_value : int;
-  u_how : Unknown_f.how;
-  uc : common;
+  result : Agg.result;  (** always [Value] *)
+  how : Unknown_f.how;
+  common : common;
 }
 
 val unknown_f :
+  ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
   seed:int ->
+  unit ->
   unknown_f_outcome
+
+(** {2 Deprecated aliases}
+
+    The pre-overhaul outcome fields, kept for one release as accessor
+    functions.  Migrate [o.Run.tc] → [o.Run.common], [o.Run.t_value] →
+    [Run.value_exn o.Run.result], and so on. *)
+
+val pc : pair_outcome -> common
+[@@ocaml.deprecated "use o.common"]
+
+val ac : agg_outcome -> common
+[@@ocaml.deprecated "use o.common"]
+
+val agg_result : agg_outcome -> Agg.result
+[@@ocaml.deprecated "use o.result"]
+
+val agg_trace : agg_outcome -> Checker.agg_trace
+[@@ocaml.deprecated "use o.trace"]
+
+val vc : value_outcome -> common
+[@@ocaml.deprecated "use o.common"]
+
+val value : value_outcome -> int
+[@@ocaml.deprecated "use Run.value_exn o.result"]
+
+val fc : folklore_outcome -> common
+[@@ocaml.deprecated "use o.common"]
+
+val tc : tradeoff_outcome -> common
+[@@ocaml.deprecated "use o.common"]
+
+val t_value : tradeoff_outcome -> int
+[@@ocaml.deprecated "use Run.value_exn o.result"]
+
+val uc : unknown_f_outcome -> common
+[@@ocaml.deprecated "use o.common"]
+
+val u_value : unknown_f_outcome -> int
+[@@ocaml.deprecated "use Run.value_exn o.result"]
+
+val u_how : unknown_f_outcome -> Unknown_f.how
+[@@ocaml.deprecated "use o.how"]

@@ -71,13 +71,13 @@ let sweep_tradeoff ~n ~f ~b ~seed () =
         List.map
           (fun adversary ->
             let failures = schedule_of graph ~params ~f ~b adversary in
-            let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed in
+            let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed () in
             {
               family;
               adversary = adversary_name adversary;
-              cc = Metrics.cc o.Run.tc.Run.metrics;
-              flooding_rounds = o.Run.tc.Run.flooding_rounds;
-              correct = o.Run.tc.Run.correct;
+              cc = Metrics.cc o.Run.common.Run.metrics;
+              flooding_rounds = o.Run.common.Run.flooding_rounds;
+              correct = o.Run.common.Run.correct;
             })
           (default_adversaries ~seed))
       (Gen.all_families ~seed)

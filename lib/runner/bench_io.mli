@@ -1,0 +1,24 @@
+(** Benchmark result serialization.
+
+    A minimal JSON value type and printer (the toolchain has no JSON
+    dependency), used to persist sweep results — e.g. the engine
+    benchmark writes [BENCH_engine.json] with it. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN / infinities are emitted as [null] *)
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : ?indent:bool -> json -> string
+(** Serialize; [indent] (default [true]) pretty-prints with 2-space
+    indentation and a trailing newline. *)
+
+val write_file : path:string -> json -> unit
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f] and returns its result with the wall-clock
+    seconds it took. *)

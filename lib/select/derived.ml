@@ -25,11 +25,11 @@ let summary ~graph ~failures ~params ~b ~f ~seed =
     let o =
       Run.tradeoff ~graph
         ~failures:(Failure.shift failures ~by:!offset)
-        ~params:p ~b ~f ~seed:(seed + !step)
+        ~params:p ~b ~f ~seed:(seed + !step) ()
     in
-    offset := !offset + o.Run.tc.Run.rounds;
-    Metrics.merge_into metrics o.Run.tc.Run.metrics;
-    o.Run.t_value
+    offset := !offset + o.Run.common.Run.rounds;
+    Metrics.merge_into metrics o.Run.common.Run.metrics;
+    (Run.value_exn o.Run.result)
   in
   let inputs = params.Params.inputs in
   let sum = component ~caaf:Instances.sum ~inputs in

@@ -30,9 +30,9 @@ let count_probe ~graph ~failures ~params ~b ~f ~seed ~offset pred =
   in
   let o =
     Run.tradeoff ~graph ~failures:(Failure.shift shifted ~by:announce_rounds)
-      ~params:probe_params ~b ~f ~seed
+      ~params:probe_params ~b ~f ~seed ()
   in
-  let metrics = o.Run.tc.Run.metrics in
+  let metrics = o.Run.common.Run.metrics in
   (* Charge the announcement flood to every node alive when it happened. *)
   for u = 0 to n - 1 do
     if Failure.is_alive shifted ~node:u ~round:announce_rounds then
@@ -40,7 +40,7 @@ let count_probe ~graph ~failures ~params ~b ~f ~seed ~offset pred =
   done;
   let total_rounds = Metrics.rounds metrics + announce_rounds in
   Metrics.note_round metrics total_rounds;
-  (o.Run.t_value, metrics, total_rounds)
+  ((Run.value_exn o.Run.result), metrics, total_rounds)
 
 let select ~graph ~failures ~params ~b ~f ~k ~seed =
   if k < 1 then invalid_arg "Selection.select: k must be >= 1";

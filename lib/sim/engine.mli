@@ -55,4 +55,22 @@ val run :
     given probability.  {b This leaves the paper's model}: every guarantee
     in the library assumes reliable local broadcast; the knob exists so
     the bench harness can demonstrate (E16) that the crash-only guarantees
-    do not survive lossy links. *)
+    do not survive lossy links.
+
+    The delivery loop iterates a {!Ftagg_graph.Graph.Csr} snapshot of the
+    adjacency taken once at run start, allocating nothing per round beyond
+    the inbox cells the [step] API requires. *)
+
+val run_reference :
+  ?observer:(round:int -> node:int -> 'msg list -> unit) ->
+  ?loss:float ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Failure.t ->
+  max_rounds:int ->
+  seed:int ->
+  ('state, 'msg) protocol ->
+  'state array * Metrics.t
+(** The original list-based engine, kept as the executable specification
+    of {!run}: same final states, same metrics, same per-node and loss
+    PRNG streams.  Used by the differential equivalence tests and as the
+    baseline of the [perf] benchmark; {b not} a hot path. *)

@@ -31,6 +31,8 @@ let crashed_nodes t = crashed_by t ~round:(never - 1)
 
 let is_alive t ~node ~round = t.(node) > round
 
+let crash_rounds t = t
+
 let shift t ~by =
   Array.map (fun r -> if r = never then never else max 1 (r - by)) t
 

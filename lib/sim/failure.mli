@@ -33,6 +33,11 @@ val crashed_nodes : t -> int list
 val is_alive : t -> node:int -> round:int -> bool
 (** Whether the node still acts in the given round. *)
 
+val crash_rounds : t -> int array
+(** The schedule's backing array (index = node, value = crash round).
+    Exposed for the engine's per-node-per-round liveness test; treat as
+    read-only — mutating it changes the schedule. *)
+
 val shift : t -> by:int -> t
 (** [shift t ~by] is the schedule as seen by an execution starting [by]
     rounds into the original one: crash rounds are moved earlier by [by],

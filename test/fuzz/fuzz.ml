@@ -60,21 +60,21 @@ let trial rng i =
     + Message.bits params Message.Agg_abort
     + Message.bits params Message.Veri_overflow
   in
-  check ~repro "pair CC within combined budgets" (Metrics.cc o.Run.pc.Run.metrics <= cap);
+  check ~repro "pair CC within combined budgets" (Metrics.cc o.Run.common.Run.metrics <= cap);
   (if o.Run.edge_failures <= t then begin
      check ~repro "scenario1: no abort"
        (match o.Run.verdict.Pair.result with Agg.Value _ -> true | Agg.Aborted -> false);
-     check ~repro "scenario1: correct" o.Run.pc.Run.correct;
+     check ~repro "scenario1: correct" o.Run.common.Run.correct;
      check ~repro "scenario1: VERI true" o.Run.verdict.Pair.veri_ok
    end
-   else if not o.Run.lfc then check ~repro "scenario2: correct-or-abort" o.Run.pc.Run.correct
+   else if not o.Run.lfc then check ~repro "scenario2: correct-or-abort" o.Run.common.Run.correct
    else check ~repro "scenario3: VERI false" (not o.Run.verdict.Pair.veri_ok));
   (match o.Run.verdict.Pair.result with
   | Agg.Aborted -> ()
   | Agg.Value _ ->
     let selected = Agg.selected_sources o.Run.trace.Checker.agg_nodes.(Graph.root) in
     let r =
-      Checker.representative_set o.Run.trace ~selected ~end_round:o.Run.pc.Run.rounds
+      Checker.representative_set o.Run.trace ~selected ~end_round:o.Run.common.Run.rounds
     in
     check ~repro "partial sums match schedule recomputation" r.Checker.psums_match;
     if o.Run.verdict.Pair.veri_ok then begin
@@ -87,9 +87,9 @@ let trial rng i =
   let failures2 =
     adversary rng graph ~budget ~window:(b * params.Params.d)
   in
-  let o2 = Run.tradeoff ~graph ~failures:failures2 ~params ~b ~f ~seed:(seed + 1) in
-  check ~repro "Theorem 1: correct" o2.Run.tc.Run.correct;
-  check ~repro "Theorem 1: TC <= b" (o2.Run.tc.Run.flooding_rounds <= b)
+  let o2 = Run.tradeoff ~graph ~failures:failures2 ~params ~b ~f ~seed:(seed + 1) () in
+  check ~repro "Theorem 1: correct" o2.Run.common.Run.correct;
+  check ~repro "Theorem 1: TC <= b" (o2.Run.common.Run.flooding_rounds <= b)
 
 let () =
   let trials =

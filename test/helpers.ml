@@ -46,11 +46,11 @@ let check_pair_guarantees (o : Run.pair_outcome) ~t =
     (* Scenario 1: correct result, no abort, VERI true. *)
     check_true "scenario1: AGG must not abort"
       (match o.Run.verdict.Pair.result with Agg.Value _ -> true | Agg.Aborted -> false);
-    check_true "scenario1: result must be correct" o.Run.pc.Run.correct;
+    check_true "scenario1: result must be correct" o.Run.common.Run.correct;
     check_true "scenario1: VERI must output true" o.Run.verdict.Pair.veri_ok
   | `Over_t_no_lfc ->
     (* Scenario 2: correct result or abort; VERI unconstrained. *)
-    check_true "scenario2: AGG must be correct or aborted" o.Run.pc.Run.correct
+    check_true "scenario2: AGG must be correct or aborted" o.Run.common.Run.correct
   | `Over_t_lfc ->
     (* Scenario 3: VERI must output false. *)
     check_true "scenario3: VERI must output false" (not o.Run.verdict.Pair.veri_ok));

@@ -17,4 +17,5 @@ let () =
       ("deep", Test_deep.suite);
       ("representative", Test_representative.suite);
       ("cross", Test_cross.suite);
+      ("engine-perf", Test_engine_perf.suite);
     ]

@@ -15,7 +15,7 @@ let test_failure_free_exact () =
     (fun (name, g) ->
       let n = Graph.n g in
       let o, _ = run_agg g ~failures:(Failure.none ~n) ~seed:1 in
-      match o.Run.agg_result with
+      match o.Run.result with
       | Agg.Value v -> check_int (name ^ ": exact sum") (total (default_inputs n)) v
       | Agg.Aborted -> Alcotest.fail (name ^ ": aborted without failures"))
     (Lazy.force sweep_graphs)
@@ -27,7 +27,7 @@ let test_failure_free_all_caafs () =
     (fun (caaf : Caaf.t) ->
       let params = params_of ~t:2 ~caaf g ~inputs in
       let o = Run.agg ~graph:g ~failures:(Failure.none ~n:25) ~params ~seed:2 () in
-      match o.Run.agg_result with
+      match o.Run.result with
       | Agg.Value v ->
         check_int
           (caaf.Caaf.name ^ ": matches reference fold")
@@ -44,8 +44,8 @@ let test_theorem3_time_bound () =
       let o, params = run_agg g ~failures:(Failure.none ~n) ~seed:3 in
       let c = params.Params.c in
       check_true (name ^ ": rounds = 7cd+4")
-        (o.Run.ac.Run.rounds = (7 * Params.cd params) + 4);
-      check_true (name ^ ": <= 11c flooding rounds") (o.Run.ac.Run.flooding_rounds <= 11 * c))
+        (o.Run.common.Run.rounds = (7 * Params.cd params) + 4);
+      check_true (name ^ ": <= 11c flooding rounds") (o.Run.common.Run.flooding_rounds <= 11 * c))
     (Lazy.force sweep_graphs)
 
 let test_theorem3_bit_budget () =
@@ -66,7 +66,7 @@ let test_theorem3_bit_budget () =
           for u = 0 to n - 1 do
             check_true
               (Printf.sprintf "%s t=%d node %d within budget" name t u)
-              (Metrics.bits_sent o.Run.ac.Run.metrics u <= budget + abort_width)
+              (Metrics.bits_sent o.Run.common.Run.metrics u <= budget + abort_width)
           done)
         [ 0; 1; 4 ])
     (Lazy.force sweep_graphs)
@@ -88,12 +88,12 @@ let test_theorem4_tolerates_t_failures () =
           (* Theorem 4's hypothesis is on the model's edge-failure count,
              which also charges the edges of disconnected nodes. *)
           let ef =
-            Checker.model_edge_failures ~graph:g ~failures ~round:o.Run.ac.Run.rounds
+            Checker.model_edge_failures ~graph:g ~failures ~round:o.Run.common.Run.rounds
           in
           if ef <= t then begin
             check_true (name ^ ": no abort with <= t failures")
-              (match o.Run.agg_result with Agg.Value _ -> true | Agg.Aborted -> false);
-            check_true (name ^ ": correct with <= t failures") o.Run.ac.Run.correct
+              (match o.Run.result with Agg.Value _ -> true | Agg.Aborted -> false);
+            check_true (name ^ ": correct with <= t failures") o.Run.common.Run.correct
           end)
         seeds)
     (Lazy.force sweep_graphs)
@@ -108,10 +108,10 @@ let test_theorem5_no_lfc_correct_or_abort () =
      descendants below it. *)
   let failures = Failure.kill_nodes ~n ~nodes:[ 9; 10; 11; 12 ] ~round:60 in
   let o, params = run_agg g ~t:1 ~failures ~seed:4 in
-  let trace = o.Run.agg_trace in
+  let trace = o.Run.trace in
   let lfc = Checker.has_lfc trace ~veri_end:(Agg.duration params) in
   if not lfc then
-    check_true "no-LFC run is correct or aborted" o.Run.ac.Run.correct
+    check_true "no-LFC run is correct or aborted" o.Run.common.Run.correct
 
 let test_critical_failure_detection () =
   (* A node killed between ack and action must be flagged as a critical
@@ -124,11 +124,11 @@ let test_critical_failure_detection () =
      between *)
   let failures = Failure.kill_nodes ~n ~nodes:[ 3 ] ~round:(cd + 5) in
   let o = Run.agg ~graph:g ~failures ~params ~seed:5 () in
-  let crits = Checker.critical_failures o.Run.agg_trace in
+  let crits = Checker.critical_failures o.Run.trace in
   check_true "checker flags node 3" (List.mem 3 crits);
   (* the parent (node 2) floods the critical failure, so the root sees it *)
   check_true "root saw the critical failure"
-    (List.mem 3 (Agg.crit_seen o.Run.agg_trace.Checker.agg_nodes.(0)))
+    (List.mem 3 (Agg.crit_seen o.Run.trace.Checker.agg_nodes.(0)))
 
 let test_blocked_psum_recovered_by_speculation () =
   (* Figure 3's point: node B dies right before it would flood, its
@@ -141,8 +141,8 @@ let test_blocked_psum_recovered_by_speculation () =
      psum (covering the whole arm 2..10ish) is blocked and lost *)
   let failures = Failure.kill_nodes ~n ~nodes:[ 2 ] ~round:((4 * cd) + 3) in
   let o = Run.agg ~graph:g ~failures ~params ~seed:6 () in
-  check_true "speculation recovers the arm" o.Run.ac.Run.correct;
-  match o.Run.agg_result with
+  check_true "speculation recovers the arm" o.Run.common.Run.correct;
+  match o.Run.result with
   | Agg.Value v ->
     (* everything except possibly node 2's own input must be included *)
     check_true "only the dead node may be missing" (v >= total (default_inputs n) - 3)
@@ -165,13 +165,13 @@ let test_ablation_no_witnesses_double_counts () =
      full partial sum and node 2's overlapping arm. *)
   let g, n, params, failures = overlap_scenario () in
   let o = Run.agg ~ablation:Agg.No_witnesses ~graph:g ~failures ~params ~seed:7 () in
-  (match o.Run.agg_result with
+  (match o.Run.result with
   | Agg.Value v -> check_true "ablated AGG double counts" (v > total (default_inputs n))
   | Agg.Aborted -> Alcotest.fail "unexpected abort");
   (* The full protocol labels the overlapping sum dominated and stays
      exact on the identical schedule. *)
   let o = Run.agg ~graph:g ~failures ~params ~seed:7 () in
-  match o.Run.agg_result with
+  match o.Run.result with
   | Agg.Value v -> check_int "full protocol stays exact" (total (default_inputs n)) v
   | Agg.Aborted -> Alcotest.fail "unexpected abort"
 
@@ -193,9 +193,9 @@ let test_ablation_no_speculation_loses_inputs () =
     Failure.of_list ~n [ (1, (2 * cd) + 1 + 9); (2, spec_base + 2 + 1 + cd - 1) ]
   in
   let check_correct (o : Run.agg_outcome) =
-    match o.Run.agg_result with
+    match o.Run.result with
     | Agg.Value v ->
-      Checker.result_correct ~graph:g ~failures ~end_round:o.Run.ac.Run.rounds ~params v
+      Checker.result_correct ~graph:g ~failures ~end_round:o.Run.common.Run.rounds ~params v
     | Agg.Aborted -> true
   in
   let ablated = Run.agg ~ablation:Agg.No_speculation ~graph:g ~failures ~params ~seed:8 () in
@@ -218,13 +218,13 @@ let test_abort_under_overwhelming_failures () =
         Failure.burst g ~rng:(Prng.create seed) ~budget:20 ~round:((2 * cd) + 5)
       in
       let o = Run.agg ~graph:g ~failures ~params ~seed () in
-      (match o.Run.agg_result with
+      (match o.Run.result with
       | Agg.Aborted -> incr aborted
       | Agg.Value _ -> ());
       (* either way, every node's bits stay within threshold + symbol *)
       let cap = Params.agg_bit_budget params + Message.bits params Message.Agg_abort in
       for u = 0 to n - 1 do
-        check_true "bits capped" (Metrics.bits_sent o.Run.ac.Run.metrics u <= cap)
+        check_true "bits capped" (Metrics.bits_sent o.Run.common.Run.metrics u <= cap)
       done)
     [ 1; 2; 3; 4; 5; 6 ];
   check_true "the abort path fired at least once" (!aborted >= 1)
@@ -242,8 +242,8 @@ let test_tradeoff_recovers_from_aborting_interval () =
         Failure.burst g ~rng:(Prng.create seed) ~budget:20 ~round:((2 * cd) + 5)
       in
       (* declare a tiny f so the per-interval t is small *)
-      let o = Run.tradeoff ~graph:g ~failures ~params ~b:168 ~f:1 ~seed in
-      check_true "correct despite aborting interval" o.Run.tc.Run.correct)
+      let o = Run.tradeoff ~graph:g ~failures ~params ~b:168 ~f:1 ~seed () in
+      check_true "correct despite aborting interval" o.Run.common.Run.correct)
     [ 1; 2; 3 ]
 
 let qcheck_tests =
@@ -260,12 +260,12 @@ let qcheck_tests =
         let params = params_of ~t g ~inputs:(default_inputs n) in
         let o = Run.agg ~graph:g ~failures ~params ~seed () in
         let ef =
-          Checker.model_edge_failures ~graph:g ~failures ~round:o.Run.ac.Run.rounds
+          Checker.model_edge_failures ~graph:g ~failures ~round:o.Run.common.Run.rounds
         in
         ef > t
         ||
-        match o.Run.agg_result with
-        | Agg.Value _ -> o.Run.ac.Run.correct
+        match o.Run.result with
+        | Agg.Value _ -> o.Run.common.Run.correct
         | Agg.Aborted -> false);
     Test.make
       ~name:"Theorem 5: no LFC => correct or abort (adversarial bursts, random graphs)"
@@ -281,11 +281,11 @@ let qcheck_tests =
             ~round:(1 + (seed mod (Agg.duration params)))
         in
         let o = Run.agg ~graph:g ~failures ~params ~seed () in
-        let lfc = Checker.has_lfc o.Run.agg_trace ~veri_end:(Agg.duration params) in
+        let lfc = Checker.has_lfc o.Run.trace ~veri_end:(Agg.duration params) in
         lfc
         ||
-        match o.Run.agg_result with
-        | Agg.Value _ -> o.Run.ac.Run.correct
+        match o.Run.result with
+        | Agg.Value _ -> o.Run.common.Run.correct
         | Agg.Aborted -> true);
   ]
 

@@ -59,7 +59,7 @@ let trace_of g ~t ~failures ~seed =
   let n = Graph.n g in
   let params = params_of ~t g ~inputs:(default_inputs n) in
   let o = Run.agg ~graph:g ~failures ~params ~seed () in
-  (o.Run.agg_trace, params)
+  (o.Run.trace, params)
 
 let test_critical_failure_window () =
   let g = Gen.path 8 in

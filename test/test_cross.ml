@@ -18,16 +18,16 @@ let test_all_protocols_agree_failure_free () =
       let params = Params.make ~c:2 ~t:2 ~caaf ~graph:g ~inputs () in
       let want = Caaf.aggregate caaf (Array.to_list inputs) in
       let failures = Failure.none ~n in
-      let tr = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:2 ~seed:1 in
-      let bf = Run.brute_force ~graph:g ~failures ~params ~seed:1 in
-      let fo = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry 2) ~seed:1 in
-      let uf = Run.unknown_f ~graph:g ~failures ~params ~seed:1 in
-      check_int (caaf.Caaf.name ^ ": tradeoff") want tr.Run.t_value;
-      check_int (caaf.Caaf.name ^ ": brute") want bf.Run.value;
+      let tr = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:2 ~seed:1 () in
+      let bf = Run.brute_force ~graph:g ~failures ~params ~seed:1 () in
+      let fo = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry 2) ~seed:1 () in
+      let uf = Run.unknown_f ~graph:g ~failures ~params ~seed:1 () in
+      check_int (caaf.Caaf.name ^ ": tradeoff") want (Run.value_exn tr.Run.result);
+      check_int (caaf.Caaf.name ^ ": brute") want (Run.value_exn bf.Run.result);
       (match fo.Run.f_result with
       | Folklore.Value v -> check_int (caaf.Caaf.name ^ ": folklore") want v
       | Folklore.No_clean_epoch -> Alcotest.fail "folklore dirty without failures");
-      check_int (caaf.Caaf.name ^ ": unknown-f") want uf.Run.u_value)
+      check_int (caaf.Caaf.name ^ ": unknown-f") want (Run.value_exn uf.Run.result))
     [ Instances.sum; Instances.count; Instances.max_; Instances.bool_or; Instances.gcd ]
 
 let test_pair_on_hypercube_and_two_tier () =
@@ -106,8 +106,8 @@ let test_tradeoff_rejects_aborted_pair_result () =
   List.iter
     (fun len ->
       let failures = Failure.chain ~n ~first:1 ~len ~round:70 in
-      let o = Run.tradeoff ~graph:g ~failures ~params ~b:84 ~f:4 ~seed:3 in
-      check_true (Printf.sprintf "chain %d: correct" len) o.Run.tc.Run.correct)
+      let o = Run.tradeoff ~graph:g ~failures ~params ~b:84 ~f:4 ~seed:3 () in
+      check_true (Printf.sprintf "chain %d: correct" len) o.Run.common.Run.correct)
     [ 2; 4; 8; 12 ]
 
 let test_network_report_consistency () =
@@ -117,7 +117,7 @@ let test_network_report_consistency () =
   let r = Network.sum net ~inputs ~b:63 ~f:2 in
   check_true "rounds vs flooding rounds"
     (r.Network.flooding_rounds = (r.Network.rounds + Network.diameter net - 1) / Network.diameter net);
-  check_int "value" 100 r.Network.value
+  check_int "value" 100 (Network.value_exn r)
 
 let suite =
   List.map

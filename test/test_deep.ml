@@ -84,15 +84,15 @@ let test_run_determinism () =
   let g = Gen.grid n in
   let params = params_of g ~inputs:(default_inputs n) in
   let failures = Failure.random g ~rng:(Prng.create 4) ~budget:6 ~max_round:600 in
-  let run () = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:6 ~seed:11 in
+  let run () = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:6 ~seed:11 () in
   let a = run () and b = run () in
-  check_int "same value" a.Run.t_value b.Run.t_value;
-  check_int "same cc" (Metrics.cc a.Run.tc.Run.metrics) (Metrics.cc b.Run.tc.Run.metrics);
-  check_int "same rounds" a.Run.tc.Run.rounds b.Run.tc.Run.rounds;
+  check_int "same value" (Run.value_exn a.Run.result) (Run.value_exn b.Run.result);
+  check_int "same cc" (Metrics.cc a.Run.common.Run.metrics) (Metrics.cc b.Run.common.Run.metrics);
+  check_int "same rounds" a.Run.common.Run.rounds b.Run.common.Run.rounds;
   (* different protocol seed may legitimately pick different intervals
      but must stay correct *)
-  let c = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:6 ~seed:12 in
-  check_true "other seed still correct" c.Run.tc.Run.correct
+  let c = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:6 ~seed:12 () in
+  check_true "other seed still correct" c.Run.common.Run.correct
 
 let test_pair_determinism_across_metrics () =
   let n = 30 in
@@ -105,8 +105,8 @@ let test_pair_determinism_across_metrics () =
     (fun u ->
       check_int
         (Printf.sprintf "node %d bits identical" u)
-        (Metrics.bits_sent a.Run.pc.Run.metrics u)
-        (Metrics.bits_sent b.Run.pc.Run.metrics u))
+        (Metrics.bits_sent a.Run.common.Run.metrics u)
+        (Metrics.bits_sent b.Run.common.Run.metrics u))
     (List.init n Fun.id)
 
 (* --- Packed-pair CAAF: AVERAGE in one execution ----------------------- *)
@@ -134,8 +134,8 @@ let test_packed2_average_single_run () =
   let raw = Array.init n (fun i -> (i mod 9) + 1) in
   let inputs = Array.map (fun x -> Instances.pack2 ~bits x 1) raw in
   let params = Params.make ~c:2 ~caaf ~graph:g ~inputs () in
-  let o = Run.tradeoff ~graph:g ~failures:(Failure.none ~n) ~params ~b:63 ~f:2 ~seed:1 in
-  let sum, count = Instances.unpack2 ~bits o.Run.t_value in
+  let o = Run.tradeoff ~graph:g ~failures:(Failure.none ~n) ~params ~b:63 ~f:2 ~seed:1 () in
+  let sum, count = Instances.unpack2 ~bits (Run.value_exn o.Run.result) in
   check_int "packed sum" (total raw) sum;
   check_int "packed count" n count
 
@@ -181,15 +181,15 @@ let test_stress_larger_network () =
     Failure.random g ~rng:(Prng.create 21) ~budget:20
       ~max_round:(63 * params.Params.d)
   in
-  let o = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:20 ~seed:9 in
-  check_true "large grid correct" o.Run.tc.Run.correct;
-  check_true "large grid within budget" (o.Run.tc.Run.flooding_rounds <= 63);
+  let o = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:20 ~seed:9 () in
+  check_true "large grid correct" o.Run.common.Run.correct;
+  check_true "large grid within budget" (o.Run.common.Run.flooding_rounds <= 63);
   (* brute force on the same instance for cross-validation of the
      correctness interval *)
-  let ob = Run.brute_force ~graph:g ~failures ~params ~seed:9 in
-  check_true "brute correct too" ob.Run.vc.Run.correct;
+  let ob = Run.brute_force ~graph:g ~failures ~params ~seed:9 () in
+  check_true "brute correct too" ob.Run.common.Run.correct;
   check_true "tradeoff CC beats brute force"
-    (Metrics.cc o.Run.tc.Run.metrics < Metrics.cc ob.Run.vc.Run.metrics)
+    (Metrics.cc o.Run.common.Run.metrics < Metrics.cc ob.Run.common.Run.metrics)
 
 let suite =
   List.map

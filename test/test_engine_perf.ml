@@ -1,0 +1,183 @@
+(* Differential check of the CSR engine hot path against the list-based
+   reference engine (the executable specification kept as
+   Engine.run_reference), plus determinism of the multicore sweep
+   runner.  The perf claim in bench `perf` rests on these being
+   observationally identical. *)
+
+open Ftagg
+open Helpers
+
+(* Drive the same protocol through both engines and insist on identical
+   metrics (per-node bits AND messages) and identical final states under
+   a projection chosen per protocol. *)
+let both ?loss ~graph ~failures ~max_rounds ~seed ~project proto =
+  let s_ref, m_ref = Engine.run_reference ?loss ~graph ~failures ~max_rounds ~seed proto in
+  let s_new, m_new = Engine.run ?loss ~graph ~failures ~max_rounds ~seed proto in
+  check_int "rounds" (Metrics.rounds m_ref) (Metrics.rounds m_new);
+  check_int "cc" (Metrics.cc m_ref) (Metrics.cc m_new);
+  Array.iteri
+    (fun u _ ->
+      check_int (Printf.sprintf "bits@%d" u) (Metrics.bits_sent m_ref u) (Metrics.bits_sent m_new u);
+      check_int (Printf.sprintf "msgs@%d" u) (Metrics.msgs_sent m_ref u) (Metrics.msgs_sent m_new u))
+    s_ref;
+  Array.iteri
+    (fun u st -> check_true (Printf.sprintf "state@%d" u) (project st = project s_new.(u)))
+    s_ref
+
+let agg_proto params =
+  {
+    Engine.name = "agg";
+    init = (fun u ~rng:_ -> Agg.create params ~me:u);
+    step = (fun ~round ~me:_ ~state ~inbox -> (state, Agg.step state ~rr:round ~inbox));
+    msg_bits = Message.bits params;
+    root_done = (fun _ -> false);
+  }
+
+let agg_project st = (Agg.level st, Agg.parent st, Agg.psum st, Agg.max_level st, Agg.aborted st)
+
+let families =
+  [ ("grid", Gen.Grid); ("ring", Gen.Ring); ("caterpillar", Gen.Caterpillar); ("random", Gen.Random 0.12) ]
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let test_agg_equivalence () =
+  List.iter
+    (fun (name, fam) ->
+      let g = Gen.build fam ~n:36 ~seed:3 in
+      let inputs = default_inputs 36 in
+      let params = params_of g ~inputs in
+      List.iter
+        (fun seed ->
+          let failures =
+            Failure.random g ~rng:(Prng.create (seed * 13)) ~budget:6 ~max_round:200
+          in
+          Alcotest.(check unit)
+            (Printf.sprintf "agg %s seed %d" name seed)
+            ()
+            (both ~graph:g ~failures ~max_rounds:(Agg.duration params) ~seed
+               ~project:agg_project (agg_proto params)))
+        seeds)
+    families
+
+let test_tradeoff_equivalence () =
+  List.iter
+    (fun (name, fam) ->
+      let g = Gen.build fam ~n:30 ~seed:7 in
+      let inputs = default_inputs 30 in
+      let params = params_of g ~inputs in
+      let b = 63 and f = 4 in
+      let proto =
+        {
+          Engine.name = "tradeoff";
+          init = (fun u ~rng -> Tradeoff.create ~strategy:Tradeoff.Sampled params ~b ~f ~me:u ~rng);
+          step =
+            (fun ~round ~me:_ ~state ~inbox -> (state, Tradeoff.step state ~round ~inbox));
+          msg_bits = Message.msg_bits params;
+          root_done = Tradeoff.root_done;
+        }
+      in
+      List.iter
+        (fun seed ->
+          let failures =
+            Failure.random g ~rng:(Prng.create (seed + 29)) ~budget:f ~max_round:300
+          in
+          both ~graph:g ~failures ~max_rounds:(Tradeoff.max_rounds params ~b) ~seed
+            ~project:(fun _ -> ())
+            proto;
+          (* root_done-halting runs must also agree on the result itself *)
+          let o1 = Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed () in
+          check_true
+            (Printf.sprintf "tradeoff %s seed %d correct" name seed)
+            o1.Run.common.Run.correct)
+        seeds)
+    families
+
+let test_pair_equivalence () =
+  let g = Gen.grid 25 in
+  let params = params_of ~t:2 g ~inputs:(default_inputs 25) in
+  let proto =
+    {
+      Engine.name = "pair";
+      init = (fun u ~rng:_ -> Pair.create params ~me:u);
+      step = (fun ~round ~me:_ ~state ~inbox -> (state, Pair.step state ~rr:round ~inbox));
+      msg_bits = Message.bits params;
+      root_done = (fun _ -> false);
+    }
+  in
+  List.iter
+    (fun seed ->
+      let failures = Failure.random g ~rng:(Prng.create (seed * 5)) ~budget:4 ~max_round:250 in
+      both ~graph:g ~failures ~max_rounds:(Pair.duration params) ~seed
+        ~project:(fun st -> agg_project (Pair.agg st))
+        proto)
+    seeds
+
+(* Under message loss both engines must consume the loss PRNG stream in
+   the same order, so states and metrics stay identical draw for draw. *)
+let test_lossy_equivalence () =
+  let g = Gen.grid 25 in
+  let params = params_of g ~inputs:(default_inputs 25) in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun seed ->
+          let failures = Failure.random g ~rng:(Prng.create seed) ~budget:4 ~max_round:200 in
+          both ~loss ~graph:g ~failures ~max_rounds:(Agg.duration params) ~seed
+            ~project:agg_project (agg_proto params))
+        seeds)
+    [ 0.05; 0.3 ]
+
+(* A crashed node's slot must clear even when the fast path skips work. *)
+let test_crash_equivalence () =
+  let g = Gen.ring 20 in
+  let params = params_of g ~inputs:(default_inputs 20) in
+  let failures = Failure.chain ~n:20 ~first:5 ~len:4 ~round:7 in
+  List.iter
+    (fun seed ->
+      both ~graph:g ~failures ~max_rounds:(Agg.duration params) ~seed ~project:agg_project
+        (agg_proto params))
+    seeds
+
+let test_sweep_matches_list_map () =
+  let xs = List.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "map ≡ List.map" (List.map f xs) (Sweep.map f xs);
+  Alcotest.(check (list int)) "empty" [] (Sweep.map f []);
+  Alcotest.(check (list int)) "singleton" [ f 9 ] (Sweep.map f [ 9 ])
+
+(* The result order must be the input order whatever the pool size, and
+   real simulation sweeps must be bit-identical across pool sizes. *)
+let test_sweep_determinism () =
+  let g = Gen.grid 25 in
+  let params = params_of g ~inputs:(default_inputs 25) in
+  let job s =
+    let failures = Failure.random g ~rng:(Prng.create s) ~budget:4 ~max_round:200 in
+    let o = Run.agg ~graph:g ~failures ~params ~seed:s () in
+    (Metrics.cc o.Run.common.Run.metrics, o.Run.common.Run.rounds, o.Run.common.Run.correct)
+  in
+  let seeds = List.init 12 (fun i -> i + 1) in
+  let serial = Sweep.map ~domains:1 job seeds in
+  let parallel = Sweep.map ~domains:4 job seeds in
+  check_true "1 domain ≡ 4 domains" (serial = parallel);
+  check_true "matches direct map" (List.map job seeds = serial)
+
+let test_sweep_errors () =
+  (match Sweep.map ~domains:0 (fun x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "domains:0 should raise"
+  | exception Invalid_argument _ -> ());
+  match Sweep.map ~domains:3 (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id) with
+  | _ -> Alcotest.fail "failing job should raise"
+  | exception Sweep.Job_failed (i, Failure _) -> check_int "failing job index" 5 i
+
+let suite =
+  [
+    Alcotest.test_case "engine: AGG equivalence (4 families x 5 seeds)" `Quick
+      test_agg_equivalence;
+    Alcotest.test_case "engine: tradeoff equivalence" `Quick test_tradeoff_equivalence;
+    Alcotest.test_case "engine: pair equivalence" `Quick test_pair_equivalence;
+    Alcotest.test_case "engine: lossy equivalence" `Quick test_lossy_equivalence;
+    Alcotest.test_case "engine: crash-schedule equivalence" `Quick test_crash_equivalence;
+    Alcotest.test_case "sweep: matches List.map" `Quick test_sweep_matches_list_map;
+    Alcotest.test_case "sweep: deterministic across pool sizes" `Quick test_sweep_determinism;
+    Alcotest.test_case "sweep: error reporting" `Quick test_sweep_errors;
+  ]

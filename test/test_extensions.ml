@@ -289,8 +289,8 @@ let test_tradeoff_correct_under_new_adversaries () =
   let interval_len = 19 * Params.cd params in
   List.iter
     (fun (name, failures) ->
-      let o = Run.tradeoff ~graph:g ~failures ~params ~b ~f:12 ~seed:5 in
-      check_true (name ^ ": correct") o.Run.tc.Run.correct)
+      let o = Run.tradeoff ~graph:g ~failures ~params ~b ~f:12 ~seed:5 () in
+      check_true (name ^ ": correct") o.Run.common.Run.correct)
     [
       ("high-degree", Failure.high_degree g ~budget:12 ~round:50);
       ( "per-interval",

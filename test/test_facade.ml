@@ -8,7 +8,7 @@ let test_network_sum_failure_free () =
   let net = Network.create Gen.Grid ~n:25 ~seed:1 () in
   let inputs = Array.init 25 (fun i -> i) in
   let r = Network.sum net ~inputs ~b:50 ~f:3 in
-  check_int "sum exact" (total inputs) r.Network.value;
+  check_int "sum exact" (total inputs) (Network.value_exn r);
   check_true "correct" r.Network.correct;
   check_true "cc positive" (r.Network.cc > 0);
   check_true "within budget" (r.Network.flooding_rounds <= 50)
@@ -17,7 +17,7 @@ let test_network_aggregate_caaf () =
   let net = Network.create Gen.Ring ~n:20 ~seed:2 () in
   let inputs = Array.init 20 (fun i -> i + 5) in
   let r = Network.aggregate net ~caaf:Instances.max_ ~inputs ~b:50 ~f:2 in
-  check_int "max" 24 r.Network.value
+  check_int "max" 24 (Network.value_exn r)
 
 let test_network_with_failures () =
   let net = Network.create Gen.Grid ~n:36 ~seed:3 () in
@@ -30,7 +30,7 @@ let test_network_unknown_f () =
   let net = Network.create Gen.Grid ~n:25 ~seed:4 () in
   let inputs = Array.make 25 2 in
   let r = Network.aggregate_unknown_f net ~inputs in
-  check_int "unknown-f exact" 50 r.Network.value;
+  check_int "unknown-f exact" 50 (Network.value_exn r);
   check_true "correct" r.Network.correct
 
 let test_network_select_median () =

@@ -11,8 +11,8 @@ let test_brute_force_exact_failure_free () =
     (fun (name, g) ->
       let n = Graph.n g in
       let params = params_of g ~inputs:(default_inputs n) in
-      let o = Run.brute_force ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 in
-      check_int (name ^ ": exact") (total (default_inputs n)) o.Run.value)
+      let o = Run.brute_force ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 () in
+      check_int (name ^ ": exact") (total (default_inputs n)) (Run.value_exn o.Run.result))
     (Lazy.force sweep_graphs)
 
 let test_brute_force_always_correct () =
@@ -25,8 +25,8 @@ let test_brute_force_always_correct () =
           let failures =
             Failure.random g ~rng:(Prng.create seed) ~budget:(n / 2) ~max_round:50
           in
-          let o = Run.brute_force ~graph:g ~failures ~params ~seed in
-          check_true (name ^ ": correct under heavy failures") o.Run.vc.Run.correct)
+          let o = Run.brute_force ~graph:g ~failures ~params ~seed () in
+          check_true (name ^ ": correct under heavy failures") o.Run.common.Run.correct)
         [ 1; 2; 3; 4; 5 ])
     (Lazy.force sweep_graphs)
 
@@ -35,8 +35,8 @@ let test_brute_force_cc_order_n_log_n () =
   let cc_of n =
     let g = Gen.grid n in
     let params = params_of g ~inputs:(default_inputs n) in
-    let o = Run.brute_force ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 in
-    Metrics.cc o.Run.vc.Run.metrics
+    let o = Run.brute_force ~graph:g ~failures:(Failure.none ~n) ~params ~seed:1 () in
+    Metrics.cc o.Run.common.Run.metrics
   in
   let c25 = cc_of 25 and c100 = cc_of 100 in
   check_true "superlinear growth" (c100 > 3 * c25);
@@ -51,7 +51,7 @@ let test_folklore_exact_failure_free () =
       let params = params_of g ~inputs:(default_inputs n) in
       let o =
         Run.folklore ~graph:g ~failures:(Failure.none ~n) ~params
-          ~mode:(Folklore.Retry 3) ~seed:1
+          ~mode:(Folklore.Retry 3) ~seed:1 ()
       in
       (match o.Run.f_result with
       | Folklore.Value v -> check_int (name ^ ": exact") (total (default_inputs n)) v
@@ -67,12 +67,12 @@ let test_folklore_retries_until_clean () =
   let epoch = Folklore.epoch_duration params in
   (* kill node 5 during epoch 1's aggregation but after its ack *)
   let failures = Failure.kill_nodes ~n:25 ~nodes:[ 5 ] ~round:(epoch - Params.cd params) in
-  let o = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry 4) ~seed:2 in
+  let o = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry 4) ~seed:2 () in
   check_true "took more than one epoch" (o.Run.epochs > 1);
   (match o.Run.f_result with
   | Folklore.Value _ -> ()
   | Folklore.No_clean_epoch -> Alcotest.fail "never clean");
-  check_true "correct" o.Run.fc.Run.correct
+  check_true "correct" o.Run.common.Run.correct
 
 let test_folklore_correct_random () =
   List.iter
@@ -85,8 +85,8 @@ let test_folklore_correct_random () =
         Failure.random g ~rng:(Prng.create seed) ~budget:f
           ~max_round:(Folklore.duration params mode)
       in
-      let o = Run.folklore ~graph:g ~failures ~params ~mode ~seed in
-      check_true "folklore correct" o.Run.fc.Run.correct)
+      let o = Run.folklore ~graph:g ~failures ~params ~mode ~seed () in
+      check_true "folklore correct" o.Run.common.Run.correct)
     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
 let test_naive_tag_breaks_under_failures () =
@@ -97,7 +97,7 @@ let test_naive_tag_breaks_under_failures () =
   let cd = Params.cd params in
   (* node 1 dies after acking, before its aggregation action *)
   let failures = Failure.kill_nodes ~n:12 ~nodes:[ 1 ] ~round:((2 * cd) + 3) in
-  let o = Run.folklore ~graph:g ~failures ~params ~mode:Folklore.Naive ~seed:3 in
+  let o = Run.folklore ~graph:g ~failures ~params ~mode:Folklore.Naive ~seed:3 () in
   match o.Run.f_result with
   | Folklore.Value v ->
     (* nodes 2..11 are disconnected (path), so "correct" would allow the
@@ -109,10 +109,10 @@ let test_naive_tag_breaks_under_failures () =
     let params = params_of g ~inputs:(default_inputs 12) in
     let cd = Params.cd params in
     let failures = Failure.kill_nodes ~n:12 ~nodes:[ 1 ] ~round:((2 * cd) + 3) in
-    let o = Run.folklore ~graph:g ~failures ~params ~mode:Folklore.Naive ~seed:3 in
+    let o = Run.folklore ~graph:g ~failures ~params ~mode:Folklore.Naive ~seed:3 () in
     (match o.Run.f_result with
     | Folklore.Value v -> check_true "ring: naive TAG is incorrect" (not
-        (Checker.result_correct ~graph:g ~failures ~end_round:o.Run.fc.Run.rounds ~params v))
+        (Checker.result_correct ~graph:g ~failures ~end_round:o.Run.common.Run.rounds ~params v))
     | Folklore.No_clean_epoch -> Alcotest.fail "naive mode always outputs")
   | Folklore.No_clean_epoch -> Alcotest.fail "naive mode always outputs"
 
@@ -124,21 +124,21 @@ let tradeoff_on g ~b ~f ~seed =
   let failures =
     Failure.random g ~rng:(Prng.create (seed * 3)) ~budget:f ~max_round:(b * params.Params.d)
   in
-  Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed
+  Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed ()
 
 let test_tradeoff_requires_b_21c () =
   let g = Gen.grid 16 in
   let params = params_of g ~inputs:(default_inputs 16) in
   Alcotest.check_raises "b >= 21c" (Invalid_argument "Tradeoff: need b >= 21c") (fun () ->
-      ignore (Run.tradeoff ~graph:g ~failures:(Failure.none ~n:16) ~params ~b:41 ~f:1 ~seed:1))
+      ignore (Run.tradeoff ~graph:g ~failures:(Failure.none ~n:16) ~params ~b:41 ~f:1 ~seed:1 ()))
 
 let test_tradeoff_exact_failure_free () =
   List.iter
     (fun (name, g) ->
       let n = Graph.n g in
       let params = params_of g ~inputs:(default_inputs n) in
-      let o = Run.tradeoff ~graph:g ~failures:(Failure.none ~n) ~params ~b:63 ~f:4 ~seed:1 in
-      check_int (name ^ ": exact") (total (default_inputs n)) o.Run.t_value;
+      let o = Run.tradeoff ~graph:g ~failures:(Failure.none ~n) ~params ~b:63 ~f:4 ~seed:1 () in
+      check_int (name ^ ": exact") (total (default_inputs n)) (Run.value_exn o.Run.result);
       check_true (name ^ ": accepted via a pair")
         (match o.Run.how with Tradeoff.Via_pair _ -> true | Tradeoff.Via_brute_force -> false))
     (Lazy.force sweep_graphs)
@@ -149,7 +149,7 @@ let test_theorem1_always_correct () =
       List.iter
         (fun seed ->
           let o = tradeoff_on g ~b:63 ~f:6 ~seed in
-          check_true (name ^ ": Theorem 1 correctness") o.Run.tc.Run.correct)
+          check_true (name ^ ": Theorem 1 correctness") o.Run.common.Run.correct)
         [ 1; 2; 3; 4; 5 ])
     (Lazy.force sweep_graphs)
 
@@ -157,7 +157,7 @@ let test_theorem1_time_bound () =
   List.iter
     (fun (name, g) ->
       let o = tradeoff_on g ~b:63 ~f:6 ~seed:2 in
-      check_true (name ^ ": TC <= b flooding rounds") (o.Run.tc.Run.flooding_rounds <= 63))
+      check_true (name ^ ": TC <= b flooding rounds") (o.Run.common.Run.flooding_rounds <= 63))
     (Lazy.force sweep_graphs)
 
 let test_tradeoff_interval_arithmetic () =
@@ -177,8 +177,8 @@ let test_tradeoff_survives_concentrated_burst () =
   List.iter
     (fun seed ->
       let failures = Failure.burst g ~rng:(Prng.create seed) ~budget:12 ~round:40 in
-      let o = Run.tradeoff ~graph:g ~failures ~params ~b:120 ~f:12 ~seed in
-      check_true "correct under burst" o.Run.tc.Run.correct)
+      let o = Run.tradeoff ~graph:g ~failures ~params ~b:120 ~f:12 ~seed () in
+      check_true "correct under burst" o.Run.common.Run.correct)
     [ 1; 2; 3; 4; 5 ]
 
 let test_tradeoff_lfc_never_accepted () =
@@ -187,8 +187,8 @@ let test_tradeoff_lfc_never_accepted () =
   let g = Gen.ring 30 in
   let params = params_of g ~inputs:(default_inputs 30) in
   let failures = Failure.chain ~n:30 ~first:1 ~len:8 ~round:70 in
-  let o = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:4 ~seed:4 in
-  check_true "correct despite LFC" o.Run.tc.Run.correct
+  let o = Run.tradeoff ~graph:g ~failures ~params ~b:63 ~f:4 ~seed:4 () in
+  check_true "correct despite LFC" o.Run.common.Run.correct
 
 let test_folklore_worst_case_epochs () =
   (* one fresh crash per epoch: the folklore protocol pays one epoch per
@@ -204,9 +204,9 @@ let test_folklore_worst_case_epochs () =
     Failure.of_list ~n
       (List.init crashes (fun k -> (k + 1, (k * epoch) + (2 * cd) + 10)))
   in
-  let o = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry (crashes + 2)) ~seed:4 in
+  let o = Run.folklore ~graph:g ~failures ~params ~mode:(Folklore.Retry (crashes + 2)) ~seed:4 () in
   check_true "paid one epoch per crash" (o.Run.epochs >= crashes);
-  check_true "still correct" o.Run.fc.Run.correct
+  check_true "still correct" o.Run.common.Run.correct
 
 (* --- Sequential (derandomized) strategy --- *)
 
@@ -221,10 +221,10 @@ let test_sequential_strategy_correct () =
       in
       let o =
         Run.tradeoff_with ~strategy:Tradeoff.Sequential ~graph:g ~failures ~params ~b:84
-          ~f:8 ~seed
+          ~f:8 ~seed ()
       in
-      check_true "sequential correct" o.Run.tc.Run.correct;
-      check_true "sequential within budget" (o.Run.tc.Run.flooding_rounds <= 84))
+      check_true "sequential correct" o.Run.common.Run.correct;
+      check_true "sequential within budget" (o.Run.common.Run.flooding_rounds <= 84))
     [ 1; 2; 3 ]
 
 let test_sequential_pays_for_dirty_intervals () =
@@ -243,16 +243,16 @@ let test_sequential_pays_for_dirty_intervals () =
   in
   let seq =
     Run.tradeoff_with ~strategy:Tradeoff.Sequential ~graph:g ~failures ~params ~b ~f
-      ~seed:1
+      ~seed:1 ()
   in
-  check_true "still correct" seq.Run.tc.Run.correct;
+  check_true "still correct" seq.Run.common.Run.correct;
   (match seq.Run.how with
   | Tradeoff.Via_pair y -> check_true "skipped the dirty interval" (y >= 2)
   | Tradeoff.Via_brute_force -> ());
   (* a clean schedule accepts at interval 1 *)
   let clean =
     Run.tradeoff_with ~strategy:Tradeoff.Sequential ~graph:g
-      ~failures:(Failure.none ~n) ~params ~b ~f ~seed:1
+      ~failures:(Failure.none ~n) ~params ~b ~f ~seed:1 ()
   in
   check_true "clean accepts immediately"
     (match clean.Run.how with Tradeoff.Via_pair 1 -> true | _ -> false)
@@ -262,10 +262,10 @@ let test_sequential_pays_for_dirty_intervals () =
 let test_unknown_f_exact_failure_free () =
   let g = Gen.grid 36 in
   let params = params_of g ~inputs:(default_inputs 36) in
-  let o = Run.unknown_f ~graph:g ~failures:(Failure.none ~n:36) ~params ~seed:1 in
-  check_int "exact" (total (default_inputs 36)) o.Run.u_value;
+  let o = Run.unknown_f ~graph:g ~failures:(Failure.none ~n:36) ~params ~seed:1 () in
+  check_int "exact" (total (default_inputs 36)) (Run.value_exn o.Run.result);
   check_true "accepted in slot 0"
-    (match o.Run.u_how with Unknown_f.Via_slot 0 -> true | _ -> false)
+    (match o.Run.how with Unknown_f.Via_slot 0 -> true | _ -> false)
 
 let test_unknown_f_correct_random () =
   List.iter
@@ -276,8 +276,8 @@ let test_unknown_f_correct_random () =
         Failure.random g ~rng:(Prng.create seed) ~budget:8
           ~max_round:(Unknown_f.max_rounds params)
       in
-      let o = Run.unknown_f ~graph:g ~failures ~params ~seed in
-      check_true "unknown-f correct" o.Run.uc.Run.correct)
+      let o = Run.unknown_f ~graph:g ~failures ~params ~seed () in
+      check_true "unknown-f correct" o.Run.common.Run.correct)
     [ 1; 2; 3; 4; 5; 6 ]
 
 let test_unknown_f_early_termination () =
@@ -286,14 +286,14 @@ let test_unknown_f_early_termination () =
   let g = Gen.grid 64 in
   let params = params_of g ~inputs:(default_inputs 64) in
   let few = Failure.random g ~rng:(Prng.create 2) ~budget:2 ~max_round:100 in
-  let o_few = Run.unknown_f ~graph:g ~failures:few ~params ~seed:2 in
+  let o_few = Run.unknown_f ~graph:g ~failures:few ~params ~seed:2 () in
   let many = Failure.burst g ~rng:(Prng.create 3) ~budget:24 ~round:60 in
-  let o_many = Run.unknown_f ~graph:g ~failures:many ~params ~seed:3 in
+  let o_many = Run.unknown_f ~graph:g ~failures:many ~params ~seed:3 () in
   let slot = function Unknown_f.Via_slot gx -> gx | Unknown_f.Via_brute_force -> 99 in
-  check_true "few failures end in an early slot" (slot o_few.Run.u_how <= 2);
+  check_true "few failures end in an early slot" (slot o_few.Run.how <= 2);
   check_true "more failures need later slots or fallback"
-    (slot o_many.Run.u_how >= slot o_few.Run.u_how);
-  check_true "both correct" (o_few.Run.uc.Run.correct && o_many.Run.uc.Run.correct)
+    (slot o_many.Run.how >= slot o_few.Run.how);
+  check_true "both correct" (o_few.Run.common.Run.correct && o_many.Run.common.Run.correct)
 
 let qcheck_tests =
   let open QCheck in
@@ -308,8 +308,8 @@ let qcheck_tests =
           Failure.random g ~rng:(Prng.create (seed + 11)) ~budget:f
             ~max_round:(b * params.Params.d)
         in
-        let o = Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed in
-        o.Run.tc.Run.correct && o.Run.tc.Run.flooding_rounds <= b);
+        let o = Run.tradeoff ~graph:g ~failures ~params ~b ~f ~seed () in
+        o.Run.common.Run.correct && o.Run.common.Run.flooding_rounds <= b);
     Test.make ~name:"brute force: always correct under arbitrary crash schedules" ~count:30
       (triple (int_range 8 30) (int_range 0 20) small_int)
       (fun (n, budget, seed) ->
@@ -318,8 +318,8 @@ let qcheck_tests =
         let failures =
           Failure.random g ~rng:(Prng.create (seed + 1)) ~budget ~max_round:80
         in
-        let o = Run.brute_force ~graph:g ~failures ~params ~seed in
-        o.Run.vc.Run.correct);
+        let o = Run.brute_force ~graph:g ~failures ~params ~seed () in
+        o.Run.common.Run.correct);
     Test.make ~name:"folklore: correct whenever it reports a value" ~count:30
       (triple (int_range 8 30) (int_range 0 8) small_int)
       (fun (n, f, seed) ->
@@ -330,8 +330,8 @@ let qcheck_tests =
           Failure.random g ~rng:(Prng.create (seed + 2)) ~budget:f
             ~max_round:(Folklore.duration params mode)
         in
-        let o = Run.folklore ~graph:g ~failures ~params ~mode ~seed in
-        o.Run.fc.Run.correct);
+        let o = Run.folklore ~graph:g ~failures ~params ~mode ~seed () in
+        o.Run.common.Run.correct);
   ]
 
 let suite =

@@ -14,7 +14,7 @@ let validate ?expect_cover (o : Run.pair_outcome) =
     let root = o.Run.trace.Checker.agg_nodes.(Graph.root) in
     let selected = Agg.selected_sources root in
     let r =
-      Checker.representative_set o.Run.trace ~selected ~end_round:o.Run.pc.Run.rounds
+      Checker.representative_set o.Run.trace ~selected ~end_round:o.Run.common.Run.rounds
     in
     check_true "partial-sum arithmetic matches the schedule recomputation"
       r.Checker.psums_match;
@@ -74,7 +74,7 @@ let test_included_inputs_failure_free () =
   let g = Gen.grid n in
   let params = params_of ~t:2 g ~inputs:(default_inputs n) in
   let o = Run.agg ~graph:g ~failures:(Failure.none ~n) ~params ~seed:2 () in
-  let included = Checker.included_inputs o.Run.agg_trace ~source:Graph.root in
+  let included = Checker.included_inputs o.Run.trace ~source:Graph.root in
   check_int "root includes all" n (List.length included)
 
 let test_included_inputs_cut_subtree () =
@@ -86,7 +86,7 @@ let test_included_inputs_cut_subtree () =
   let cd = Params.cd params in
   let failures = Failure.kill_nodes ~n ~nodes:[ 1 ] ~round:((2 * cd) + 3) in
   let o = Run.agg ~graph:g ~failures ~params ~seed:3 () in
-  let included = Checker.included_inputs o.Run.agg_trace ~source:Graph.root in
+  let included = Checker.included_inputs o.Run.trace ~source:Graph.root in
   check_true "only the root remains" (included = [ 0 ])
 
 let qcheck_tests =
@@ -107,7 +107,7 @@ let qcheck_tests =
           let selected = Agg.selected_sources o.Run.trace.Checker.agg_nodes.(Graph.root) in
           let r =
             Checker.representative_set o.Run.trace ~selected
-              ~end_round:o.Run.pc.Run.rounds
+              ~end_round:o.Run.common.Run.rounds
           in
           r.Checker.psums_match
           && ((not o.Run.verdict.Pair.veri_ok)

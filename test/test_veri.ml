@@ -15,7 +15,7 @@ let test_theorem6_time_bound () =
       let n = Graph.n g in
       let o, params = run_pair ~t:2 g ~failures:(Failure.none ~n) ~seed:1 in
       (* the pair runs 12cd+7 rounds = (7cd+4 AGG) + (5cd+3 VERI) *)
-      check_int (name ^ ": pair duration") ((12 * Params.cd params) + 7) o.Run.pc.Run.rounds)
+      check_int (name ^ ": pair duration") ((12 * Params.cd params) + 7) o.Run.common.Run.rounds)
     (Lazy.force sweep_graphs)
 
 let test_theorem6_bit_budget () =
@@ -39,7 +39,7 @@ let test_theorem6_bit_budget () =
           for u = 0 to n - 1 do
             check_true
               (Printf.sprintf "%s t=%d node %d within combined budget" name t u)
-              (Metrics.bits_sent o.Run.pc.Run.metrics u <= budget)
+              (Metrics.bits_sent o.Run.common.Run.metrics u <= budget)
           done)
         [ 0; 2; 5 ])
     (Lazy.force sweep_graphs)
@@ -135,7 +135,7 @@ let test_veri_failed_parent_detection () =
      1-chain < t, answers true *)
   check_true "no LFC" (not o.Run.lfc);
   check_true "verdict true" o.Run.verdict.Pair.veri_ok;
-  check_true "correct" o.Run.pc.Run.correct
+  check_true "correct" o.Run.common.Run.correct
 
 let test_veri_overflow_forces_false () =
   (* t = 0 gives VERI a 7·(3logN+10)-bit budget; a massive kill between
@@ -160,7 +160,7 @@ let test_veri_overflow_forces_false () =
         + Message.bits params Message.Veri_overflow
       in
       for u = 0 to n - 1 do
-        check_true "bits capped" (Metrics.bits_sent o.Run.pc.Run.metrics u <= cap)
+        check_true "bits capped" (Metrics.bits_sent o.Run.common.Run.metrics u <= cap)
       done)
     [ 1; 2; 3; 4 ];
   check_true "verdict false under post-AGG massacre" (!fired >= 3)
@@ -179,11 +179,11 @@ let qcheck_tests =
         let o = Run.pair ~graph:g ~failures ~params ~seed () in
         match scenario_of o ~t with
         | `At_most_t ->
-          o.Run.pc.Run.correct && o.Run.verdict.Pair.veri_ok
+          o.Run.common.Run.correct && o.Run.verdict.Pair.veri_ok
           && (match o.Run.verdict.Pair.result with
              | Agg.Value _ -> true
              | Agg.Aborted -> false)
-        | `Over_t_no_lfc -> o.Run.pc.Run.correct
+        | `Over_t_no_lfc -> o.Run.common.Run.correct
         | `Over_t_lfc -> not o.Run.verdict.Pair.veri_ok);
     Test.make ~name:"pair CC stays within the combined theorem budgets" ~count:40
       (triple (int_range 10 30) (int_range 0 5) small_int)
@@ -199,7 +199,7 @@ let qcheck_tests =
           + Message.bits params Message.Agg_abort
           + Message.bits params Message.Veri_overflow
         in
-        Metrics.cc o.Run.pc.Run.metrics <= budget);
+        Metrics.cc o.Run.common.Run.metrics <= budget);
   ]
 
 let suite =
