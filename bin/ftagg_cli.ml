@@ -321,10 +321,92 @@ let rank_cmd =
   in
   Cmd.v (Cmd.info "rank" ~doc:"Certify Lemma 11's rank computation.") Term.(const run $ q)
 
+let chaos_cmd =
+  let trials = Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of randomized trials.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Write incident JSON files into this directory.")
+  in
+  let bit_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bit-cap" ]
+          ~doc:
+            "Override the watchdog's per-node bit cap. Lowering it below the theorems' combined \
+             budget plants a violation — useful to exercise the shrink/report/replay pipeline.")
+  in
+  let max_n = Arg.(value & opt int 34 & info [ "max-n" ] ~doc:"Largest system size drawn.") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.") in
+  let run trials seed out bit_cap max_n quiet =
+    (match out with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let config =
+      {
+        Campaign.trials;
+        seed;
+        out_dir = out;
+        bit_cap;
+        max_n;
+        log = (if quiet then ignore else print_endline);
+      }
+    in
+    let o = Campaign.run config in
+    Printf.printf "chaos: %d trials, %d violating, %d distinct invariant(s)\n" o.Campaign.o_trials
+      o.Campaign.o_violating_trials
+      (List.length o.Campaign.o_incidents);
+    List.iter
+      (fun ((inc : Incident.t), path) ->
+        Printf.printf "  %s at round %d (found by %s, shrunk in %d tries)\n"
+          inc.Incident.violation.Engine.invariant inc.Incident.violation.Engine.at_round
+          inc.Incident.adversary
+          (match inc.Incident.shrink with Some s -> s.Incident.s_tries | None -> 0);
+        Format.printf "    scenario: %a\n" Incident.pp_scenario inc.Incident.scenario;
+        match path with Some p -> Printf.printf "    saved: %s\n" p | None -> ())
+      o.Campaign.o_incidents;
+    if o.Campaign.o_incidents = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a randomized chaos campaign: adversaries + watchdogs + auto-shrinking.")
+    Term.(const run $ trials $ seed $ out $ bit_cap $ max_n $ quiet)
+
+let replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INCIDENT.json" ~doc:"Incident report.")
+  in
+  let run file =
+    match Incident.load ~path:file with
+    | Error e ->
+      Printf.eprintf "replay: %s\n" e;
+      2
+    | Ok inc ->
+      Printf.printf "incident: %s (found by %s)\n" inc.Incident.violation.Engine.invariant
+        inc.Incident.adversary;
+      Format.printf "scenario: %a\n" Incident.pp_scenario inc.Incident.scenario;
+      (match Campaign.replay inc with
+      | Some v ->
+        Printf.printf "verdict: VIOLATION REPRODUCED — %s at round %d: %s\n" v.Engine.invariant
+          v.Engine.at_round v.Engine.detail;
+        0
+      | None ->
+        Printf.printf "verdict: no violation — the incident no longer reproduces\n";
+        1)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run a saved chaos incident and print the watchdog verdict.")
+    Term.(const run $ file)
+
 let () =
   let doc = "fault-tolerant aggregation with near-optimal communication-time tradeoff" in
   let info = Cmd.info "ftagg" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; graph_cmd; twoparty_cmd; rank_cmd; worstcase_cmd; dot_cmd; trace_cmd ]))
+          [
+            run_cmd; graph_cmd; twoparty_cmd; rank_cmd; worstcase_cmd; dot_cmd; trace_cmd;
+            chaos_cmd; replay_cmd;
+          ]))

@@ -1,0 +1,55 @@
+(** Crash adversaries, oblivious and adaptive, under one interface.
+
+    The paper's adversary (§2) is {e oblivious}: the whole crash schedule
+    is fixed before the protocol flips any coin, and every guarantee in
+    Table 2 is stated against it.  This module packages those schedules
+    together with {e adaptive} (online) adversaries that watch each
+    round's traffic — who broadcast, per-node bit totals — before
+    deciding whom to crash.  Both kinds respect the same edge-failure
+    budget, so bench E17 can compare Table 2 cell outcomes for oblivious
+    vs adaptive placement of the {e same} failure mass. *)
+
+type strategy =
+  | Top_talkers
+      (** each round, crash the live node with the highest cumulative bit
+          count — follows the traffic concentration around the root *)
+  | First_speakers
+      (** each round, crash the first node heard from — chases the
+          activation wavefront *)
+  | Random_online
+      (** paced uniform choice among this round's broadcasters — random
+          placement, but only where there is traffic *)
+
+type t =
+  | Oblivious of string * (Ftagg_graph.Graph.t -> rng:Ftagg_util.Prng.t -> budget:int -> window:int -> Ftagg_sim.Failure.t)
+      (** a named schedule generator: the paper's model.  [window] bounds
+          the crash rounds (callers pass the run duration). *)
+  | Adaptive of strategy
+
+val name : t -> string
+(** Stable identifier, e.g. ["oblivious:burst"], ["adaptive:top_talkers"]
+    — used in incident reports and bench tables. *)
+
+val none : t
+val random : t
+val burst : t
+val high_degree : t
+
+val oblivious_all : t list
+val adaptive_all : t list
+val all : t list
+
+val instantiate :
+  t ->
+  Ftagg_graph.Graph.t ->
+  rng:Ftagg_util.Prng.t ->
+  budget:int ->
+  window:int ->
+  Ftagg_sim.Failure.t * Ftagg_sim.Engine.online option
+(** Turn the adversary into what {!Ftagg_sim.Engine.run_chaos} consumes:
+    an oblivious base schedule plus an optional online callback.
+    Oblivious adversaries return their schedule and no callback; adaptive
+    ones return the empty schedule and a stateful callback that enforces
+    the edge-failure [budget] itself (a crash's marginal cost is its
+    edges to not-yet-crashed neighbours) and never touches the root.  The
+    callback is single-run: instantiate afresh for every run. *)

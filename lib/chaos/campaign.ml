@@ -1,0 +1,219 @@
+module Graph = Ftagg_graph.Graph
+module Gen = Ftagg_graph.Gen
+module Prng = Ftagg_util.Prng
+module Engine = Ftagg_sim.Engine
+module Failure = Ftagg_sim.Failure
+module Metrics = Ftagg_sim.Metrics
+module Params = Ftagg_proto.Params
+module Message = Ftagg_proto.Message
+module Agg = Ftagg_proto.Agg
+module Pair = Ftagg_proto.Pair
+module Run = Ftagg_proto.Run
+
+let graph_of (sc : Incident.scenario) = Gen.build sc.Incident.family ~n:sc.Incident.n ~seed:sc.Incident.topo_seed
+
+let params_of (sc : Incident.scenario) graph =
+  Params.make ~c:sc.Incident.c ~t:sc.Incident.t ~graph ~inputs:sc.Incident.inputs ()
+
+let max_round_of (sc : Incident.scenario) =
+  let graph = graph_of sc in
+  let params = params_of sc graph in
+  match sc.Incident.kind with
+  | Incident.Pair_run -> Pair.duration params
+  | Incident.Tradeoff_run { b; _ } -> b * params.Params.d
+
+type pair_report = {
+  scenario : Incident.scenario;  (** with the materialized schedule *)
+  violation : Engine.violation option;
+  verdict : Pair.verdict option;
+  correct : bool;
+  lfc : bool;
+  edge_failures : int;
+  cc : int;
+  rounds : int;
+}
+
+let pair_proto params =
+  {
+    Engine.name = "pair-chaos";
+    init = (fun u ~rng:_ -> Pair.create params ~me:u);
+    step = (fun ~round ~me:_ ~state ~inbox -> (state, Pair.step state ~rr:round ~inbox));
+    msg_bits = Message.bits params;
+    root_done = (fun _ -> false);
+  }
+
+let run_pair ?online (sc : Incident.scenario) =
+  let graph = graph_of sc in
+  let params = params_of sc graph in
+  let failures = Failure.of_list ~n:sc.Incident.n sc.Incident.schedule in
+  let duration = Pair.duration params in
+  let watch = Watchdog.pair_watch ?bit_cap:sc.Incident.bit_cap ~params ~graph () in
+  let res =
+    Engine.run_chaos ~faults:sc.Incident.faults ?online ~watch ~graph ~failures
+      ~max_rounds:duration ~seed:sc.Incident.run_seed (pair_proto params)
+  in
+  let states = res.Engine.c_states in
+  let metrics = res.Engine.c_metrics in
+  let failures = res.Engine.c_schedule in
+  let rounds = Metrics.rounds metrics in
+  (* No verdict (and trivial ground truth) when the watchdog halted the
+     run before the pair finished — [violation] is authoritative then. *)
+  let verdict = if rounds < duration then None else Some (Pair.root_verdict states.(Graph.root)) in
+  let trace =
+    { Ftagg_proto.Checker.agg_nodes = Array.map Pair.agg states; agg_start = 1; failures; params; graph }
+  in
+  let module Checker = Ftagg_proto.Checker in
+  let lfc = Checker.has_lfc trace ~veri_end:duration in
+  let edge_failures = Checker.model_edge_failures ~graph ~failures ~round:duration in
+  let correct =
+    match verdict with
+    | None | Some { Pair.result = Agg.Aborted; _ } -> true
+    | Some { Pair.result = Agg.Value v; _ } ->
+      Checker.result_correct ~graph ~failures ~end_round:rounds ~params v
+  in
+  {
+    scenario = { sc with Incident.schedule = Failure.to_list failures };
+    violation = res.Engine.c_violation;
+    verdict;
+    correct;
+    lfc;
+    edge_failures;
+    cc = Metrics.cc metrics;
+    rounds;
+  }
+
+let check_tradeoff (sc : Incident.scenario) ~b ~f =
+  let graph = graph_of sc in
+  let params = params_of sc graph in
+  let failures = Failure.of_list ~n:sc.Incident.n sc.Incident.schedule in
+  let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed:sc.Incident.run_seed () in
+  let rounds = o.Run.common.Run.rounds in
+  if not o.Run.common.Run.correct then
+    Some
+      {
+        Engine.at_round = rounds;
+        invariant = "theorem1_correct";
+        detail = "Algorithm 1 value outside the correctness interval";
+      }
+  else if o.Run.common.Run.flooding_rounds > b then
+    Some
+      {
+        Engine.at_round = rounds;
+        invariant = "theorem1_time";
+        detail =
+          Printf.sprintf "Algorithm 1 used %d flooding rounds, over the budget b=%d"
+            o.Run.common.Run.flooding_rounds b;
+      }
+  else None
+
+let check (sc : Incident.scenario) =
+  match sc.Incident.kind with
+  | Incident.Pair_run -> (run_pair sc).violation
+  | Incident.Tradeoff_run { b; f } -> check_tradeoff sc ~b ~f
+
+let shrink (sc : Incident.scenario) (v : Engine.violation) =
+  let shrunk, stats =
+    Shrink.minimize ~oracle:check
+      ~matches:(fun v' -> v'.Engine.invariant = v.Engine.invariant)
+      ~max_round:(max_round_of sc) sc
+  in
+  (* Refresh the violation on the minimized scenario (the round usually
+     moved); fall back to the original if the cap interfered. *)
+  let v' = match check shrunk with Some v' -> v' | None -> v in
+  (shrunk, v', stats)
+
+let to_incident ~adversary (sc : Incident.scenario) (v : Engine.violation) =
+  let shrunk, v', stats = shrink sc v in
+  { Incident.adversary; scenario = shrunk; violation = v'; shrink = Some stats }
+
+let replay (inc : Incident.t) = check inc.Incident.scenario
+
+(* ---- randomized campaign ---- *)
+
+type config = {
+  trials : int;
+  seed : int;
+  out_dir : string option;
+  bit_cap : int option;
+  max_n : int;
+  log : string -> unit;
+}
+
+let default_config =
+  { trials = 100; seed = 20260806; out_dir = None; bit_cap = None; max_n = 34; log = ignore }
+
+type outcome = {
+  o_trials : int;
+  o_violating_trials : int;
+  o_incidents : (Incident.t * string option) list;
+}
+
+let families =
+  [| Gen.Path; Gen.Ring; Gen.Grid; Gen.Star; Gen.Binary_tree; Gen.Complete;
+     Gen.Random 0.1; Gen.Caterpillar; Gen.Lollipop; Gen.Torus; Gen.Random_regular 4 |]
+
+let adversaries = Array.of_list Adversary.all
+
+let random_scenario rng ~bit_cap ~max_n =
+  let family = families.(Prng.int rng (Array.length families)) in
+  let n = 10 + Prng.int rng (max 1 (max_n - 9)) in
+  let n = if family = Gen.Torus then max n 12 else n in
+  {
+    Incident.family;
+    n;
+    topo_seed = Prng.int rng 1_000_000;
+    run_seed = Prng.int rng 1_000_000;
+    c = 2;
+    t = Prng.int rng 5;
+    inputs = Array.init n (fun k -> (k * 7 mod 50) + 1);
+    schedule = [];
+    faults = Engine.no_faults;
+    kind = Incident.Pair_run;
+    bit_cap;
+  }
+
+let sanitize s =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> c | _ -> '_') s
+
+let run config =
+  let rng = Prng.create config.seed in
+  let seen = Hashtbl.create 8 in
+  let incidents = ref [] in
+  let violating = ref 0 in
+  for i = 1 to config.trials do
+    let sc0 = random_scenario rng ~bit_cap:config.bit_cap ~max_n:config.max_n in
+    let adversary = adversaries.(Prng.int rng (Array.length adversaries)) in
+    let budget = Prng.int rng 14 in
+    let graph = graph_of sc0 in
+    let params = params_of sc0 graph in
+    let base, online =
+      Adversary.instantiate adversary graph ~rng ~budget ~window:(Pair.duration params)
+    in
+    let sc0 = { sc0 with Incident.schedule = Failure.to_list base } in
+    let report = run_pair ?online sc0 in
+    (match report.violation with
+    | None -> ()
+    | Some v ->
+      incr violating;
+      config.log
+        (Printf.sprintf "trial %d (%s): %s at round %d — shrinking" i (Adversary.name adversary)
+           v.Engine.invariant v.Engine.at_round);
+      if not (Hashtbl.mem seen v.Engine.invariant) then begin
+        Hashtbl.replace seen v.Engine.invariant ();
+        let inc = to_incident ~adversary:(Adversary.name adversary) report.scenario v in
+        let path =
+          match config.out_dir with
+          | None -> None
+          | Some dir ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "incident-%s-trial%04d.json" (sanitize v.Engine.invariant) i)
+            in
+            Incident.save ~path inc;
+            Some path
+        in
+        incidents := (inc, path) :: !incidents
+      end);
+    if i mod 25 = 0 then config.log (Printf.sprintf "… %d/%d trials" i config.trials)
+  done;
+  { o_trials = config.trials; o_violating_trials = !violating; o_incidents = List.rev !incidents }

@@ -1,0 +1,82 @@
+(** Chaos campaigns: randomized runs under adversaries and watchdogs,
+    with automatic shrinking of anything that violates a guarantee.
+
+    The oracle at the centre, {!check}, executes a {!Incident.scenario}
+    deterministically (pair runs through {!Ftagg_sim.Engine.run_chaos}
+    with a {!Watchdog.pair_watch}; tradeoff runs through
+    {!Ftagg_proto.Run.tradeoff} with Theorem 1 post-checks) and reports
+    the first violation.  Everything else — the randomized campaign, the
+    shrinker, CLI replay, the fuzzer — funnels through it, so a scenario
+    file means the same thing everywhere. *)
+
+val graph_of : Incident.scenario -> Ftagg_graph.Graph.t
+val params_of : Incident.scenario -> Ftagg_graph.Graph.t -> Ftagg_proto.Params.t
+
+val max_round_of : Incident.scenario -> int
+(** The scenario's run duration — the shrinker's crash-delay bound. *)
+
+type pair_report = {
+  scenario : Incident.scenario;
+      (** input scenario with the {e materialized} schedule: the oblivious
+          part plus every crash the online adversary decided *)
+  violation : Ftagg_sim.Engine.violation option;
+  verdict : Ftagg_proto.Pair.verdict option;
+      (** [None] when the watchdog halted the run before the pair finished *)
+  correct : bool;
+  lfc : bool;
+  edge_failures : int;
+  cc : int;
+  rounds : int;
+}
+
+val run_pair : ?online:Ftagg_sim.Engine.online -> Incident.scenario -> pair_report
+(** One watched AGG+VERI pair.  [online] extends the scenario's schedule
+    on the fly; replaying the returned materialized scenario without
+    [online] reproduces the run exactly. *)
+
+val check : Incident.scenario -> Ftagg_sim.Engine.violation option
+(** The oracle: run the scenario, report its first violation. *)
+
+val shrink :
+  Incident.scenario ->
+  Ftagg_sim.Engine.violation ->
+  Incident.scenario * Ftagg_sim.Engine.violation * Incident.shrink_stats
+(** Minimize a violating scenario via {!Shrink.minimize}, preserving the
+    violated invariant, and refresh the violation on the result. *)
+
+val to_incident : adversary:string -> Incident.scenario -> Ftagg_sim.Engine.violation -> Incident.t
+(** [shrink] packaged as a saved-ready incident. *)
+
+val replay : Incident.t -> Ftagg_sim.Engine.violation option
+(** Re-run a loaded incident's scenario through {!check} — [Some _] means
+    the violation still reproduces. *)
+
+type config = {
+  trials : int;
+  seed : int;
+  out_dir : string option;  (** where to write incident JSON, if anywhere *)
+  bit_cap : int option;
+      (** watchdog bit-cap override applied to every trial — lower it
+          below {!Watchdog.pair_bit_cap} to plant a violation and watch
+          the pipeline catch, shrink, and report it *)
+  max_n : int;  (** largest system size drawn (smallest is 10) *)
+  log : string -> unit;  (** progress sink (e.g. [print_endline]) *)
+}
+
+val default_config : config
+(** 100 trials, seed 20260806, no output dir, no cap override, max_n 34,
+    silent. *)
+
+type outcome = {
+  o_trials : int;
+  o_violating_trials : int;  (** trials whose run reported any violation *)
+  o_incidents : (Incident.t * string option) list;
+      (** one shrunken incident per {e distinct} invariant, with its file
+          path when [out_dir] was set *)
+}
+
+val run : config -> outcome
+(** The campaign: each trial draws a topology family, size, parameters
+    and an adversary (oblivious and adaptive mixed, random edge-failure
+    budget), runs a watched pair, and shrinks the first scenario seen per
+    violated invariant into an incident. *)

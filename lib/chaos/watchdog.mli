@@ -1,0 +1,40 @@
+(** Per-round invariant watchdogs for the engine's chaos hook.
+
+    A watchdog turns the paper's guarantees into checks that run {e while
+    the protocol executes}, via {!Ftagg_sim.Engine.run_chaos}'s [watch]
+    hook, so a violation is pinned to the first round where it is
+    observable instead of a post-hoc checker verdict:
+
+    - {b bit budgets} — every round, every node's cumulative bit count
+      stays under the combined Theorem 3/6 caps
+      [(11t+14)(log N+5) + (5t+7)(3 log N+10)] (plus one trailing special
+      symbol each);
+    - {b activation discipline} — every round: levels lie in [0, cd]
+      and below the round number, parents are physical neighbours,
+      activated, and exactly one level up;
+    - {b representative-set structure} — partial-sum arithmetic at the
+      end of the AGG half, and disjointness / survivor coverage behind an
+      accepting verdict at the final round (disjointness is only
+      guaranteed when VERI accepts — scenario 3 exists precisely because
+      AGG alone may double-count);
+    - {b Table 2} — at the final round, the verdict obligations of the
+      scenario the materialized schedule landed in. *)
+
+val pair_bit_cap : Ftagg_proto.Params.t -> int
+(** The default cap: AGG's abort budget plus VERI's overflow budget plus
+    one [Agg_abort] and one [Veri_overflow] symbol (a node may cross a
+    threshold by its final special-symbol flood). *)
+
+val pair_watch :
+  ?bit_cap:int ->
+  params:Ftagg_proto.Params.t ->
+  graph:Ftagg_graph.Graph.t ->
+  unit ->
+  Ftagg_proto.Pair.node Ftagg_sim.Engine.watch
+(** Watchdog for one AGG+VERI pair started at round 1 and run for
+    [Pair.duration params] rounds.  [bit_cap] overrides the default cap —
+    the planted-violation knob: pass something lower than
+    {!pair_bit_cap} and the watchdog must fire at the exact round the
+    bottleneck node crosses it (exercised by the chaos tests).  The
+    returned closure is stateful (the AGG-end check runs once): build a
+    fresh one per run. *)

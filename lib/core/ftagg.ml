@@ -58,6 +58,14 @@ module Cut_sim = Ftagg_proto.Cut_sim
 
 module Worstcase = Ftagg_proto.Worstcase
 
+(** {1 Chaos: adaptive adversaries, watchdogs, shrinking incident reports} *)
+
+module Adversary = Ftagg_chaos.Adversary
+module Watchdog = Ftagg_chaos.Watchdog
+module Incident = Ftagg_chaos.Incident
+module Shrink = Ftagg_chaos.Shrink
+module Campaign = Ftagg_chaos.Campaign
+
 (** {1 Derived queries} *)
 
 module Selection = Ftagg_select.Selection

@@ -88,6 +88,211 @@ let write_file ~path v =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string v))
 
+(* ------------------------------------------------------------------ *)
+(* Parsing — the read half, so artifacts (incident reports) round-trip. *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= len then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= len then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        match e with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char buf e;
+          loop ()
+        | 'n' ->
+          Buffer.add_char buf '\n';
+          loop ()
+        | 't' ->
+          Buffer.add_char buf '\t';
+          loop ()
+        | 'r' ->
+          Buffer.add_char buf '\r';
+          loop ()
+        | 'b' ->
+          Buffer.add_char buf '\b';
+          loop ()
+        | 'f' ->
+          Buffer.add_char buf '\012';
+          loop ()
+        | 'u' ->
+          if !pos + 4 > len then fail "truncated \\u escape";
+          let code =
+            (hex s.[!pos] lsl 12) lor (hex s.[!pos + 1] lsl 8) lor (hex s.[!pos + 2] lsl 4)
+            lor hex s.[!pos + 3]
+          in
+          pos := !pos + 4;
+          (* UTF-8 encode the code point (surrogate pairs not recombined —
+             our own artifacts never contain them). *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          loop ()
+        | _ -> fail "unknown escape")
+      | c ->
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        let rec more () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items := parse_value () :: !items;
+            more ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        more ();
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        let rec more () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields := field () :: !fields;
+            more ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        more ();
+        Obj (List.rev !fields)
+      end
+    | Some c -> if is_number_start c then parse_number () else fail (Printf.sprintf "unexpected %C" c)
+  and is_number_start c = match c with '0' .. '9' | '-' -> true | _ -> false in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing garbage at offset %d" !pos) else Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "at offset %d: %s" at msg)
+
+let read_file ~path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string contents
+
+(* Accessors: total functions returning options, so decoding code reads
+   as a chain of binds. *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_string_v = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in

@@ -19,6 +19,33 @@ val to_string : ?indent:bool -> json -> string
 
 val write_file : path:string -> json -> unit
 
+(** {2 Parsing}
+
+    The read half of the layer, so artifacts written with {!write_file}
+    (benchmark results, chaos incident reports) round-trip without an
+    external JSON dependency. *)
+
+val of_string : string -> (json, string) result
+(** Parse a JSON document.  Numbers without a fractional part or
+    exponent come back as [Int]; [\u] escapes are decoded to UTF-8
+    (surrogate pairs are not recombined — our own artifacts never emit
+    them). *)
+
+val read_file : path:string -> (json, string) result
+
+val member : string -> json -> json option
+(** Field of an [Obj]; [None] on a missing key or a non-object. *)
+
+val to_int : json -> int option
+(** [Int], or a [Float] with integral value. *)
+
+val to_float : json -> float option
+(** [Float], or an [Int] widened. *)
+
+val to_string_v : json -> string option
+val to_bool : json -> bool option
+val to_list : json -> json list option
+
 val timed : (unit -> 'a) -> 'a * float
 (** [timed f] runs [f] and returns its result with the wall-clock
     seconds it took. *)

@@ -61,6 +61,99 @@ val run :
     adjacency taken once at run start, allocating nothing per round beyond
     the inbox cells the [step] API requires. *)
 
+(** {2 Chaos instrumentation}
+
+    A second engine entry point for resilience experiments: message-level
+    fault injection beyond the paper's model, {e online} (adaptive)
+    adversaries that watch the traffic before deciding whom to crash, and
+    per-round invariant watchdogs.  All three features are opt-in; with
+    every knob at its default, {!run_chaos} is observationally identical
+    to {!run} (same states, metrics, and PRNG streams — checked
+    differentially in [test/test_chaos.ml]). *)
+
+type faults = {
+  loss : float;  (** per-edge delivery drop probability, as {!run}'s [loss] *)
+  dup : float;  (** probability a delivered per-edge message is duplicated *)
+  delay : float;
+      (** probability a delivered per-edge message arrives one round late
+          (it then survives the sender's crash, like any in-flight
+          message) *)
+}
+(** Per-edge, per-round fault probabilities, each drawn independently in
+    [\[0, 1\]].  {b Everything here leaves the paper's model} — the
+    guarantees assume reliable local broadcast; these knobs exist to map
+    where the guarantees break (bench E16/E17). *)
+
+val no_faults : faults
+(** All probabilities zero: the paper's reliable local broadcast. *)
+
+type round_report = {
+  rr_round : int;  (** the round that just executed *)
+  rr_broadcasters : int list;
+      (** nodes that sent a non-empty broadcast this round, ascending *)
+  rr_metrics : Metrics.t;
+      (** live cumulative accounting — per-node bit totals so far *)
+  rr_crash_rounds : int array;
+      (** the schedule as materialized so far; treat as read-only *)
+}
+(** What an online adversary sees after each round: exactly the per-round
+    traffic (who broadcast, per-node bit totals) plus the crash state. *)
+
+type online = round_report -> int list
+(** Called after every round; the returned nodes crash at the start of
+    the next round (their current-round broadcast is still delivered —
+    crash means stop, not message loss).  The root and already-crashed
+    nodes are ignored.  Budget enforcement is the adversary's job (see
+    [Ftagg_chaos.Adversary]). *)
+
+type 'state view = {
+  v_round : int;
+  v_states : 'state array;
+  v_metrics : Metrics.t;
+  v_crash_rounds : int array;  (** treat as read-only *)
+}
+(** Snapshot handed to a watchdog after each round's steps. *)
+
+type 'state watch = 'state view -> (string * string) option
+(** Per-round invariant check: [Some (invariant, detail)] reports a
+    violation of the named invariant. *)
+
+type violation = {
+  at_round : int;
+  invariant : string;
+  detail : string;
+}
+
+type 'state chaos_result = {
+  c_states : 'state array;
+  c_metrics : Metrics.t;
+  c_schedule : Failure.t;
+      (** the materialized schedule: the oblivious input plus every
+          crash the online adversary decided — replaying it obliviously
+          reproduces the run *)
+  c_violation : violation option;
+      (** the first watchdog violation, if any *)
+}
+
+val run_chaos :
+  ?observer:(round:int -> node:int -> 'msg list -> unit) ->
+  ?faults:faults ->
+  ?online:online ->
+  ?watch:'state watch ->
+  ?halt_on_violation:bool ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Failure.t ->
+  max_rounds:int ->
+  seed:int ->
+  ('state, 'msg) protocol ->
+  'state chaos_result
+(** The instrumented engine.  [failures] is the oblivious part of the
+    schedule; [online] (if any) extends it on the fly.  [watch] runs
+    after every round; on its first violation the run stops (unless
+    [halt_on_violation] is [false], default [true]) and the violation is
+    reported in the result.  Off the hot path: list-based like
+    {!run_reference}, roughly engine-reference speed. *)
+
 val run_reference :
   ?observer:(round:int -> node:int -> 'msg list -> unit) ->
   ?loss:float ->

@@ -18,7 +18,21 @@ let of_list ~n entries =
     entries;
   t
 
+let of_crash_rounds a =
+  let t = Array.copy a in
+  if Array.length t = 0 then invalid_arg "Failure.of_crash_rounds: empty";
+  if t.(0) <> never then invalid_arg "Failure.of_crash_rounds: root must not crash";
+  Array.iter (fun r -> if r < 1 then invalid_arg "Failure.of_crash_rounds: round must be >= 1") t;
+  t
+
 let crash_round t u = t.(u)
+
+let to_list t =
+  let acc = ref [] in
+  for u = Array.length t - 1 downto 0 do
+    if t.(u) <> never then acc := (u, t.(u)) :: !acc
+  done;
+  !acc
 
 let crashed_by t ~round =
   let acc = ref [] in

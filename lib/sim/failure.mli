@@ -23,6 +23,17 @@ val of_list : n:int -> (int * int) list -> t
 (** [of_list ~n [(node, round); ...]].  Crashing the root or a node id out
     of range raises [Invalid_argument]. *)
 
+val of_crash_rounds : int array -> t
+(** Wrap a raw crash-round array (index = node, value = crash round,
+    [never] for survivors) as a schedule.  The array is copied.  Raises
+    [Invalid_argument] if the root's slot is not [never] or any round is
+    [< 1].  Inverse of {!crash_rounds} (up to copying); used to
+    materialize the schedule an online adversary produced. *)
+
+val to_list : t -> (int * int) list
+(** The [(node, round)] pairs of every node that ever crashes, ascending
+    by node id — the serializable form, inverse of {!of_list}. *)
+
 val crash_round : t -> int -> int
 val crashed_by : t -> round:int -> int list
 (** Nodes whose crash round is [<= round]. *)

@@ -18,4 +18,5 @@ let () =
       ("representative", Test_representative.suite);
       ("cross", Test_cross.suite);
       ("engine-perf", Test_engine_perf.suite);
+      ("chaos", Test_chaos.suite);
     ]

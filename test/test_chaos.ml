@@ -1,0 +1,383 @@
+(* The chaos subsystem: differential equivalence of the instrumented
+   engine against the production hot path when every knob is off,
+   deterministic fault-injection semantics, online-adversary mechanics,
+   watchdog precision (a planted bit-budget violation must fire at the
+   exact round the bottleneck node crosses the cap), the shrinker, and
+   the incident JSON round trip. *)
+
+open Ftagg
+open Helpers
+
+(* ---------- chaos-off differential: run_chaos ≡ run ---------- *)
+
+let pair_proto params =
+  {
+    Engine.name = "pair";
+    init = (fun u ~rng:_ -> Pair.create params ~me:u);
+    step = (fun ~round ~me:_ ~state ~inbox -> (state, Pair.step state ~rr:round ~inbox));
+    msg_bits = Message.bits params;
+    root_done = (fun _ -> false);
+  }
+
+let agg_project st = (Agg.level st, Agg.parent st, Agg.psum st, Agg.max_level st, Agg.aborted st)
+
+(* With no faults, no online adversary and no watchdog, run_chaos must be
+   observationally identical to the hot path: same metrics, same states,
+   same PRNG streams.  Also with only [loss] set, it must match
+   [Engine.run ?loss] draw for draw. *)
+let both ?faults ?loss ~graph ~failures ~max_rounds ~seed proto =
+  let s_run, m_run = Engine.run ?loss ~graph ~failures ~max_rounds ~seed proto in
+  let r = Engine.run_chaos ?faults ~graph ~failures ~max_rounds ~seed proto in
+  let s_chaos = r.Engine.c_states and m_chaos = r.Engine.c_metrics in
+  check_int "rounds" (Metrics.rounds m_run) (Metrics.rounds m_chaos);
+  check_int "cc" (Metrics.cc m_run) (Metrics.cc m_chaos);
+  Array.iteri
+    (fun u _ ->
+      check_int (Printf.sprintf "bits@%d" u) (Metrics.bits_sent m_run u)
+        (Metrics.bits_sent m_chaos u);
+      check_int (Printf.sprintf "msgs@%d" u) (Metrics.msgs_sent m_run u)
+        (Metrics.msgs_sent m_chaos u))
+    s_run;
+  Array.iteri
+    (fun u st ->
+      check_true
+        (Printf.sprintf "state@%d" u)
+        (agg_project (Pair.agg st) = agg_project (Pair.agg s_chaos.(u))))
+    s_run;
+  check_true "no violation" (r.Engine.c_violation = None)
+
+let test_chaos_off_differential () =
+  List.iter
+    (fun (name, fam) ->
+      let g = Gen.build fam ~n:30 ~seed:5 in
+      let params = params_of ~t:2 g ~inputs:(default_inputs 30) in
+      List.iter
+        (fun seed ->
+          let failures = Failure.random g ~rng:(Prng.create (seed * 11)) ~budget:5 ~max_round:250 in
+          Alcotest.(check unit)
+            (Printf.sprintf "chaos-off %s seed %d" name seed)
+            ()
+            (both ~graph:g ~failures ~max_rounds:(Pair.duration params) ~seed (pair_proto params)))
+        [ 1; 2; 3 ])
+    [ ("grid", Gen.Grid); ("ring", Gen.Ring); ("caterpillar", Gen.Caterpillar) ]
+
+let test_loss_only_differential () =
+  let g = Gen.grid 25 in
+  let params = params_of g ~inputs:(default_inputs 25) in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun seed ->
+          let failures = Failure.random g ~rng:(Prng.create seed) ~budget:4 ~max_round:200 in
+          both
+            ~faults:{ Engine.loss; dup = 0.0; delay = 0.0 }
+            ~loss ~graph:g ~failures ~max_rounds:(Pair.duration params) ~seed (pair_proto params))
+        [ 1; 2; 3 ])
+    [ 0.05; 0.3 ]
+
+(* ---------- fault-injection semantics on a beacon protocol ---------- *)
+
+(* Node [b] broadcasts one unit payload every round; everyone else counts
+   arrivals.  Every delivery fact below is exact with probability-1
+   faults. *)
+let beacon_proto b =
+  {
+    Engine.name = "beacon";
+    init = (fun _ ~rng:_ -> 0);
+    step =
+      (fun ~round:_ ~me ~state ~inbox ->
+        if me = b then (state, [ () ]) else (state + List.length inbox, []));
+    msg_bits = (fun () -> 1);
+    root_done = (fun _ -> false);
+  }
+
+let beacon ?faults ?online ~n ~b ~failures ~rounds () =
+  Engine.run_chaos ?faults ?online ~graph:(Gen.path n) ~failures ~max_rounds:rounds ~seed:7
+    (beacon_proto b)
+
+let test_fault_semantics () =
+  let rounds = 10 in
+  let none = Failure.none ~n:2 in
+  (* baseline: broadcasts of rounds 1..9 arrive in rounds 2..10 *)
+  let r = beacon ~n:2 ~b:0 ~failures:none ~rounds () in
+  check_int "no faults" (rounds - 1) r.Engine.c_states.(1);
+  (* dup = 1: every delivery doubled *)
+  let r =
+    beacon ~faults:{ Engine.loss = 0.0; dup = 1.0; delay = 0.0 } ~n:2 ~b:0 ~failures:none ~rounds ()
+  in
+  check_int "dup=1 doubles" (2 * (rounds - 1)) r.Engine.c_states.(1);
+  (* delay = 1: every delivery lands one round later (rounds 3..10) *)
+  let r =
+    beacon ~faults:{ Engine.loss = 0.0; dup = 0.0; delay = 1.0 } ~n:2 ~b:0 ~failures:none ~rounds ()
+  in
+  check_int "delay=1 shifts by one" (rounds - 2) r.Engine.c_states.(1);
+  (* loss = 1: silence *)
+  let r =
+    beacon ~faults:{ Engine.loss = 1.0; dup = 0.0; delay = 0.0 } ~n:2 ~b:0 ~failures:none ~rounds ()
+  in
+  check_int "loss=1 silences" 0 r.Engine.c_states.(1)
+
+(* A delayed message is in flight: the sender's crash must not revoke it
+   (crash means stop, not message loss — and in-flight means in flight). *)
+let test_delay_survives_sender_crash () =
+  let failures = Failure.of_list ~n:3 [ (1, 3) ] in
+  let r =
+    beacon
+      ~faults:{ Engine.loss = 0.0; dup = 0.0; delay = 1.0 }
+      ~n:3 ~b:1 ~failures ~rounds:6 ()
+  in
+  (* node 1 broadcasts in rounds 1 and 2 only (crashes at 3); both
+     deliveries are delayed to rounds 3 and 4 — the round-2 broadcast
+     arrives after its sender died *)
+  check_int "both delayed deliveries arrive" 2 r.Engine.c_states.(2);
+  check_int "other neighbour too" 2 r.Engine.c_states.(0)
+
+(* ---------- online adversary mechanics ---------- *)
+
+let test_online_crash_timing () =
+  (* crash node 1 after round 2: its round-2 broadcast is still delivered,
+     round-3 and later broadcasts never happen *)
+  let online report = if report.Engine.rr_round = 2 then [ 1 ] else [] in
+  let r = beacon ~online ~n:3 ~b:1 ~failures:(Failure.none ~n:3) ~rounds:8 () in
+  check_int "broadcasts of rounds 1-2 delivered" 2 r.Engine.c_states.(2);
+  check_true "schedule materialized" (Failure.to_list r.Engine.c_schedule = [ (1, 3) ])
+
+let test_online_cannot_crash_root () =
+  let online _ = [ 0 ] in
+  let r = beacon ~online ~n:3 ~b:0 ~failures:(Failure.none ~n:3) ~rounds:8 () in
+  check_true "root survives" (Failure.to_list r.Engine.c_schedule = []);
+  check_int "root kept broadcasting" 7 r.Engine.c_states.(1)
+
+let base_scenario ~family ~n ~t =
+  {
+    Incident.family;
+    n;
+    topo_seed = 9;
+    run_seed = 4;
+    c = 2;
+    t;
+    inputs = Array.init n (fun k -> (k * 7 mod 50) + 1);
+    schedule = [];
+    faults = Engine.no_faults;
+    kind = Incident.Pair_run;
+    bit_cap = None;
+  }
+
+let test_adaptive_budget_respected () =
+  List.iter
+    (fun adversary ->
+      List.iter
+        (fun budget ->
+          let sc = base_scenario ~family:Gen.Grid ~n:16 ~t:3 in
+          let graph = Campaign.graph_of sc in
+          let params = Campaign.params_of sc graph in
+          let base, online =
+            Adversary.instantiate adversary graph ~rng:(Prng.create 42) ~budget
+              ~window:(Pair.duration params)
+          in
+          check_true "adaptive base schedule empty" (Failure.to_list base = []);
+          let report = Campaign.run_pair ?online sc in
+          let materialized = Failure.of_list ~n:16 report.Campaign.scenario.Incident.schedule in
+          let cost = Failure.edge_failures graph materialized in
+          check_true
+            (Printf.sprintf "%s budget %d: cost %d" (Adversary.name adversary) budget cost)
+            (cost <= budget))
+        [ 0; 3; 7 ])
+    Adversary.adaptive_all
+
+(* Replaying the materialized schedule obliviously must reproduce the
+   adaptive run bit for bit — the property that makes incidents
+   deterministic artifacts. *)
+let test_materialized_replay () =
+  let sc = base_scenario ~family:Gen.Caterpillar ~n:18 ~t:2 in
+  let graph = Campaign.graph_of sc in
+  let params = Campaign.params_of sc graph in
+  let _, online =
+    Adversary.instantiate (Adversary.Adaptive Adversary.Top_talkers) graph ~rng:(Prng.create 3)
+      ~budget:6 ~window:(Pair.duration params)
+  in
+  let live = Campaign.run_pair ?online sc in
+  check_true "adaptive adversary crashed someone" (live.Campaign.scenario.Incident.schedule <> []);
+  let replayed = Campaign.run_pair live.Campaign.scenario in
+  check_int "cc" live.Campaign.cc replayed.Campaign.cc;
+  check_int "rounds" live.Campaign.rounds replayed.Campaign.rounds;
+  check_true "verdict" (live.Campaign.verdict = replayed.Campaign.verdict);
+  check_true "violation" (live.Campaign.violation = replayed.Campaign.violation);
+  check_true "schedule unchanged"
+    (live.Campaign.scenario.Incident.schedule = replayed.Campaign.scenario.Incident.schedule)
+
+(* ---------- watchdog ---------- *)
+
+(* Clean and dirty-but-within-the-model runs must stay silent: the
+   watchdog checks guarantees, and under crash-only adversaries the
+   theorems hold. *)
+let test_watchdog_quiet_on_lawful_runs () =
+  List.iter
+    (fun (family, n) ->
+      List.iter
+        (fun budget ->
+          let sc = base_scenario ~family ~n ~t:4 in
+          let graph = Campaign.graph_of sc in
+          let failures =
+            Failure.random graph ~rng:(Prng.create (budget * 31)) ~budget ~max_round:60
+          in
+          let sc = { sc with Incident.schedule = Failure.to_list failures } in
+          let report = Campaign.run_pair sc in
+          check_true
+            (Printf.sprintf "quiet: %s budget %d" (Incident.family_to_string family) budget)
+            (report.Campaign.violation = None))
+        [ 2; 9 ])
+    [ (Gen.Grid, 16); (Gen.Ring, 14); (Gen.Star, 12) ]
+
+(* Plant a violation by lowering the cap below the real bottleneck's
+   total, and insist the watchdog fires at the exact round the
+   bottleneck crosses it. *)
+let test_planted_bit_cap_fires_at_correct_round () =
+  let sc = base_scenario ~family:Gen.Star ~n:8 ~t:0 in
+  let graph = Campaign.graph_of sc in
+  let params = Campaign.params_of sc graph in
+  let proto = pair_proto params in
+  let duration = Pair.duration params in
+  let failures = Failure.none ~n:8 in
+  let _, m = Engine.run ~graph ~failures ~max_rounds:duration ~seed:sc.Incident.run_seed proto in
+  let cap = Metrics.cc m / 2 in
+  check_true "cap is planted below the real bottleneck" (cap < Metrics.cc m);
+  (* ground truth: replay with an observer and find the first round some
+     node's cumulative bits exceed the cap *)
+  let cum = Array.make 8 0 in
+  let expected = ref max_int in
+  let observer ~round ~node out =
+    cum.(node) <- cum.(node) + List.fold_left (fun a msg -> a + Message.bits params msg) 0 out;
+    if cum.(node) > cap && round < !expected then expected := round
+  in
+  let _ = Engine.run ~observer ~graph ~failures ~max_rounds:duration ~seed:sc.Incident.run_seed proto in
+  check_true "the cap is crossed mid-run" (!expected < duration);
+  let report = Campaign.run_pair { sc with Incident.bit_cap = Some cap } in
+  match report.Campaign.violation with
+  | None -> Alcotest.fail "planted violation not caught"
+  | Some v ->
+    check_true "invariant" (v.Engine.invariant = "bit_budget");
+    check_int "caught at the first crossing round" !expected v.Engine.at_round;
+    check_int "run halted there" !expected report.Campaign.rounds
+
+(* ---------- shrinking ---------- *)
+
+let test_shrink_minimizes_planted_violation () =
+  let sc = base_scenario ~family:Gen.Star ~n:12 ~t:1 in
+  let sc = { sc with Incident.bit_cap = Some 50; schedule = [ (3, 40); (5, 60); (7, 80) ] } in
+  match Campaign.check sc with
+  | None -> Alcotest.fail "planted scenario does not violate"
+  | Some v ->
+    check_true "bit budget violated" (v.Engine.invariant = "bit_budget");
+    let shrunk, v', stats = Campaign.shrink sc v in
+    check_true "same invariant after shrinking" (v'.Engine.invariant = "bit_budget");
+    check_true "irrelevant crashes dropped" (shrunk.Incident.schedule = []);
+    check_true "system no larger" (shrunk.Incident.n <= sc.Incident.n);
+    check_int "stats: original crash count" 3 stats.Incident.s_from_crashes;
+    check_int "stats: original size" 12 stats.Incident.s_from_n;
+    check_true "oracle runs were spent" (stats.Incident.s_tries > 0);
+    (* the minimized scenario is still a standalone reproducer *)
+    (match Campaign.check shrunk with
+    | Some v'' -> check_true "shrunk scenario reproduces" (v''.Engine.invariant = "bit_budget")
+    | None -> Alcotest.fail "shrunk scenario lost the violation")
+
+(* ---------- campaign + incident + replay, end to end ---------- *)
+
+let test_campaign_end_to_end () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ftagg-chaos-test" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let outcome =
+    Campaign.run
+      {
+        Campaign.trials = 6;
+        seed = 99;
+        out_dir = Some dir;
+        bit_cap = Some 40;
+        max_n = 14;
+        log = ignore;
+      }
+  in
+  check_true "planted cap violates every trial" (outcome.Campaign.o_violating_trials = 6);
+  match outcome.Campaign.o_incidents with
+  | [ (inc, Some path) ] ->
+    check_true "bit budget incident" (inc.Incident.violation.Engine.invariant = "bit_budget");
+    check_true "shrunken" (inc.Incident.shrink <> None);
+    check_true "incident file written" (Sys.file_exists path);
+    (match Incident.load ~path with
+    | Error e -> Alcotest.fail e
+    | Ok loaded -> (
+      check_true "round trip: scenario" (loaded.Incident.scenario = inc.Incident.scenario);
+      check_true "round trip: violation" (loaded.Incident.violation = inc.Incident.violation);
+      match Campaign.replay loaded with
+      | Some v -> check_true "replay reproduces" (v.Engine.invariant = "bit_budget")
+      | None -> Alcotest.fail "replay did not reproduce"))
+  | incidents ->
+    Alcotest.fail (Printf.sprintf "expected exactly one saved incident, got %d" (List.length incidents))
+
+(* ---------- incident serialization ---------- *)
+
+let test_family_codec () =
+  List.iter
+    (fun f ->
+      check_true
+        (Incident.family_to_string f)
+        (Incident.family_of_string (Incident.family_to_string f) = Some f))
+    [ Gen.Path; Gen.Ring; Gen.Grid; Gen.Star; Gen.Binary_tree; Gen.Complete; Gen.Random 0.05;
+      Gen.Random 0.15; Gen.Caterpillar; Gen.Lollipop; Gen.Torus; Gen.Random_regular 4 ]
+
+let test_incident_json_round_trip () =
+  let inc =
+    {
+      Incident.adversary = "adaptive:first_speakers";
+      scenario =
+        {
+          Incident.family = Gen.Random 0.15;
+          n = 17;
+          topo_seed = 123;
+          run_seed = 456;
+          c = 2;
+          t = 3;
+          inputs = Array.init 17 (fun k -> k + 1);
+          schedule = [ (2, 5); (9, 31) ];
+          faults = { Engine.loss = 0.01; dup = 0.25; delay = 0.5 };
+          kind = Incident.Tradeoff_run { b = 84; f = 6 };
+          bit_cap = Some 512;
+        };
+      violation = { Engine.at_round = 77; invariant = "theorem1_time"; detail = "too slow" };
+      shrink = Some { Incident.s_tries = 41; s_from_crashes = 9; s_from_n = 40 };
+    }
+  in
+  let text = Bench_io.to_string (Incident.to_json inc) in
+  match Bench_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+    match Incident.of_json j with
+    | Error e -> Alcotest.fail e
+    | Ok inc' ->
+      check_true "adversary" (inc'.Incident.adversary = inc.Incident.adversary);
+      check_true "scenario" (inc'.Incident.scenario = inc.Incident.scenario);
+      check_true "violation" (inc'.Incident.violation = inc.Incident.violation);
+      check_true "shrink stats" (inc'.Incident.shrink = inc.Incident.shrink))
+
+let suite =
+  [
+    Alcotest.test_case "chaos-off ≡ hot path (3 families x 3 seeds)" `Quick
+      test_chaos_off_differential;
+    Alcotest.test_case "loss-only ≡ hot path with ?loss" `Quick test_loss_only_differential;
+    Alcotest.test_case "fault semantics: dup/delay/loss at p=1" `Quick test_fault_semantics;
+    Alcotest.test_case "delayed delivery survives sender crash" `Quick
+      test_delay_survives_sender_crash;
+    Alcotest.test_case "online: crash lands at round r+1" `Quick test_online_crash_timing;
+    Alcotest.test_case "online: root is untouchable" `Quick test_online_cannot_crash_root;
+    Alcotest.test_case "adaptive adversaries respect the edge budget" `Quick
+      test_adaptive_budget_respected;
+    Alcotest.test_case "materialized schedule replays bit for bit" `Quick test_materialized_replay;
+    Alcotest.test_case "watchdog quiet on lawful runs" `Quick test_watchdog_quiet_on_lawful_runs;
+    Alcotest.test_case "planted bit cap caught at the exact round" `Quick
+      test_planted_bit_cap_fires_at_correct_round;
+    Alcotest.test_case "shrinker drops irrelevant crashes" `Quick
+      test_shrink_minimizes_planted_violation;
+    Alcotest.test_case "campaign → incident → JSON → replay" `Quick test_campaign_end_to_end;
+    Alcotest.test_case "family codec round trip" `Quick test_family_codec;
+    Alcotest.test_case "incident JSON round trip" `Quick test_incident_json_round_trip;
+  ]

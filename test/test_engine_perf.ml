@@ -169,6 +169,46 @@ let test_sweep_errors () =
   | _ -> Alcotest.fail "failing job should raise"
   | exception Sweep.Job_failed (i, Failure _) -> check_int "failing job index" 5 i
 
+(* The failure report must carry the index AND the payload of the first
+   failing job (by index, not by wall clock), even with several failures
+   in flight. *)
+let test_sweep_error_payload () =
+  let job x = if x mod 2 = 1 then failwith (Printf.sprintf "boom%d" x) else x in
+  match Sweep.map ~domains:4 job (List.init 12 Fun.id) with
+  | _ -> Alcotest.fail "failing jobs should raise"
+  | exception Sweep.Job_failed (i, Failure msg) ->
+    check_int "first failing index" 1 i;
+    check_true "payload of the first failing job" (msg = "boom1")
+
+(* domains:1 must run every job in the calling domain (no spawns), with
+   the same results and the same error protocol as the parallel path. *)
+let test_sweep_sequential_path () =
+  let log = ref [] in
+  let f x =
+    log := x :: !log;
+    x * 2
+  in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * 2) [ 5; 1; 4 ])
+    (Sweep.map ~domains:1 f [ 5; 1; 4 ]);
+  Alcotest.(check (list int)) "jobs ran in input order" [ 5; 1; 4 ] (List.rev !log);
+  match Sweep.map ~domains:1 (fun x -> if x = 2 then raise Exit else x) [ 0; 1; 2; 3 ] with
+  | _ -> Alcotest.fail "failing job should raise"
+  | exception Sweep.Job_failed (i, Exit) -> check_int "sequential failure index" 2 i
+
+(* Fewer jobs than domains: the pool must not over-spawn or deadlock, and
+   results still match List.map. *)
+let test_sweep_fewer_jobs_than_domains () =
+  let f x = x + 100 in
+  Alcotest.(check (list int)) "n=3 < domains=8" (List.map f [ 7; 8; 9 ]) (Sweep.map ~domains:8 f [ 7; 8; 9 ]);
+  Alcotest.(check (list int)) "n=1 < domains=8" [ f 42 ] (Sweep.map ~domains:8 f [ 42 ]);
+  match Sweep.map ~domains:8 (fun _ -> failwith "solo") [ 0 ] with
+  | _ -> Alcotest.fail "failing job should raise"
+  | exception Sweep.Job_failed (i, Failure msg) ->
+    check_int "index with tiny input" 0 i;
+    check_true "payload with tiny input" (msg = "solo")
+
 let suite =
   [
     Alcotest.test_case "engine: AGG equivalence (4 families x 5 seeds)" `Quick
@@ -180,4 +220,7 @@ let suite =
     Alcotest.test_case "sweep: matches List.map" `Quick test_sweep_matches_list_map;
     Alcotest.test_case "sweep: deterministic across pool sizes" `Quick test_sweep_determinism;
     Alcotest.test_case "sweep: error reporting" `Quick test_sweep_errors;
+    Alcotest.test_case "sweep: first failure index and payload" `Quick test_sweep_error_payload;
+    Alcotest.test_case "sweep: domains:1 sequential path" `Quick test_sweep_sequential_path;
+    Alcotest.test_case "sweep: fewer jobs than domains" `Quick test_sweep_fewer_jobs_than_domains;
   ]
