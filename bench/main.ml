@@ -1188,6 +1188,80 @@ let perf_fast_proto params =
     root_done = (fun _ -> false);
   }
 
+(* ------------------------------------------------------------------ *)
+(* E18 — telemetry: phase-level bit breakdown of Algorithm 1 across b   *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  header
+    "E18 | Telemetry — where Algorithm 1's bits go, by protocol phase\n\
+     256-node grid, f=16, b swept; spans attribute every broadcast to the\n\
+     AGG/VERI phase (or tradeoff fallback) active at the sender";
+  let n = 256 in
+  let g = Gen.grid n in
+  let inputs = Array.init n (fun k -> (k mod 10) + 1) in
+  let params = Params.make ~c:2 ~graph:g ~inputs () in
+  let f = 16 in
+  let bs = [ 42; 63; 126; 252 ] in
+  let runs =
+    List.map
+      (fun b ->
+        let obs = Obs.create ~name:(Printf.sprintf "e18-b%d" b) () in
+        let failures =
+          Failure.random g ~rng:(Prng.create 5) ~budget:f ~max_round:(b * params.Params.d)
+        in
+        let o = Run.tradeoff ~obs ~graph:g ~failures ~params ~b ~f ~seed:1 () in
+        (b, obs, o))
+      bs
+  in
+  let phases =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, obs, _) -> List.map fst (Obs.phase_bits obs)) runs)
+  in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "bits per phase, grid n=%d, f=%d (SUM, seed 1)" n f)
+      (("phase", Table.Left) :: List.map (fun b -> (Printf.sprintf "b=%d" b, Table.Right)) bs)
+  in
+  List.iter
+    (fun phase ->
+      Table.add_row table
+        (phase
+        :: List.map
+             (fun (_, obs, _) ->
+               match List.assoc_opt phase (Obs.phase_bits obs) with
+               | Some bits -> string_of_int bits
+               | None -> "-")
+             runs))
+    phases;
+  Table.add_rule table;
+  (* The phase column must account for every bit the engine charged:
+     sum-over-phases = Metrics.total_bits (test_obs.ml locks this in). *)
+  Table.add_row table
+    ("sum over phases"
+    :: List.map
+         (fun (_, obs, _) ->
+           string_of_int (List.fold_left (fun acc (_, b) -> acc + b) 0 (Obs.phase_bits obs)))
+         runs);
+  Table.add_row table
+    ("engine total_bits"
+    :: List.map
+         (fun (_, _, (o : Run.tradeoff_outcome)) ->
+           string_of_int (Metrics.total_bits o.Run.common.Run.metrics))
+         runs);
+  Table.print table;
+  List.iter
+    (fun (b, _, (o : Run.tradeoff_outcome)) ->
+      Printf.printf "b=%-4d CC %6d bits, %5d rounds, correct %b\n" b
+        (Metrics.cc o.Run.common.Run.metrics) o.Run.common.Run.rounds o.Run.common.Run.correct)
+    runs
+
+(* Round benchmark floats before serialising: sub-tenth-of-a-permille
+   wall-clock jitter used to churn every digit of BENCH_engine.json on
+   each regeneration. *)
+let q4 x = Float.round (x *. 1e4) /. 1e4
+let q2 x = Float.round (x *. 1e2) /. 1e2
+
 let perf () =
   header
     "PERF | engine hot path — reference (seed) pipeline vs CSR engine\n\
@@ -1251,23 +1325,23 @@ let perf () =
             Obj
               [
                 ("engine", String "reference (list-based), exec-tagged messages");
-                ("wall_s", Float seed_wall);
-                ("rounds_per_sec", Float seed_rps);
+                ("wall_s", Float (q4 seed_wall));
+                ("rounds_per_sec", Int (int_of_float (Float.round seed_rps)));
               ] );
           ( "overhauled_pipeline",
             Obj
               [
                 ("engine", String "CSR delivery loop, raw message bodies");
-                ("wall_s", Float fast_wall);
-                ("rounds_per_sec", Float fast_rps);
+                ("wall_s", Float (q4 fast_wall));
+                ("rounds_per_sec", Int (int_of_float (Float.round fast_rps)));
               ] );
-          ("speedup", Float speedup);
+          ("speedup", Float (q2 speedup));
           ( "sweep",
             Obj
               [
                 ("domains", Int domains);
-                ("wall_s", Float sweep_wall);
-                ("speedup_vs_serial", Float (fast_wall /. sweep_wall));
+                ("wall_s", Float (q4 sweep_wall));
+                ("speedup_vs_serial", Float (q2 (fast_wall /. sweep_wall)));
               ] );
         ])
   in
@@ -1281,7 +1355,7 @@ let all_experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("timing", timing); ("perf", perf);
+    ("e17", e17); ("e18", e18); ("timing", timing); ("perf", perf);
   ]
 
 let () =

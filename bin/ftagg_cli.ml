@@ -2,16 +2,23 @@
 
    Subcommands:
      run       run a protocol on a generated topology under an adversary
+     trace     run a protocol with telemetry; export Chrome trace / JSONL
+     stats     run a protocol and print its metric registry
      graph     print statistics of a generated topology
      twoparty  run the §7 two-party protocols on a random instance
      rank      certify Lemma 11's rank(M) = q−1 for a given q
+     chaos     randomized chaos campaign; replay re-runs saved incidents
 
    Examples:
      ftagg run -p tradeoff -t grid -n 64 -f 8 -b 60 --failures random
-     ftagg run -p brute -t ring -n 50 --failures burst --budget 6
+     ftagg trace -p tradeoff -t grid -n 256 -f 16 -o out.trace.json
+     ftagg stats -p pair -t grid -n 64 --prom
      ftagg twoparty -n 4096 -q 32
      ftagg rank -q 17
-*)
+
+   Exit codes: 0 success; 1 protocol abort / non-reproducing replay /
+   chaos incidents found; 2 usage or load errors; 3 invalid trace output
+   (never expected). *)
 
 open Cmdliner
 open Ftagg
@@ -65,14 +72,51 @@ let make_failures graph ~mode ~budget ~seed ~window =
   | "neighborhood" -> Failure.neighborhood graph ~center:(n / 2) ~round:(window / 3)
   | other -> failwith (Printf.sprintf "unknown failure mode %S" other)
 
+let protocol_arg =
+  Arg.(
+    value
+    & opt string "tradeoff"
+    & info [ "p"; "protocol" ]
+        ~doc:"One of: tradeoff, brute, folklore, naive, unknown-f, pair, agg.")
+
+(* Run one protocol by name with a telemetry sink attached.  Returns the
+   rendered root value, the exit code (0 ok, 1 protocol abort) and the
+   run's common outcome. *)
+let exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed =
+  match String.lowercase_ascii protocol with
+  | "tradeoff" ->
+    let o = Run.tradeoff ~obs ~graph ~failures ~params ~b ~f ~seed () in
+    (string_of_int (Run.value_exn o.Run.result), 0, o.Run.common)
+  | "brute" ->
+    let o = Run.brute_force ~obs ~graph ~failures ~params ~seed () in
+    (string_of_int (Run.value_exn o.Run.result), 0, o.Run.common)
+  | "unknown-f" | "unknown_f" ->
+    let o = Run.unknown_f ~obs ~graph ~failures ~params ~seed () in
+    (string_of_int (Run.value_exn o.Run.result), 0, o.Run.common)
+  | "folklore" | "naive" ->
+    let mode =
+      if String.lowercase_ascii protocol = "naive" then Folklore.Naive else Folklore.Retry (f + 1)
+    in
+    let o = Run.folklore ~obs ~graph ~failures ~params ~mode ~seed () in
+    (match o.Run.f_result with
+    | Folklore.Value v -> (string_of_int v, 0, o.Run.common)
+    | Folklore.No_clean_epoch -> ("<no clean epoch>", 1, o.Run.common))
+  | "pair" ->
+    let o = Run.pair ~obs ~graph ~failures ~params ~seed () in
+    (match o.Run.result with
+    | Agg.Value v -> (string_of_int v, 0, o.Run.common)
+    | Agg.Aborted -> ("<aborted>", 1, o.Run.common))
+  | "agg" ->
+    let o = Run.agg ~obs ~graph ~failures ~params ~seed () in
+    (match o.Run.result with
+    | Agg.Value v -> (string_of_int v, 0, o.Run.common)
+    | Agg.Aborted -> ("<aborted>", 1, o.Run.common))
+  | other ->
+    Printf.eprintf "ftagg: unknown protocol %S\n" other;
+    exit 2
+
 let run_cmd =
-  let protocol =
-    Arg.(
-      value
-      & opt string "tradeoff"
-      & info [ "p"; "protocol" ]
-          ~doc:"One of: tradeoff, brute, folklore, naive, unknown-f, pair, agg.")
-  in
+  let protocol = protocol_arg in
   let caaf = Arg.(value & opt caaf_conv Instances.sum & info [ "aggregate" ] ~doc:"CAAF.") in
   let b = Arg.(value & opt int 63 & info [ "b" ] ~doc:"Time budget in flooding rounds.") in
   let f = Arg.(value & opt int 8 & info [ "f" ] ~doc:"Edge-failure budget.") in
@@ -103,17 +147,21 @@ let run_cmd =
         c.Run.flooding_rounds d;
       Printf.printf "edge fails : %d injected\n" (Failure.edge_failures graph failures)
     in
-    (match String.lowercase_ascii protocol with
+    (* Exit code 1 on a protocol abort (pair/agg [Aborted], folklore
+       [No_clean_epoch]) so scripts and CI can gate on the outcome. *)
+    match String.lowercase_ascii protocol with
     | "tradeoff" ->
       let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed () in
       print_common "tradeoff" (string_of_int (Run.value_exn o.Run.result)) o.Run.common;
       Printf.printf "via        : %s\n"
         (match o.Run.how with
         | Tradeoff.Via_pair y -> Printf.sprintf "AGG+VERI pair in interval %d" y
-        | Tradeoff.Via_brute_force -> "brute-force fallback")
+        | Tradeoff.Via_brute_force -> "brute-force fallback");
+      0
     | "brute" ->
       let o = Run.brute_force ~graph ~failures ~params ~seed () in
-      print_common "brute" (string_of_int (Run.value_exn o.Run.result)) o.Run.common
+      print_common "brute" (string_of_int (Run.value_exn o.Run.result)) o.Run.common;
+      0
     | "folklore" ->
       let o = Run.folklore ~graph ~failures ~params ~mode:(Folklore.Retry (f + 1)) ~seed () in
       let v =
@@ -122,7 +170,8 @@ let run_cmd =
         | Folklore.No_clean_epoch -> "<no clean epoch>"
       in
       print_common "folklore" v o.Run.common;
-      Printf.printf "epochs     : %d\n" o.Run.epochs
+      Printf.printf "epochs     : %d\n" o.Run.epochs;
+      if o.Run.f_result = Folklore.No_clean_epoch then 1 else 0
     | "naive" ->
       let o = Run.folklore ~graph ~failures ~params ~mode:Folklore.Naive ~seed () in
       let v =
@@ -130,14 +179,16 @@ let run_cmd =
         | Folklore.Value v -> string_of_int v
         | Folklore.No_clean_epoch -> "<dirty>"
       in
-      print_common "naive-TAG" v o.Run.common
+      print_common "naive-TAG" v o.Run.common;
+      if o.Run.f_result = Folklore.No_clean_epoch then 1 else 0
     | "unknown-f" | "unknown_f" ->
       let o = Run.unknown_f ~graph ~failures ~params ~seed () in
       print_common "unknown-f" (string_of_int (Run.value_exn o.Run.result)) o.Run.common;
       Printf.printf "via        : %s\n"
         (match o.Run.how with
         | Unknown_f.Via_slot g -> Printf.sprintf "slot %d (t = %d)" g (1 lsl g)
-        | Unknown_f.Via_brute_force -> "brute-force fallback")
+        | Unknown_f.Via_brute_force -> "brute-force fallback");
+      0
     | "pair" ->
       let o = Run.pair ~graph ~failures ~params ~seed () in
       let v =
@@ -147,7 +198,8 @@ let run_cmd =
       in
       print_common "AGG+VERI" v o.Run.common;
       Printf.printf "VERI says  : %b   (ground truth: LFC = %b, %d edge failures in window)\n"
-        o.Run.verdict.Pair.veri_ok o.Run.lfc o.Run.edge_failures
+        o.Run.verdict.Pair.veri_ok o.Run.lfc o.Run.edge_failures;
+      if o.Run.verdict.Pair.result = Agg.Aborted then 1 else 0
     | "agg" ->
       let o = Run.agg ~graph ~failures ~params ~seed () in
       let v =
@@ -155,9 +207,11 @@ let run_cmd =
         | Agg.Value v -> string_of_int v
         | Agg.Aborted -> "<aborted>"
       in
-      print_common "AGG" v o.Run.common
-    | other -> failwith (Printf.sprintf "unknown protocol %S" other));
-    0
+      print_common "AGG" v o.Run.common;
+      if o.Run.result = Agg.Aborted then 1 else 0
+    | other ->
+      Printf.eprintf "ftagg: unknown protocol %S\n" other;
+      2
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated topology under an adversary.")
@@ -251,64 +305,195 @@ let dot_cmd =
     Term.(const run $ topology $ nodes $ seed)
 
 let trace_cmd =
-  let t = Arg.(value & opt int 2 & info [ "tolerance" ] ~doc:"AGG/VERI tolerance t.") in
-  let budget = Arg.(value & opt int 3 & info [ "budget" ] ~doc:"Edge failures to inject.") in
-  let limit = Arg.(value & opt int 120 & info [ "limit" ] ~doc:"Events to print.") in
-  let run topology n seed t budget limit =
+  let b = Arg.(value & opt int 63 & info [ "b" ] ~doc:"Time budget in flooding rounds.") in
+  let f = Arg.(value & opt int 8 & info [ "f" ] ~doc:"Edge-failure budget.") in
+  let tol = Arg.(value & opt (some int) None & info [ "tolerance" ] ~doc:"t for pair/agg.") in
+  let fmode =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "failures" ] ~doc:"Adversary: none, random, burst, chain, neighborhood.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~doc:"Edge failures to inject (default f).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON (load it in Perfetto or chrome://tracing).")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the JSONL event stream.")
+  in
+  let limit = Arg.(value & opt int 12 & info [ "limit" ] ~doc:"Broadcast events to echo.") in
+  let run protocol topology n seed b f tol fmode budget out jsonl limit =
     let graph = Gen.build topology ~n ~seed in
     let rng = Prng.create (seed + 17) in
     let inputs = Params.random_inputs ~rng ~n ~max_input:50 in
+    let t = Option.value tol ~default:(max 1 (2 * f)) in
     let params = Params.make ~c:2 ~t ~graph ~inputs () in
-    let failures =
-      Failure.random graph ~rng:(Prng.create (seed + 3)) ~budget ~max_round:200
-    in
-    let trace = Trace.create () in
-    let proto =
-      {
-        Engine.name = "pair-traced";
-        init = (fun u ~rng:_ -> Pair.create params ~me:u);
-        step =
-          (fun ~round ~me:_ ~state ~inbox ->
-            let inbox =
-              List.filter_map
-                (fun (s, m) -> if m.Message.exec = 0 then Some (s, m.Message.body) else None)
-                inbox
-            in
-            let out = Pair.step state ~rr:round ~inbox in
-            (state, List.map (fun body -> Message.{ exec = 0; body }) out));
-        msg_bits = Message.msg_bits params;
-        root_done = (fun _ -> false);
-      }
-    in
-    let states, metrics =
-      Engine.run ~observer:(Trace.observer trace) ~graph ~failures
-        ~max_rounds:(Pair.duration params) ~seed proto
-    in
-    Printf.printf "adversary: %s
-" (Format.asprintf "%a" Failure.pp failures);
+    let window = b * params.Params.d in
+    let budget = Option.value budget ~default:f in
+    let failures = make_failures graph ~mode:fmode ~budget ~seed:(seed + 3) ~window in
+    let obs = Obs.create ~name:(Printf.sprintf "%s-%s-n%d" protocol (Gen.family_name topology) n) () in
+    let value, code, common = exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed in
+    Printf.printf "%s on %s (N=%d, seed %d): %s = %s, correct %b\n" protocol
+      (Gen.family_name topology) n seed params.Params.caaf.Caaf.name value common.Run.correct;
+    Printf.printf "CC %d bits, TC %d rounds = %d flooding rounds\n"
+      (Metrics.cc common.Run.metrics) common.Run.rounds common.Run.flooding_rounds;
+    (* Echo the head of the broadcast stream. *)
+    let events = Obs.events obs in
     let shown = ref 0 in
     List.iter
-      (fun e ->
-        if !shown < limit then begin
+      (fun (e : Obs.event) ->
+        if e.Obs.ev_kind = "broadcast" && !shown < limit then begin
           incr shown;
-          Printf.printf "r%04d n%03d:" e.Trace.round e.Trace.node;
-          List.iter (fun m -> Printf.printf " %s" (Format.asprintf "%a" Message.pp m)) e.Trace.payloads;
-          print_newline ()
+          let fld k =
+            match List.assoc_opt k e.Obs.ev_fields with
+            | Some (Bench_io.String v) -> v
+            | Some (Bench_io.Int v) -> string_of_int v
+            | _ -> "?"
+          in
+          Printf.printf "  r%04d n%03d  %-24s %4s bits\n" e.Obs.ev_round e.Obs.ev_node
+            (fld "phase") (fld "bits")
         end)
-      (Trace.events trace);
-    if Trace.length trace > limit then
-      Printf.printf "... (%d more events)
-" (Trace.length trace - limit);
-    let v = Pair.root_verdict states.(Graph.root) in
-    Printf.printf "result: %s, VERI %b, CC %d bits
-"
-      (match v.Pair.result with Agg.Value x -> string_of_int x | Agg.Aborted -> "<aborted>")
-      v.Pair.veri_ok (Metrics.cc metrics);
-    0
+      events;
+    let broadcasts = List.length (List.filter (fun e -> e.Obs.ev_kind = "broadcast") events) in
+    if broadcasts > limit then Printf.printf "  ... (%d more broadcasts)\n" (broadcasts - limit);
+    (* Per-phase bit breakdown; the "(none)" bucket keeps the column sum
+       equal to Metrics.total_bits. *)
+    let total = Metrics.total_bits common.Run.metrics in
+    let table =
+      Table.create ~title:"bits by protocol phase"
+        [ ("phase", Table.Left); ("broadcasts", Table.Right); ("bits", Table.Right);
+          ("share", Table.Right) ]
+    in
+    List.iter
+      (fun (phase, bits) ->
+        let bc =
+          Registry.counter (Obs.registry obs) ~labels:[ ("phase", phase) ] "ftagg_broadcasts_total"
+        in
+        Table.add_row table
+          [ phase; string_of_int bc; string_of_int bits;
+            Printf.sprintf "%.1f%%" (100.0 *. float_of_int bits /. float_of_int (max 1 total)) ])
+      (Obs.phase_bits obs);
+    Table.add_rule table;
+    Table.add_row table [ "total"; string_of_int broadcasts; string_of_int total; "100.0%" ];
+    Table.print table;
+    (match jsonl with
+    | Some path ->
+      Export.write_jsonl ~path obs;
+      Printf.printf "jsonl : %s (%d events)\n" path (List.length events)
+    | None -> ());
+    match out with
+    | None -> code
+    | Some path -> (
+      Export.write_chrome_trace ~path obs;
+      (* Self-check: the written trace must round-trip through the
+         Bench_io reader (CI gates on this exit code). *)
+      match Bench_io.read_file ~path with
+      | Error e ->
+        Printf.eprintf "trace: %s does not parse: %s\n" path e;
+        3
+      | Ok json ->
+        let trace_events =
+          match Bench_io.member "traceEvents" json with
+          | Some l -> Option.value (Bench_io.to_list l) ~default:[]
+          | None -> []
+        in
+        let span_names =
+          List.filter_map
+            (fun ev ->
+              match (Bench_io.member "ph" ev, Bench_io.member "name" ev) with
+              | Some (Bench_io.String "X"), Some (Bench_io.String name) -> Some name
+              | _ -> None)
+            trace_events
+        in
+        let spans = List.length span_names in
+        let phases = List.length (List.sort_uniq compare span_names) in
+        Printf.printf "trace : %s (%d span events, %d distinct phases; parses OK)\n" path spans
+          phases;
+        if spans = 0 then begin
+          Printf.eprintf "trace: no spans recorded (is telemetry disabled?)\n";
+          3
+        end
+        else code)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run one AGG+VERI pair and print its broadcast trace.")
-    Term.(const run $ topology $ nodes $ seed $ t $ budget $ limit)
+    (Cmd.info "trace"
+       ~doc:
+         "Run a protocol with telemetry attached: per-phase bit breakdown on stdout, optional \
+          Chrome trace_event JSON and JSONL exports.")
+    Term.(
+      const run $ protocol_arg $ topology $ nodes $ seed $ b $ f $ tol $ fmode $ budget $ out
+      $ jsonl $ limit)
+
+let stats_cmd =
+  let b = Arg.(value & opt int 63 & info [ "b" ] ~doc:"Time budget in flooding rounds.") in
+  let f = Arg.(value & opt int 8 & info [ "f" ] ~doc:"Edge-failure budget.") in
+  let tol = Arg.(value & opt (some int) None & info [ "tolerance" ] ~doc:"t for pair/agg.") in
+  let fmode =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "failures" ] ~doc:"Adversary: none, random, burst, chain, neighborhood.")
+  in
+  let prom =
+    Arg.(value & flag & info [ "prom" ] ~doc:"Print a Prometheus-style text dump instead.")
+  in
+  let run protocol topology n seed b f tol fmode prom =
+    let graph = Gen.build topology ~n ~seed in
+    let rng = Prng.create (seed + 17) in
+    let inputs = Params.random_inputs ~rng ~n ~max_input:50 in
+    let t = Option.value tol ~default:(max 1 (2 * f)) in
+    let params = Params.make ~c:2 ~t ~graph ~inputs () in
+    let window = b * params.Params.d in
+    let failures = make_failures graph ~mode:fmode ~budget:f ~seed:(seed + 3) ~window in
+    let obs = Obs.create ~name:protocol () in
+    let value, code, common = exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed in
+    let registry = Obs.registry obs in
+    if prom then print_string (Export.prometheus registry)
+    else begin
+      let render_labels = function
+        | [] -> ""
+        | labels ->
+          String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      in
+      let table =
+        Table.create
+          ~title:(Printf.sprintf "%s (N=%d): %s = %s" protocol n params.Params.caaf.Caaf.name value)
+          [ ("metric", Table.Left); ("labels", Table.Left); ("value", Table.Right) ]
+      in
+      List.iter
+        (fun (name, labels, v) ->
+          let rendered =
+            match (v : Registry.value) with
+            | Registry.Counter c -> string_of_int c
+            | Registry.Gauge g -> Table.fmt_float g
+            | Registry.Histogram h ->
+              Printf.sprintf "n=%d avg=%s max=%s" h.Registry.h_count
+                (Table.fmt_float (h.Registry.h_sum /. float_of_int (max 1 h.Registry.h_count)))
+                (Table.fmt_float h.Registry.h_max)
+          in
+          Table.add_row table [ name; render_labels labels; rendered ])
+        (Registry.series registry);
+      Table.add_rule table;
+      Table.add_row table
+        [ "(run) cc_bits"; ""; string_of_int (Metrics.cc common.Run.metrics) ];
+      Table.add_row table [ "(run) rounds"; ""; string_of_int common.Run.rounds ];
+      Table.print table
+    end;
+    code
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a protocol with telemetry attached and print the metric registry.")
+    Term.(const run $ protocol_arg $ topology $ nodes $ seed $ b $ f $ tol $ fmode $ prom)
 
 let rank_cmd =
   let q = Arg.(value & opt int 7 & info [ "q" ] ~doc:"Alphabet size (>= 2).") in
@@ -344,6 +529,10 @@ let chaos_cmd =
     (match out with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
+    (* With an output directory, the campaign also gets a telemetry sink:
+       trial/violation/shrink-progress events land in
+       DIR/campaign.telemetry.jsonl and the counters in DIR/campaign.prom. *)
+    let obs = Option.map (fun _ -> Obs.create ~name:"chaos-campaign" ()) out in
     let config =
       {
         Campaign.trials;
@@ -352,9 +541,17 @@ let chaos_cmd =
         bit_cap;
         max_n;
         log = (if quiet then ignore else print_endline);
+        obs;
       }
     in
     let o = Campaign.run config in
+    (match (obs, out) with
+    | Some obs, Some dir ->
+      Export.write_jsonl ~path:(Filename.concat dir "campaign.telemetry.jsonl") obs;
+      let oc = open_out (Filename.concat dir "campaign.prom") in
+      output_string oc (Export.prometheus (Obs.registry obs));
+      close_out oc
+    | _ -> ());
     Printf.printf "chaos: %d trials, %d violating, %d distinct invariant(s)\n" o.Campaign.o_trials
       o.Campaign.o_violating_trials
       (List.length o.Campaign.o_incidents);
@@ -408,5 +605,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; graph_cmd; twoparty_cmd; rank_cmd; worstcase_cmd; dot_cmd; trace_cmd;
-            chaos_cmd; replay_cmd;
+            stats_cmd; chaos_cmd; replay_cmd;
           ]))

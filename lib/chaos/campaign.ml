@@ -9,6 +9,8 @@ module Message = Ftagg_proto.Message
 module Agg = Ftagg_proto.Agg
 module Pair = Ftagg_proto.Pair
 module Run = Ftagg_proto.Run
+module Obs = Ftagg_obs.Obs
+module Bench_io = Ftagg_runner.Bench_io
 
 let graph_of (sc : Incident.scenario) = Gen.build sc.Incident.family ~n:sc.Incident.n ~seed:sc.Incident.topo_seed
 
@@ -42,14 +44,14 @@ let pair_proto params =
     root_done = (fun _ -> false);
   }
 
-let run_pair ?online (sc : Incident.scenario) =
+let run_pair ?online ?obs (sc : Incident.scenario) =
   let graph = graph_of sc in
   let params = params_of sc graph in
   let failures = Failure.of_list ~n:sc.Incident.n sc.Incident.schedule in
   let duration = Pair.duration params in
   let watch = Watchdog.pair_watch ?bit_cap:sc.Incident.bit_cap ~params ~graph () in
   let res =
-    Engine.run_chaos ~faults:sc.Incident.faults ?online ~watch ~graph ~failures
+    Engine.run_chaos ?obs ~faults:sc.Incident.faults ?online ~watch ~graph ~failures
       ~max_rounds:duration ~seed:sc.Incident.run_seed (pair_proto params)
   in
   let states = res.Engine.c_states in
@@ -111,9 +113,24 @@ let check (sc : Incident.scenario) =
   | Incident.Pair_run -> (run_pair sc).violation
   | Incident.Tradeoff_run { b; f } -> check_tradeoff sc ~b ~f
 
-let shrink (sc : Incident.scenario) (v : Engine.violation) =
+let shrink ?obs (sc : Incident.scenario) (v : Engine.violation) =
+  (* Every accepted shrink step goes to the telemetry sink, so an
+     incident's JSONL tail shows the search converging. *)
+  let on_progress ~tries (sc' : Incident.scenario) =
+    match obs with
+    | None -> ()
+    | Some o ->
+      Ftagg_obs.Registry.incr (Obs.registry o) "chaos_shrink_steps_total" 1;
+      Obs.event o ~kind:"shrink_step"
+        [
+          ("invariant", Bench_io.String v.Engine.invariant);
+          ("tries", Bench_io.Int tries);
+          ("crashes", Bench_io.Int (List.length sc'.Incident.schedule));
+          ("n", Bench_io.Int sc'.Incident.n);
+        ]
+  in
   let shrunk, stats =
-    Shrink.minimize ~oracle:check
+    Shrink.minimize ~on_progress ~oracle:check
       ~matches:(fun v' -> v'.Engine.invariant = v.Engine.invariant)
       ~max_round:(max_round_of sc) sc
   in
@@ -122,8 +139,8 @@ let shrink (sc : Incident.scenario) (v : Engine.violation) =
   let v' = match check shrunk with Some v' -> v' | None -> v in
   (shrunk, v', stats)
 
-let to_incident ~adversary (sc : Incident.scenario) (v : Engine.violation) =
-  let shrunk, v', stats = shrink sc v in
+let to_incident ?obs ~adversary (sc : Incident.scenario) (v : Engine.violation) =
+  let shrunk, v', stats = shrink ?obs sc v in
   { Incident.adversary; scenario = shrunk; violation = v'; shrink = Some stats }
 
 let replay (inc : Incident.t) = check inc.Incident.scenario
@@ -137,10 +154,19 @@ type config = {
   bit_cap : int option;
   max_n : int;
   log : string -> unit;
+  obs : Obs.t option;
 }
 
 let default_config =
-  { trials = 100; seed = 20260806; out_dir = None; bit_cap = None; max_n = 34; log = ignore }
+  {
+    trials = 100;
+    seed = 20260806;
+    out_dir = None;
+    bit_cap = None;
+    max_n = 34;
+    log = ignore;
+    obs = None;
+  }
 
 type outcome = {
   o_trials : int;
@@ -190,7 +216,10 @@ let run config =
       Adversary.instantiate adversary graph ~rng ~budget ~window:(Pair.duration params)
     in
     let sc0 = { sc0 with Incident.schedule = Failure.to_list base } in
-    let report = run_pair ?online sc0 in
+    (match config.obs with
+    | Some o -> Ftagg_obs.Registry.incr (Obs.registry o) "chaos_trials_total" 1
+    | None -> ());
+    let report = run_pair ?online ?obs:config.obs sc0 in
     (match report.violation with
     | None -> ()
     | Some v ->
@@ -198,9 +227,27 @@ let run config =
       config.log
         (Printf.sprintf "trial %d (%s): %s at round %d — shrinking" i (Adversary.name adversary)
            v.Engine.invariant v.Engine.at_round);
+      (match config.obs with
+      | Some o ->
+        Obs.event o ~kind:"chaos_violation" ~round:v.Engine.at_round
+          [
+            ("trial", Bench_io.Int i);
+            ("adversary", Bench_io.String (Adversary.name adversary));
+            ("invariant", Bench_io.String v.Engine.invariant);
+            ("detail", Bench_io.String v.Engine.detail);
+          ]
+      | None -> ());
       if not (Hashtbl.mem seen v.Engine.invariant) then begin
         Hashtbl.replace seen v.Engine.invariant ();
-        let inc = to_incident ~adversary:(Adversary.name adversary) report.scenario v in
+        let inc =
+          to_incident ?obs:config.obs ~adversary:(Adversary.name adversary) report.scenario v
+        in
+        (match config.obs with
+        | Some o ->
+          Ftagg_obs.Registry.incr (Obs.registry o)
+            ~labels:[ ("invariant", v.Engine.invariant) ]
+            "chaos_incidents_total" 1
+        | None -> ());
         let path =
           match config.out_dir with
           | None -> None

@@ -29,22 +29,32 @@ type pair_report = {
   rounds : int;
 }
 
-val run_pair : ?online:Ftagg_sim.Engine.online -> Incident.scenario -> pair_report
+val run_pair :
+  ?online:Ftagg_sim.Engine.online -> ?obs:Ftagg_obs.Obs.t -> Incident.scenario -> pair_report
 (** One watched AGG+VERI pair.  [online] extends the scenario's schedule
     on the fly; replaying the returned materialized scenario without
-    [online] reproduces the run exactly. *)
+    [online] reproduces the run exactly.  [obs] is forwarded to
+    {!Ftagg_sim.Engine.run_chaos}, so the sink sees the run's broadcasts,
+    phase spans and any watchdog violation. *)
 
 val check : Incident.scenario -> Ftagg_sim.Engine.violation option
 (** The oracle: run the scenario, report its first violation. *)
 
 val shrink :
+  ?obs:Ftagg_obs.Obs.t ->
   Incident.scenario ->
   Ftagg_sim.Engine.violation ->
   Incident.scenario * Ftagg_sim.Engine.violation * Incident.shrink_stats
 (** Minimize a violating scenario via {!Shrink.minimize}, preserving the
-    violated invariant, and refresh the violation on the result. *)
+    violated invariant, and refresh the violation on the result.  [obs]
+    receives one [shrink_step] event per accepted candidate. *)
 
-val to_incident : adversary:string -> Incident.scenario -> Ftagg_sim.Engine.violation -> Incident.t
+val to_incident :
+  ?obs:Ftagg_obs.Obs.t ->
+  adversary:string ->
+  Incident.scenario ->
+  Ftagg_sim.Engine.violation ->
+  Incident.t
 (** [shrink] packaged as a saved-ready incident. *)
 
 val replay : Incident.t -> Ftagg_sim.Engine.violation option
@@ -61,11 +71,16 @@ type config = {
           the pipeline catch, shrink, and report it *)
   max_n : int;  (** largest system size drawn (smallest is 10) *)
   log : string -> unit;  (** progress sink (e.g. [print_endline]) *)
+  obs : Ftagg_obs.Obs.t option;
+      (** telemetry sink threaded through every trial run and shrink
+          search: per-run broadcast/span feeds, [chaos_violation] /
+          [shrink_step] events, [chaos_trials_total] /
+          [chaos_incidents_total] / [chaos_shrink_steps_total] counters *)
 }
 
 val default_config : config
 (** 100 trials, seed 20260806, no output dir, no cap override, max_n 34,
-    silent. *)
+    silent, no telemetry sink. *)
 
 type outcome = {
   o_trials : int;

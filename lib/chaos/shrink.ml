@@ -22,7 +22,7 @@ let without l lo hi = List.filteri (fun i _ -> i < lo || i >= hi) l
 
 (* Classic ddmin over the crash list: try deleting aligned chunks, halving
    the chunk size whenever no deletion reproduces the violation. *)
-let drop_crashes fails sc0 =
+let drop_crashes ?(note = ignore) fails sc0 =
   let sc = ref sc0 in
   let chunk = ref (max 1 ((List.length sc0.Incident.schedule + 1) / 2)) in
   let running = ref (sc0.Incident.schedule <> []) in
@@ -36,6 +36,7 @@ let drop_crashes fails sc0 =
       let cand = { !sc with Incident.schedule = without sched lo hi } in
       if fails cand then begin
         sc := cand;
+        note cand;
         removed := true
         (* keep [i]: the next chunk has shifted into this position *)
       end
@@ -50,7 +51,7 @@ let drop_crashes fails sc0 =
 
 (* Push each crash as late as it will go while the violation survives —
    "crash at round 2" in a report then means round 2 is load-bearing. *)
-let delay_crashes fails ~max_round sc0 =
+let delay_crashes ?(note = ignore) fails ~max_round sc0 =
   let sc = ref sc0 in
   let k = List.length sc0.Incident.schedule in
   for j = 0 to k - 1 do
@@ -68,7 +69,7 @@ let delay_crashes fails ~max_round sc0 =
                 Incident.schedule = List.mapi (fun i e -> if i = j then (u, r + step) else e) sched;
               }
             in
-            if fails cand then sc := cand else continue_ := false
+            if fails cand then begin sc := cand; note cand end else continue_ := false
           end
         done)
       [ 64; 16; 4; 1 ]
@@ -78,7 +79,7 @@ let delay_crashes fails ~max_round sc0 =
 (* Try smaller systems: truncate the inputs and drop out-of-range crashes;
    the oracle rebuilds the topology, so a family that cannot shrink that
    far just fails the probe. *)
-let shrink_n fails sc0 =
+let shrink_n ?(note = ignore) fails sc0 =
   let candidate sc n' =
     if n' >= sc.Incident.n || n' < 2 then None
     else
@@ -100,14 +101,21 @@ let shrink_n fails sc0 =
         if not !progress then
           match candidate !sc n' with
           | None -> ()
-          | Some cand -> if fails cand then begin sc := cand; progress := true end)
+          | Some cand -> if fails cand then begin sc := cand; note cand; progress := true end)
       [ n / 2; 2 * n / 3; 3 * n / 4; n - 1 ]
   done;
   !sc
 
-let minimize ?(max_tries = 300) ~oracle ~matches ~max_round sc0 =
+let minimize ?(max_tries = 300) ?on_progress ~oracle ~matches ~max_round sc0 =
   let budget = { tries = 0; max_tries } in
   let fails = still_fails budget ~oracle ~matches in
+  (* [note] fires on every accepted (still-failing, smaller) candidate —
+     the shrink-progress feed for telemetry sinks. *)
+  let note sc =
+    match on_progress with
+    | None -> ()
+    | Some f -> f ~tries:budget.tries (sc : Incident.scenario)
+  in
   let stats sc =
     ( sc,
       {
@@ -119,9 +127,9 @@ let minimize ?(max_tries = 300) ~oracle ~matches ~max_round sc0 =
   (* The input must reproduce at all, or there is nothing to minimize. *)
   if not (fails sc0) then stats sc0
   else begin
-    let sc = drop_crashes fails sc0 in
-    let sc = shrink_n fails sc in
-    let sc = drop_crashes fails sc in
-    let sc = delay_crashes fails ~max_round sc in
+    let sc = drop_crashes ~note fails sc0 in
+    let sc = shrink_n ~note fails sc in
+    let sc = drop_crashes ~note fails sc in
+    let sc = delay_crashes ~note fails ~max_round sc in
     stats sc
   end

@@ -19,6 +19,7 @@
 
 val minimize :
   ?max_tries:int ->
+  ?on_progress:(tries:int -> Incident.scenario -> unit) ->
   oracle:(Incident.scenario -> Ftagg_sim.Engine.violation option) ->
   matches:(Ftagg_sim.Engine.violation -> bool) ->
   max_round:int ->
@@ -29,4 +30,8 @@ val minimize :
     oracle violation is "the same" (typically: same invariant name);
     [max_round] bounds how late a crash may be delayed (pass the run
     duration).  [max_tries] defaults to 300.  If [sc] does not reproduce
-    under the oracle, it is returned unchanged. *)
+    under the oracle, it is returned unchanged.
+
+    [on_progress] fires on every {e accepted} candidate — a smaller
+    scenario that still reproduces — with the oracle-run count so far;
+    the hook behind the campaign's shrink-progress telemetry. *)

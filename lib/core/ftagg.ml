@@ -25,6 +25,14 @@ module Failure = Ftagg_sim.Failure
 module Metrics = Ftagg_sim.Metrics
 module Trace = Ftagg_sim.Trace
 
+(** {1 Observability (telemetry registry, spans, exporters)} *)
+
+module Registry = Ftagg_obs.Registry
+module Span = Ftagg_obs.Span
+module Obs = Ftagg_obs.Obs
+module Export = Ftagg_obs.Export
+module Sweep_obs = Ftagg_obs.Sweep_obs
+
 (** {1 Aggregate functions} *)
 
 module Caaf = Ftagg_caaf.Caaf

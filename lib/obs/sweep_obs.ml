@@ -1,0 +1,15 @@
+module Sweep = Ftagg_runner.Sweep
+
+let map ?domains ~into f xs =
+  let jobs =
+    Sweep.map ?domains
+      (fun x ->
+        let reg = Registry.create () in
+        let y = f reg x in
+        (y, reg))
+      xs
+  in
+  List.iter (fun (_, reg) -> Registry.merge_into ~into reg) jobs;
+  List.map fst jobs
+
+let map_seeds ?domains ~into ~seeds f = map ?domains ~into f seeds

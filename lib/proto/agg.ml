@@ -235,9 +235,26 @@ let rec bits_of p acc = function
   | [] -> acc
   | b :: tl -> bits_of p (acc + Message.bits p b) tl
 
+(* Telemetry: mark which phase window this execution round falls in.
+   [Span.phase] is range-based (switch-on-change), not enter-on-round-1:
+   Tradeoff activates non-root executions mid-window, so the first [rr]
+   a node sees here can be any round of any phase. *)
+let span_phase node ~rr =
+  if Ftagg_obs.Span.active () then begin
+    let cd = Params.cd node.p in
+    let name =
+      if rr <= (2 * cd) + 1 then "agg/tree"
+      else if rr <= (4 * cd) + 2 then "agg/aggregate"
+      else if rr <= (6 * cd) + 3 then "agg/flood"
+      else "agg/witness"
+    in
+    Ftagg_obs.Span.phase ~node:node.me name
+  end
+
 let step node ~rr ~inbox =
   let p = node.p in
   let is_root = node.me = Ftagg_graph.Graph.root in
+  span_phase node ~rr;
   if node.abort_seen then begin
     (* Aborted: keep forwarding only the abort symbol. *)
     let saw_new_abort =

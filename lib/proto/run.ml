@@ -47,7 +47,7 @@ type pair_outcome = {
   common : common;
 }
 
-let pair ?ablation ?loss ~graph ~failures ~params ~seed () =
+let pair ?ablation ?loss ?obs ~graph ~failures ~params ~seed () =
   let duration = Pair.duration params in
   let proto =
     single_exec_protocol ~name:"pair" ~params
@@ -55,7 +55,7 @@ let pair ?ablation ?loss ~graph ~failures ~params ~seed () =
       ~step:Pair.step
       ~is_done:(fun _ -> false)
   in
-  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
+  let states, metrics = Engine.run ?obs ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
   let verdict = Pair.root_verdict states.(Graph.root) in
   let trace =
     {
@@ -90,7 +90,7 @@ type agg_outcome = {
   common : common;
 }
 
-let agg ?ablation ?loss ~graph ~failures ~params ~seed () =
+let agg ?ablation ?loss ?obs ~graph ~failures ~params ~seed () =
   let duration = Agg.duration params in
   let proto =
     single_exec_protocol ~name:"agg" ~params
@@ -98,7 +98,7 @@ let agg ?ablation ?loss ~graph ~failures ~params ~seed () =
       ~step:Agg.step
       ~is_done:(fun _ -> false)
   in
-  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
+  let states, metrics = Engine.run ?obs ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
   let result = Agg.root_result states.(Graph.root) in
   let trace = { Checker.agg_nodes = states; agg_start = 1; failures; params; graph } in
   let correct =
@@ -113,7 +113,7 @@ type value_outcome = {
   common : common;
 }
 
-let brute_force ?loss ~graph ~failures ~params ~seed () =
+let brute_force ?loss ?obs ~graph ~failures ~params ~seed () =
   let duration = Brute_force.duration params in
   let proto =
     single_exec_protocol ~name:"brute_force" ~params
@@ -121,7 +121,7 @@ let brute_force ?loss ~graph ~failures ~params ~seed () =
       ~step:Brute_force.step
       ~is_done:(fun _ -> false)
   in
-  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
+  let states, metrics = Engine.run ?obs ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
   let v = Brute_force.root_result states.(Graph.root) in
   let correct = check_value ~graph ~failures ~params ~metrics v in
   { result = Agg.Value v; common = mk_common ~params ~metrics ~correct }
@@ -133,7 +133,7 @@ type folklore_outcome = {
   common : common;
 }
 
-let folklore ?loss ~graph ~failures ~params ~mode ~seed () =
+let folklore ?loss ?obs ~graph ~failures ~params ~mode ~seed () =
   let duration = Folklore.duration params mode in
   let proto =
     {
@@ -147,7 +147,7 @@ let folklore ?loss ~graph ~failures ~params ~mode ~seed () =
       root_done = Folklore.root_done;
     }
   in
-  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
+  let states, metrics = Engine.run ?obs ?loss ~graph ~failures ~max_rounds:duration ~seed proto in
   let root = states.(Graph.root) in
   let f_result = Folklore.root_result root in
   let result =
@@ -173,7 +173,7 @@ type tradeoff_outcome = {
   common : common;
 }
 
-let tradeoff_with ?loss ~strategy ~graph ~failures ~params ~b ~f ~seed () =
+let tradeoff_with ?loss ?obs ~strategy ~graph ~failures ~params ~b ~f ~seed () =
   let proto =
     {
       Engine.name = "tradeoff";
@@ -187,7 +187,7 @@ let tradeoff_with ?loss ~strategy ~graph ~failures ~params ~b ~f ~seed () =
     }
   in
   let max_rounds = Tradeoff.max_rounds params ~b in
-  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds ~seed proto in
+  let states, metrics = Engine.run ?obs ?loss ~graph ~failures ~max_rounds ~seed proto in
   let root = states.(Graph.root) in
   let v = Tradeoff.root_result root in
   let correct = check_value ~graph ~failures ~params ~metrics v in
@@ -197,8 +197,8 @@ let tradeoff_with ?loss ~strategy ~graph ~failures ~params ~b ~f ~seed () =
     common = mk_common ~params ~metrics ~correct;
   }
 
-let tradeoff ?loss ~graph ~failures ~params ~b ~f ~seed () =
-  tradeoff_with ?loss ~strategy:Tradeoff.Sampled ~graph ~failures ~params ~b ~f ~seed ()
+let tradeoff ?loss ?obs ~graph ~failures ~params ~b ~f ~seed () =
+  tradeoff_with ?loss ?obs ~strategy:Tradeoff.Sampled ~graph ~failures ~params ~b ~f ~seed ()
 
 type unknown_f_outcome = {
   result : Agg.result;
@@ -206,7 +206,7 @@ type unknown_f_outcome = {
   common : common;
 }
 
-let unknown_f ?loss ~graph ~failures ~params ~seed () =
+let unknown_f ?loss ?obs ~graph ~failures ~params ~seed () =
   let proto =
     {
       Engine.name = "unknown_f";
@@ -220,7 +220,7 @@ let unknown_f ?loss ~graph ~failures ~params ~seed () =
     }
   in
   let max_rounds = Unknown_f.max_rounds params in
-  let states, metrics = Engine.run ?loss ~graph ~failures ~max_rounds ~seed proto in
+  let states, metrics = Engine.run ?obs ?loss ~graph ~failures ~max_rounds ~seed proto in
   let root = states.(Graph.root) in
   let v = Unknown_f.root_result root in
   let correct = check_value ~graph ~failures ~params ~metrics v in

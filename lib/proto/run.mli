@@ -11,7 +11,13 @@
 
     All entry points accept [?loss] (default [0.]): the per-edge delivery
     loss probability forwarded to {!Ftagg_sim.Engine.run}.  Non-zero loss
-    leaves the paper's model — see the engine's documentation. *)
+    leaves the paper's model — see the engine's documentation.
+
+    All entry points also accept [?obs]: a telemetry sink
+    ({!Ftagg_obs.Obs}) forwarded to the engine.  Instrumented runs see
+    per-phase bit attribution (AGG/VERI/Tradeoff annotate their phases)
+    at identical protocol behaviour — telemetry never touches the PRNG
+    streams. *)
 
 module Metrics = Ftagg_sim.Metrics
 
@@ -45,6 +51,7 @@ type pair_outcome = {
 val pair :
   ?ablation:Agg.ablation ->
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
@@ -64,6 +71,7 @@ type agg_outcome = {
 val agg :
   ?ablation:Agg.ablation ->
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
@@ -80,6 +88,7 @@ type value_outcome = {
 
 val brute_force :
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
@@ -96,6 +105,7 @@ type folklore_outcome = {
 
 val folklore :
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
@@ -115,6 +125,7 @@ type tradeoff_outcome = {
 
 val tradeoff :
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->
@@ -127,6 +138,7 @@ val tradeoff :
 
 val tradeoff_with :
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   strategy:Tradeoff.strategy ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
@@ -147,6 +159,7 @@ type unknown_f_outcome = {
 
 val unknown_f :
   ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   params:Params.t ->

@@ -67,6 +67,12 @@ let create ?(strategy = Sampled) (p : Params.t) ~b ~f ~me ~rng =
 
 let root_done node = node.output <> None
 
+(* Telemetry: each interval execution is a [tradeoff/interval#y] span
+   wrapping the Pair phase spans opened by Agg/Veri; the brute-force
+   fallback is a phase of its own.  All calls are ambient no-ops when the
+   engine was given no [?obs] sink. *)
+let span_name y = "tradeoff/interval#" ^ string_of_int y
+
 let step node ~round ~inbox =
   let p = node.p in
   let is_root = node.me = Ftagg_graph.Graph.root in
@@ -80,7 +86,9 @@ let step node ~round ~inbox =
     in
     (* Expire a finished execution. *)
     (match node.current with
-    | Some { start; _ } when round - start + 1 > Pair.duration p -> node.current <- None
+    | Some { y; start; _ } when round - start + 1 > Pair.duration p ->
+      Ftagg_obs.Span.exit_named ~node:node.me (span_name y);
+      node.current <- None
     | _ -> ());
     let out = ref [] in
     (* Root: start a pair at the head of each selected interval. *)
@@ -89,7 +97,8 @@ let step node ~round ~inbox =
          List.find_opt (fun y -> ((y - 1) * interval_len p) + 1 = round) node.selected
        with
        | Some y ->
-         node.current <- Some { y; start = round; pair = Pair.create p ~me:node.me }
+         node.current <- Some { y; start = round; pair = Pair.create p ~me:node.me };
+         Ftagg_obs.Span.enter ~node:node.me (span_name y)
        | None -> ());
     (* Non-root: activation by a tree_construct of a new execution. *)
     (if (not is_root) && node.current = None then
@@ -104,7 +113,8 @@ let step node ~round ~inbox =
             2s+2 of the execution: the phase-1 recurrence is recv = 2·level
             (ack in the receipt round, tree_construct one round later). *)
          let rr = (2 * level) + 2 in
-         node.current <- Some { y; start = round - rr + 1; pair = Pair.create p ~me:node.me }
+         node.current <- Some { y; start = round - rr + 1; pair = Pair.create p ~me:node.me };
+         Ftagg_obs.Span.enter ~node:node.me (span_name y)
        | _ -> ());
     (* Advance the current pair. *)
     (match node.current with
@@ -117,6 +127,7 @@ let step node ~round ~inbox =
         (match v.Pair.result with
         | Agg.Value value when v.Pair.veri_ok -> node.output <- Some (value, Via_pair y)
         | Agg.Value _ | Agg.Aborted -> ());
+        Ftagg_obs.Span.exit_named ~node:node.me (span_name y);
         node.current <- None
       end
     | None -> ());
@@ -128,6 +139,7 @@ let step node ~round ~inbox =
       then node.bf <- Some (Brute_force.create p ~me:node.me));
       match node.bf with
       | Some bf ->
+        if node.current = None then Ftagg_obs.Span.phase ~node:node.me "tradeoff/brute_force";
         let rr = round - node.bf_start + 1 in
         let bodies = Brute_force.step bf ~rr ~inbox:(pair_inbox bf_exec) in
         out := !out @ List.map (fun body -> Message.{ exec = bf_exec; body }) bodies;

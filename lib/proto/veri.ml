@@ -124,10 +124,23 @@ let compute_verdict node =
            || (depth >= node.p.Params.t && not (Hashtbl.mem node.not_lfc_tails v)))
          node.failed_parents false)
 
+(* Telemetry phase marker; range-based for the same reason as
+   [Agg.span_phase] (Pair hands us execution-relative rounds). *)
+let span_phase node ~rr ~cd =
+  if Ftagg_obs.Span.active () then begin
+    let name =
+      if rr <= (2 * cd) + 1 then "veri/failed_parent"
+      else if rr <= (4 * cd) + 2 then "veri/challenge"
+      else "veri/lfc"
+    in
+    Ftagg_obs.Span.phase ~node:node.me name
+  end
+
 let step node ~rr ~inbox =
   let p = node.p in
   let cd = Params.cd p in
   let is_root = node.me = Ftagg_graph.Graph.root in
+  span_phase node ~rr ~cd;
   if node.overflow then begin
     List.iter
       (fun (_, body) ->

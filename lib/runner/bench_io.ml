@@ -26,7 +26,11 @@ let float_repr x =
   if Float.is_nan x then "null"
   else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
   else if Float.abs x = Float.infinity then "null"
-  else Printf.sprintf "%.12g" x
+  else
+    (* Shortest form that still parses back to the same double, so
+       writer ∘ reader is the identity (qcheck'd in test_obs.ml). *)
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
 let rec emit buf ~indent ~level v =
   let pad l = if indent then Buffer.add_string buf (String.make (2 * l) ' ') in

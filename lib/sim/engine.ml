@@ -1,6 +1,22 @@
 module Graph = Ftagg_graph.Graph
 module Csr = Ftagg_graph.Graph.Csr
 module Prng = Ftagg_util.Prng
+module Obs = Ftagg_obs.Obs
+module Span = Ftagg_obs.Span
+
+(* Run [body] with [obs]'s span collector ambient (so protocol [step]
+   functions can open phase spans) and close all spans on the way out.
+   [obs = None] must add nothing to the hot path: the caller's loop only
+   touches obs behind a [match] that the branch predictor eats. *)
+let with_obs obs body =
+  match obs with
+  | None -> body ()
+  | Some o ->
+    Span.with_ambient (Obs.spans o)
+      (fun () ->
+        let result = body () in
+        Obs.finish o;
+        result)
 
 type node_id = int
 
@@ -120,7 +136,7 @@ type 'state chaos_result = {
    guarded by their probabilities being positive — so a chaos-off run is
    observably identical to [run]/[run_reference] (states, metrics, PRNG
    streams); test/test_chaos.ml checks this differentially. *)
-let run_chaos ?observer ?(faults = no_faults) ?online ?watch ?(halt_on_violation = true)
+let run_chaos ?observer ?obs ?(faults = no_faults) ?online ?watch ?(halt_on_violation = true)
     ~graph ~failures ~max_rounds ~seed proto =
   let { loss; dup; delay } = faults in
   if loss < 0.0 || loss > 1.0 then invalid_arg "Engine.run_chaos: loss must be in [0, 1]";
@@ -145,9 +161,11 @@ let run_chaos ?observer ?(faults = no_faults) ?online ?watch ?(halt_on_violation
   let violation = ref None in
   let round = ref 1 in
   let halted = ref false in
+  with_obs obs @@ fun () ->
   while (not !halted) && !round <= max_rounds do
     let r = !round in
     Metrics.note_round metrics r;
+    (match obs with Some o -> Obs.on_round o r | None -> ());
     let rev_broadcasters = ref [] in
     for u = 0 to n - 1 do
       if crash.(u) > r then begin
@@ -176,7 +194,10 @@ let run_chaos ?observer ?(faults = no_faults) ?online ?watch ?(halt_on_violation
         (match observer with Some f -> f ~round:r ~node:u out | None -> ());
         if out <> [] then rev_broadcasters := u :: !rev_broadcasters;
         let bits = List.fold_left (fun acc m -> acc + proto.msg_bits m) 0 out in
-        Metrics.charge metrics ~node:u ~bits
+        Metrics.charge metrics ~node:u ~bits;
+        (match (obs, out) with
+        | Some o, _ :: _ -> Obs.on_broadcast o ~round:r ~node:u ~msgs:(List.length out) ~bits
+        | _ -> ())
       end
       else begin
         next_flight.(u) <- [];
@@ -195,6 +216,9 @@ let run_chaos ?observer ?(faults = no_faults) ?online ?watch ?(halt_on_violation
       with
       | Some (invariant, detail) ->
         violation := Some { at_round = r; invariant; detail };
+        (match obs with
+        | Some o -> Obs.on_violation o ~round:r ~invariant ~detail
+        | None -> ());
         if halt_on_violation then halted := true
       | None -> ())
     | _ -> ());
@@ -238,7 +262,7 @@ let rec sum_bits msg_bits acc = function
    the only allocations left are the inbox cells the protocol API
    requires.  The per-edge loss draws happen in the same (ascending
    neighbour) order as the reference, so the loss PRNG stream matches. *)
-let run ?observer ?(loss = 0.0) ~graph ~failures ~max_rounds ~seed proto =
+let run ?observer ?obs ?(loss = 0.0) ~graph ~failures ~max_rounds ~seed proto =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Engine.run: loss must be in [0, 1)";
   let n = Graph.n graph in
   let csr = Graph.csr graph in
@@ -261,9 +285,11 @@ let run ?observer ?(loss = 0.0) ~graph ~failures ~max_rounds ~seed proto =
   let traffic = ref false in
   let round = ref 1 in
   let halted = ref false in
+  with_obs obs @@ fun () ->
   while (not !halted) && !round <= max_rounds do
     let r = !round in
     Metrics.note_round metrics r;
+    (match obs with Some o -> Obs.on_round o r | None -> ());
     let inflight = !in_flight and nextflight = !next_flight in
     let had_traffic = !traffic in
     traffic := false;
@@ -316,7 +342,11 @@ let run ?observer ?(loss = 0.0) ~graph ~failures ~max_rounds ~seed proto =
         | [] -> ()
         | _ ->
           traffic := true;
-          Metrics.charge metrics ~node:u ~bits:(sum_bits proto.msg_bits 0 out))
+          let bits = sum_bits proto.msg_bits 0 out in
+          Metrics.charge metrics ~node:u ~bits;
+          (match obs with
+          | Some o -> Obs.on_broadcast o ~round:r ~node:u ~msgs:(List.length out) ~bits
+          | None -> ()))
       end
       else nextflight.(u) <- []
     done;

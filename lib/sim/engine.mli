@@ -37,6 +37,7 @@ type ('state, 'msg) protocol = {
 
 val run :
   ?observer:(round:int -> node:int -> 'msg list -> unit) ->
+  ?obs:Ftagg_obs.Obs.t ->
   ?loss:float ->
   graph:Ftagg_graph.Graph.t ->
   failures:Failure.t ->
@@ -50,6 +51,14 @@ val run :
 
     [observer] is invoked once per live node per round with the node's
     outgoing broadcast (possibly empty) — the hook behind {!Trace}.
+
+    [obs] is the telemetry sink ({!Ftagg_obs.Obs}): the engine feeds it
+    one event per round plus one per non-empty broadcast, and installs
+    its span collector as the domain's ambient collector so instrumented
+    protocols ([Agg]/[Veri]/[Tradeoff]) can annotate their phases via
+    [Ftagg_obs.Span].  Telemetry never touches the PRNG streams: with
+    [obs] present or absent, enabled or disabled, the run's states and
+    metrics are identical (checked in [test/test_obs.ml]).
 
     [loss] (default 0) drops each per-edge delivery independently with the
     given probability.  {b This leaves the paper's model}: every guarantee
@@ -137,6 +146,7 @@ type 'state chaos_result = {
 
 val run_chaos :
   ?observer:(round:int -> node:int -> 'msg list -> unit) ->
+  ?obs:Ftagg_obs.Obs.t ->
   ?faults:faults ->
   ?online:online ->
   ?watch:'state watch ->
@@ -151,8 +161,10 @@ val run_chaos :
     schedule; [online] (if any) extends it on the fly.  [watch] runs
     after every round; on its first violation the run stops (unless
     [halt_on_violation] is [false], default [true]) and the violation is
-    reported in the result.  Off the hot path: list-based like
-    {!run_reference}, roughly engine-reference speed. *)
+    reported in the result.  [obs] is as in {!run}; watchdog violations
+    are additionally forwarded to it, so chaos incidents carry a
+    telemetry tail.  Off the hot path: list-based like {!run_reference},
+    roughly engine-reference speed. *)
 
 val run_reference :
   ?observer:(round:int -> node:int -> 'msg list -> unit) ->

@@ -19,4 +19,5 @@ let () =
       ("cross", Test_cross.suite);
       ("engine-perf", Test_engine_perf.suite);
       ("chaos", Test_chaos.suite);
+      ("obs", Test_obs.suite);
     ]

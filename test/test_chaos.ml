@@ -295,6 +295,7 @@ let test_campaign_end_to_end () =
         bit_cap = Some 40;
         max_n = 14;
         log = ignore;
+        obs = None;
       }
   in
   check_true "planted cap violates every trial" (outcome.Campaign.o_violating_trials = 6);

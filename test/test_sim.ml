@@ -106,6 +106,60 @@ let test_metrics_merge () =
   check_int "merged bits" 7 (Metrics.bits_sent a 0);
   check_int "merged rounds add" 17 (Metrics.rounds a)
 
+(* Sequential composition: the merged accounting of two sub-runs must
+   read exactly as if one run had done both — per-node bits, message
+   counts, rounds, and the derived cc/total. *)
+let test_metrics_merge_sequential () =
+  let a = Metrics.create 3 and b = Metrics.create 3 in
+  Metrics.charge a ~node:0 ~bits:10;
+  Metrics.charge a ~node:1 ~bits:2;
+  Metrics.note_round a 5;
+  Metrics.charge b ~node:1 ~bits:9;
+  Metrics.charge b ~node:2 ~bits:4;
+  Metrics.charge b ~node:1 ~bits:1;
+  Metrics.note_round b 3;
+  Metrics.merge_into a b;
+  check_int "node 0 bits" 10 (Metrics.bits_sent a 0);
+  check_int "node 1 bits accumulate" 12 (Metrics.bits_sent a 1);
+  check_int "node 2 bits" 4 (Metrics.bits_sent a 2);
+  check_int "node 1 msgs accumulate" 3 (Metrics.msgs_sent a 1);
+  check_int "rounds add" 8 (Metrics.rounds a);
+  check_int "cc recomputed over merged bits" 12 (Metrics.cc a);
+  check_int "total is sum of both runs" 26 (Metrics.total_bits a)
+
+(* --- Trace recorder --- *)
+
+let test_trace_keep_silent () =
+  let record keep_silent =
+    let tr = Trace.create ~keep_silent () in
+    Trace.observer tr ~round:1 ~node:0 [ "a" ];
+    Trace.observer tr ~round:1 ~node:1 [];
+    Trace.observer tr ~round:2 ~node:0 [];
+    Trace.observer tr ~round:2 ~node:1 [ "b"; "c" ];
+    tr
+  in
+  let noisy = record true and quiet = record false in
+  check_int "keep_silent:true records every callback" 4 (Trace.length noisy);
+  check_int "default drops silent rounds" 2 (Trace.length quiet);
+  check_true "silent events kept verbatim"
+    (List.exists (fun e -> e.Trace.payloads = []) (Trace.events noisy));
+  check_true "no silent events in the quiet trace"
+    (List.for_all (fun e -> e.Trace.payloads <> []) (Trace.events quiet))
+
+let test_trace_per_node_views () =
+  let tr = Trace.create ~keep_silent:true () in
+  Trace.observer tr ~round:1 ~node:0 [ "x" ];
+  Trace.observer tr ~round:2 ~node:1 [ "y" ];
+  Trace.observer tr ~round:3 ~node:0 [];
+  Trace.observer tr ~round:4 ~node:0 [ "z"; "w" ];
+  let mine = Trace.broadcasts_of tr ~node:0 in
+  check_int "broadcasts_of filters by node" 3 (List.length mine);
+  check_true "broadcasts_of chronological"
+    (List.map (fun e -> e.Trace.round) mine = [ 1; 3; 4 ]);
+  check_true "rounds_active skips silent rounds"
+    (Trace.rounds_active tr ~node:0 = [ 1; 4 ]);
+  check_true "rounds_active other node" (Trace.rounds_active tr ~node:1 = [ 2 ])
+
 (* --- Engine semantics --- *)
 
 (* A probe protocol: every node broadcasts its id each round and records
@@ -236,6 +290,9 @@ let suite =
       ("failure: shift", test_shift);
       ("metrics: accounting", test_metrics_accounting);
       ("metrics: merge", test_metrics_merge);
+      ("metrics: merge = sequential composition", test_metrics_merge_sequential);
+      ("trace: keep_silent on/off", test_trace_keep_silent);
+      ("trace: per-node views", test_trace_per_node_views);
       ("engine: delivery next round", test_engine_delivery_next_round);
       ("engine: crash stops sending", test_engine_crash_stops_sending);
       ("engine: crashed nodes inert", test_engine_crashed_receive_nothing);
