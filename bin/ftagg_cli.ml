@@ -8,6 +8,8 @@
      twoparty  run the §7 two-party protocols on a random instance
      rank      certify Lemma 11's rank(M) = q−1 for a given q
      chaos     randomized chaos campaign; replay re-runs saved incidents
+     serve     long-lived aggregation service (line-based JSON protocol)
+     client    run service request scripts against an in-process server
 
    Examples:
      ftagg run -p tradeoff -t grid -n 64 -f 8 -b 60 --failures random
@@ -15,10 +17,17 @@
      ftagg stats -p pair -t grid -n 64 --prom
      ftagg twoparty -n 4096 -q 32
      ftagg rank -q 17
+     ftagg serve --checkpoint svc.ckpt.json < requests.jsonl
 
-   Exit codes: 0 success; 1 protocol abort / non-reproducing replay /
-   chaos incidents found; 2 usage or load errors; 3 invalid trace output
-   (never expected). *)
+   Exit codes (uniform across subcommands, see README):
+     0  success
+     1  findings — chaos incidents found, non-reproducing replay
+     2  protocol abort — pair/agg Aborted, folklore without a clean
+        epoch, a service request answered with an error
+     3  bad input or invalid generated output — unknown protocol or
+        failure mode, unreadable incident/request file, trace that
+        fails its own round-trip check
+     124/125  cmdliner usage / internal errors *)
 
 open Cmdliner
 open Ftagg
@@ -70,7 +79,9 @@ let make_failures graph ~mode ~budget ~seed ~window =
   | "burst" -> Failure.burst graph ~rng:(Prng.create seed) ~budget ~round:(window / 3)
   | "chain" -> Failure.chain ~n ~first:1 ~len:(min budget (n - 2)) ~round:(window / 3)
   | "neighborhood" -> Failure.neighborhood graph ~center:(n / 2) ~round:(window / 3)
-  | other -> failwith (Printf.sprintf "unknown failure mode %S" other)
+  | other ->
+    Printf.eprintf "ftagg: unknown failure mode %S\n" other;
+    exit 3
 
 let protocol_arg =
   Arg.(
@@ -80,7 +91,7 @@ let protocol_arg =
         ~doc:"One of: tradeoff, brute, folklore, naive, unknown-f, pair, agg.")
 
 (* Run one protocol by name with a telemetry sink attached.  Returns the
-   rendered root value, the exit code (0 ok, 1 protocol abort) and the
+   rendered root value, the exit code (0 ok, 2 protocol abort) and the
    run's common outcome. *)
 let exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed =
   match String.lowercase_ascii protocol with
@@ -100,20 +111,20 @@ let exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed =
     let o = Run.folklore ~obs ~graph ~failures ~params ~mode ~seed () in
     (match o.Run.f_result with
     | Folklore.Value v -> (string_of_int v, 0, o.Run.common)
-    | Folklore.No_clean_epoch -> ("<no clean epoch>", 1, o.Run.common))
+    | Folklore.No_clean_epoch -> ("<no clean epoch>", 2, o.Run.common))
   | "pair" ->
     let o = Run.pair ~obs ~graph ~failures ~params ~seed () in
     (match o.Run.result with
     | Agg.Value v -> (string_of_int v, 0, o.Run.common)
-    | Agg.Aborted -> ("<aborted>", 1, o.Run.common))
+    | Agg.Aborted -> ("<aborted>", 2, o.Run.common))
   | "agg" ->
     let o = Run.agg ~obs ~graph ~failures ~params ~seed () in
     (match o.Run.result with
     | Agg.Value v -> (string_of_int v, 0, o.Run.common)
-    | Agg.Aborted -> ("<aborted>", 1, o.Run.common))
+    | Agg.Aborted -> ("<aborted>", 2, o.Run.common))
   | other ->
     Printf.eprintf "ftagg: unknown protocol %S\n" other;
-    exit 2
+    exit 3
 
 let run_cmd =
   let protocol = protocol_arg in
@@ -147,7 +158,7 @@ let run_cmd =
         c.Run.flooding_rounds d;
       Printf.printf "edge fails : %d injected\n" (Failure.edge_failures graph failures)
     in
-    (* Exit code 1 on a protocol abort (pair/agg [Aborted], folklore
+    (* Exit code 2 on a protocol abort (pair/agg [Aborted], folklore
        [No_clean_epoch]) so scripts and CI can gate on the outcome. *)
     match String.lowercase_ascii protocol with
     | "tradeoff" ->
@@ -171,7 +182,7 @@ let run_cmd =
       in
       print_common "folklore" v o.Run.common;
       Printf.printf "epochs     : %d\n" o.Run.epochs;
-      if o.Run.f_result = Folklore.No_clean_epoch then 1 else 0
+      if o.Run.f_result = Folklore.No_clean_epoch then 2 else 0
     | "naive" ->
       let o = Run.folklore ~graph ~failures ~params ~mode:Folklore.Naive ~seed () in
       let v =
@@ -180,7 +191,7 @@ let run_cmd =
         | Folklore.No_clean_epoch -> "<dirty>"
       in
       print_common "naive-TAG" v o.Run.common;
-      if o.Run.f_result = Folklore.No_clean_epoch then 1 else 0
+      if o.Run.f_result = Folklore.No_clean_epoch then 2 else 0
     | "unknown-f" | "unknown_f" ->
       let o = Run.unknown_f ~graph ~failures ~params ~seed () in
       print_common "unknown-f" (string_of_int (Run.value_exn o.Run.result)) o.Run.common;
@@ -199,7 +210,7 @@ let run_cmd =
       print_common "AGG+VERI" v o.Run.common;
       Printf.printf "VERI says  : %b   (ground truth: LFC = %b, %d edge failures in window)\n"
         o.Run.verdict.Pair.veri_ok o.Run.lfc o.Run.edge_failures;
-      if o.Run.verdict.Pair.result = Agg.Aborted then 1 else 0
+      if o.Run.verdict.Pair.result = Agg.Aborted then 2 else 0
     | "agg" ->
       let o = Run.agg ~graph ~failures ~params ~seed () in
       let v =
@@ -208,10 +219,10 @@ let run_cmd =
         | Agg.Aborted -> "<aborted>"
       in
       print_common "AGG" v o.Run.common;
-      if o.Run.result = Agg.Aborted then 1 else 0
+      if o.Run.result = Agg.Aborted then 2 else 0
     | other ->
       Printf.eprintf "ftagg: unknown protocol %S\n" other;
-      2
+      3
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated topology under an adversary.")
@@ -542,6 +553,7 @@ let chaos_cmd =
         max_n;
         log = (if quiet then ignore else print_endline);
         obs;
+        via = None;
       }
     in
     let o = Campaign.run config in
@@ -579,7 +591,7 @@ let replay_cmd =
     match Incident.load ~path:file with
     | Error e ->
       Printf.eprintf "replay: %s\n" e;
-      2
+      3
     | Ok inc ->
       Printf.printf "incident: %s (found by %s)\n" inc.Incident.violation.Engine.invariant
         inc.Incident.adversary;
@@ -597,6 +609,154 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Re-run a saved chaos incident and print the watchdog verdict.")
     Term.(const run $ file)
 
+(* ---- the aggregation service (lib/service) ---- *)
+
+let service_settings_term =
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint file: loaded on start when it exists, rewritten every \
+             --checkpoint-every completions and once on exit.")
+  in
+  let queue =
+    Arg.(value & opt (some int) None & info [ "queue" ] ~doc:"Admission queue capacity.")
+  in
+  let cache =
+    Arg.(value & opt (some int) None & info [ "cache" ] ~doc:"Result-cache capacity (0 disables).")
+  in
+  let every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~doc:"Completions between auto-checkpoints (0 = off).")
+  in
+  let batch =
+    Arg.(value & opt (some int) None & info [ "tick-batch" ] ~doc:"Jobs dispatched per tick.")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None & info [ "domains" ] ~doc:"Domains running one tick's batch.")
+  in
+  let b =
+    Arg.(
+      value & opt (some int) None & info [ "b" ] ~doc:"Default time budget for jobs that omit b.")
+  in
+  let f =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "f" ] ~doc:"Default edge-failure budget for jobs that omit f.")
+  in
+  let build checkpoint queue cache every batch domains b f =
+    let d = Service.Reconfig.default in
+    let pick field o = Option.value o ~default:field in
+    let settings =
+      {
+        Service.Reconfig.default_b = pick d.Service.Reconfig.default_b b;
+        default_f = pick d.Service.Reconfig.default_f f;
+        queue_capacity = pick d.Service.Reconfig.queue_capacity queue;
+        cache_capacity = pick d.Service.Reconfig.cache_capacity cache;
+        checkpoint_every = pick d.Service.Reconfig.checkpoint_every every;
+        tick_batch = pick d.Service.Reconfig.tick_batch batch;
+        domains = pick d.Service.Reconfig.domains domains;
+      }
+    in
+    (settings, checkpoint)
+  in
+  Term.(const build $ checkpoint $ queue $ cache $ every $ batch $ domains $ b $ f)
+
+let export_telemetry ~prom ~jsonl obs =
+  (match prom with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Export.prometheus (Obs.registry obs));
+    close_out oc
+  | None -> ());
+  match jsonl with Some path -> Export.write_jsonl ~path obs | None -> ()
+
+let serve_cmd =
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE" ~doc:"Write the service registry as Prometheus text on exit.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the service event stream as JSONL on exit.")
+  in
+  let run (settings, checkpoint_path) prom jsonl =
+    let obs = Obs.create ~name:"ftagg-serve" () in
+    let config = { Service.Server.settings; checkpoint_path; name = "ftagg-serve" } in
+    let t = Service.Server.create ~obs config in
+    let restored = Service.Server.restored_backlog t in
+    if restored > 0 then Printf.eprintf "serve: restored %d pending job(s) from checkpoint\n%!" restored;
+    let code = Service.Server.serve t stdin stdout in
+    export_telemetry ~prom ~jsonl obs;
+    code
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived aggregation service: one JSON request per line on stdin, one \
+          response per line on stdout (ops: submit, tick, drain, get, cancel, status, reconfig, \
+          checkpoint, metrics, shutdown).")
+    Term.(const run $ service_settings_term $ prom $ jsonl)
+
+let client_cmd =
+  let files =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"REQUESTS.jsonl"
+          ~doc:"Request scripts, one JSON request per line; read in order.")
+  in
+  let no_drain =
+    Arg.(
+      value & flag & info [ "no-drain" ] ~doc:"Do not drain the backlog after the last script.")
+  in
+  let run (settings, checkpoint_path) files no_drain =
+    (* An in-process server driven through [handle]: the same protocol the
+       serve loop speaks, without process plumbing — for scripting and CI.
+       Exit 2 if any response carries ok:false (the service refused or
+       failed a request), 3 on an unreadable script. *)
+    let config = { Service.Server.settings; checkpoint_path; name = "ftagg-client" } in
+    let t = Service.Server.create config in
+    let refused = ref false in
+    let submit_line line =
+      if String.trim line <> "" then begin
+        let response = Service.Server.handle t line in
+        print_endline response;
+        match Bench_io.of_string response with
+        | Ok json when Bench_io.member "ok" json = Some (Bench_io.Bool false) -> refused := true
+        | _ -> ()
+      end
+    in
+    let run_file path =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error e ->
+        Printf.eprintf "client: %s\n" e;
+        exit 3
+      | contents -> List.iter submit_line (String.split_on_char '\n' contents)
+    in
+    List.iter run_file files;
+    if (not no_drain) && not (Service.Server.shutdown_requested t) then
+      submit_line {|{"op":"drain"}|};
+    Service.Server.finish t;
+    if !refused then 2 else 0
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Feed service request scripts to an in-process server and print the responses — the \
+          serve protocol without a long-running process.")
+    Term.(const run $ service_settings_term $ files $ no_drain)
+
 let () =
   let doc = "fault-tolerant aggregation with near-optimal communication-time tradeoff" in
   let info = Cmd.info "ftagg" ~version:"1.0.0" ~doc in
@@ -605,5 +765,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; graph_cmd; twoparty_cmd; rank_cmd; worstcase_cmd; dot_cmd; trace_cmd;
-            stats_cmd; chaos_cmd; replay_cmd;
+            stats_cmd; chaos_cmd; replay_cmd; serve_cmd; client_cmd;
           ]))

@@ -155,6 +155,7 @@ type config = {
   max_n : int;
   log : string -> unit;
   obs : Obs.t option;
+  via : (Incident.scenario -> pair_report option) option;
 }
 
 let default_config =
@@ -166,10 +167,12 @@ let default_config =
     max_n = 34;
     log = ignore;
     obs = None;
+    via = None;
   }
 
 type outcome = {
   o_trials : int;
+  o_rejected_trials : int;
   o_violating_trials : int;
   o_incidents : (Incident.t * string option) list;
 }
@@ -206,6 +209,7 @@ let run config =
   let seen = Hashtbl.create 8 in
   let incidents = ref [] in
   let violating = ref 0 in
+  let rejected = ref 0 in
   for i = 1 to config.trials do
     let sc0 = random_scenario rng ~bit_cap:config.bit_cap ~max_n:config.max_n in
     let adversary = adversaries.(Prng.int rng (Array.length adversaries)) in
@@ -219,7 +223,20 @@ let run config =
     (match config.obs with
     | Some o -> Ftagg_obs.Registry.incr (Obs.registry o) "chaos_trials_total" 1
     | None -> ());
-    let report = run_pair ?online ?obs:config.obs sc0 in
+    (* With a [via] transport the trial runs wherever the hook says —
+       e.g. through the aggregation service's admission queue.  A [None]
+       answer means the transport refused (backpressure / cancellation);
+       the trial is counted and skipped, never silently retried. *)
+    let report =
+      match config.via with
+      | None -> Some (run_pair ?online ?obs:config.obs sc0)
+      | Some transport -> transport sc0
+    in
+    match report with
+    | None ->
+      incr rejected;
+      config.log (Printf.sprintf "trial %d (%s): rejected by transport" i (Adversary.name adversary))
+    | Some report ->
     (match report.violation with
     | None -> ()
     | Some v ->
@@ -263,4 +280,9 @@ let run config =
       end);
     if i mod 25 = 0 then config.log (Printf.sprintf "… %d/%d trials" i config.trials)
   done;
-  { o_trials = config.trials; o_violating_trials = !violating; o_incidents = List.rev !incidents }
+  {
+    o_trials = config.trials;
+    o_rejected_trials = !rejected;
+    o_violating_trials = !violating;
+    o_incidents = List.rev !incidents;
+  }

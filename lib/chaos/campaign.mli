@@ -76,14 +76,22 @@ type config = {
           search: per-run broadcast/span feeds, [chaos_violation] /
           [shrink_step] events, [chaos_trials_total] /
           [chaos_incidents_total] / [chaos_shrink_steps_total] counters *)
+  via : (Incident.scenario -> pair_report option) option;
+      (** trial transport: when set, each trial's (materialized, hence
+          oblivious) scenario is executed by this hook instead of
+          {!run_pair} — e.g. [Ftagg_service.Chaos_gate.via] pushes it
+          through the aggregation service's admission queue.  [None] from
+          the hook means the transport refused the trial (backpressure or
+          cancellation); it is counted in [o_rejected_trials] and skipped. *)
 }
 
 val default_config : config
 (** 100 trials, seed 20260806, no output dir, no cap override, max_n 34,
-    silent, no telemetry sink. *)
+    silent, no telemetry sink, no transport (trials run in-process). *)
 
 type outcome = {
   o_trials : int;
+  o_rejected_trials : int;  (** trials the [via] transport refused *)
   o_violating_trials : int;  (** trials whose run reported any violation *)
   o_incidents : (Incident.t * string option) list;
       (** one shrunken incident per {e distinct} invariant, with its file

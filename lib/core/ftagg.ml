@@ -74,6 +74,10 @@ module Incident = Ftagg_chaos.Incident
 module Shrink = Ftagg_chaos.Shrink
 module Campaign = Ftagg_chaos.Campaign
 
+(** {1 Long-lived aggregation service (scheduling, caching, checkpoints)} *)
+
+module Service = Ftagg_service
+
 (** {1 Derived queries} *)
 
 module Selection = Ftagg_select.Selection

@@ -50,6 +50,36 @@ let map ?domains f xs =
     Array.to_list (Array.map Option.get results)
   end
 
+let resolve_domains = function
+  | Some d ->
+    if d < 1 then invalid_arg "Sweep.map_results: domains must be >= 1";
+    d
+  | None -> default_domains ()
+
+(* Non-abandoning variant: every job runs to a [result], so one failure
+   cannot sink the rest of the batch (the service scheduler's contract). *)
+let map_results ?domains f xs =
+  let jobs = Array.of_list xs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else begin
+    let domains = resolve_domains domains in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else results.(i) <- Some (match f jobs.(i) with r -> Ok r | exception e -> Error e)
+      done
+    in
+    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list (Array.map Option.get results)
+  end
+
 let run ?domains fs = map ?domains (fun f -> f ()) fs
 
 let map_seeds ?domains ~seeds f = map ?domains f seeds

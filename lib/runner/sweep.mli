@@ -14,7 +14,10 @@
 exception Job_failed of int * exn
 (** Raised by {!map} / {!run} when a job raises: the input index of the
     earliest failing job, paired with its exception.  Remaining jobs are
-    abandoned (never started) once a failure is observed. *)
+    abandoned (never started) once a failure is observed — the fail-fast
+    contract benches and sweeps want.  Long-lived callers that must keep
+    going (the service scheduler) use {!map_results} instead, which never
+    raises and never abandons. *)
 
 val default_domains : unit -> int
 (** Pool size used when [?domains] is omitted:
@@ -24,6 +27,12 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f xs] is [List.map f xs] computed on up to [domains]
     domains (including the calling one).  Raises [Invalid_argument] if
     [domains < 1]. *)
+
+val map_results : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map_results ~domains f xs] runs every job to completion regardless
+    of other jobs' failures: slot [i] holds [Ok (f x_i)] or [Error e] if
+    that job raised.  Results in input order; never raises [Job_failed].
+    Raises [Invalid_argument] if [domains < 1]. *)
 
 val run : ?domains:int -> (unit -> 'a) list -> 'a list
 (** [run thunks] forces each thunk, in parallel, results in order. *)

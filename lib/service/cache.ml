@@ -1,0 +1,94 @@
+(* LRU result cache keyed by job digest.  Recency is a logical clock
+   stamped on every hit; eviction scans for the oldest stamp — O(entries),
+   which is fine at service cache sizes (hundreds) and keeps the structure
+   a single hash table.
+
+   Counters are kept twice on purpose: plain ints (returned by [stats],
+   reported in server responses — these must not depend on whether
+   telemetry is enabled) and mirrored into the optional
+   [Ftagg_obs.Registry] for the Prometheus/JSONL exports. *)
+
+module Registry = Ftagg_obs.Registry
+
+type 'a t = {
+  mutable capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  registry : Registry.t option;
+}
+
+and 'a entry = { value : 'a; mutable stamp : int }
+
+let create ?registry ~capacity () =
+  if capacity < 0 then invalid_arg "Cache.create: capacity must be >= 0";
+  { capacity; table = Hashtbl.create 64; clock = 0; hits = 0; misses = 0; evictions = 0; registry }
+
+let count t name k =
+  match t.registry with None -> () | Some r -> Registry.incr r name k
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t digest =
+  match Hashtbl.find_opt t.table digest with
+  | Some e ->
+    e.stamp <- tick t;
+    t.hits <- t.hits + 1;
+    count t "service_cache_hits_total" 1;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    count t "service_cache_misses_total" 1;
+    None
+
+let evict_oldest t =
+  let victim =
+    Hashtbl.fold
+      (fun digest e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (digest, e.stamp))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (digest, _) ->
+    Hashtbl.remove t.table digest;
+    t.evictions <- t.evictions + 1;
+    count t "service_cache_evictions_total" 1
+
+let add t digest value =
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.table digest with
+    | Some _ -> Hashtbl.remove t.table digest
+    | None -> ());
+    while Hashtbl.length t.table >= t.capacity do
+      evict_oldest t
+    done;
+    Hashtbl.replace t.table digest { value; stamp = tick t }
+  end
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+
+let set_capacity t capacity =
+  if capacity < 0 then invalid_arg "Cache.set_capacity: capacity must be >= 0";
+  t.capacity <- capacity;
+  while Hashtbl.length t.table > capacity do
+    evict_oldest t
+  done
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; s_capacity : int }
+
+let stats (t : 'a t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+    s_capacity = t.capacity;
+  }

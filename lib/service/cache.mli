@@ -1,0 +1,35 @@
+(** LRU result cache keyed by job digest.
+
+    Identical requests (same graph recipe, inputs, parameters, protocol
+    and seed — i.e. the same {!Job.digest}) are served from here without
+    re-simulation.  Recency is bumped on every {!find} hit; {!add} evicts
+    the least-recently-used entry when full.
+
+    Hit/miss/eviction totals are kept as plain integers ({!stats} — the
+    numbers server responses report, independent of whether telemetry is
+    enabled) and, when a registry is attached, mirrored into the
+    counters [service_cache_hits_total] / [service_cache_misses_total] /
+    [service_cache_evictions_total] for the Prometheus / JSONL exports. *)
+
+type 'a t
+
+val create : ?registry:Ftagg_obs.Registry.t -> capacity:int -> unit -> 'a t
+(** [capacity = 0] disables storage (every lookup is a miss and {!add} is
+    a no-op).  Raises [Invalid_argument] on a negative capacity. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup by digest; counts a hit (and refreshes recency) or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) an entry, evicting the LRU entry if at capacity. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val set_capacity : 'a t -> int -> unit
+(** Live-resize (the {!Reconfig} path); shrinking evicts LRU entries
+    immediately. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; s_capacity : int }
+
+val stats : 'a t -> stats

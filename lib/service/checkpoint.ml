@@ -1,0 +1,127 @@
+module Bench_io = Ftagg_runner.Bench_io
+
+let version = 1
+
+type done_entry = {
+  d_id : string;
+  d_tenant : string;
+  d_digest : string;
+  d_cached : bool;
+  d_outcome : (Job.outcome, string) result;
+}
+
+type state = {
+  s_next_id : int;
+  s_tick : int;
+  s_pending : (string * Job.spec) list;
+  s_completed : done_entry list;
+}
+
+let empty = { s_next_id = 1; s_tick = 0; s_pending = []; s_completed = [] }
+
+let done_to_json d =
+  Bench_io.Obj
+    [
+      ("id", Bench_io.String d.d_id);
+      ("tenant", Bench_io.String d.d_tenant);
+      ("digest", Bench_io.String d.d_digest);
+      ("cached", Bench_io.Bool d.d_cached);
+      ( "outcome",
+        match d.d_outcome with Ok o -> Job.outcome_to_json o | Error _ -> Bench_io.Null );
+      ("error", match d.d_outcome with Ok _ -> Bench_io.Null | Error e -> Bench_io.String e);
+    ]
+
+let to_json state =
+  Bench_io.Obj
+    [
+      ("version", Bench_io.Int version);
+      ("next_id", Bench_io.Int state.s_next_id);
+      ("tick", Bench_io.Int state.s_tick);
+      ( "pending",
+        Bench_io.List
+          (List.map
+             (fun (id, spec) ->
+               Bench_io.Obj [ ("id", Bench_io.String id); ("job", Job.to_json spec) ])
+             state.s_pending) );
+      ("completed", Bench_io.List (List.map done_to_json state.s_completed));
+    ]
+
+let ( let* ) = Result.bind
+
+let req_int json key =
+  match Option.bind (Bench_io.member key json) Bench_io.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "checkpoint: missing integer %s" key)
+
+let req_string json key =
+  match Bench_io.member key json with
+  | Some (Bench_io.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "checkpoint: missing string %s" key)
+
+let done_of_json json =
+  let* d_id = req_string json "id" in
+  let* d_tenant = req_string json "tenant" in
+  let* d_digest = req_string json "digest" in
+  let d_cached =
+    match Option.bind (Bench_io.member "cached" json) Bench_io.to_bool with
+    | Some b -> b
+    | None -> false
+  in
+  let* d_outcome =
+    match Bench_io.member "error" json with
+    | Some (Bench_io.String e) -> Ok (Error e)
+    | _ -> (
+      match Bench_io.member "outcome" json with
+      | Some o -> Result.map (fun o -> Ok o) (Job.outcome_of_json o)
+      | None -> Error "checkpoint: completed entry has neither outcome nor error")
+  in
+  Ok { d_id; d_tenant; d_digest; d_cached; d_outcome }
+
+(* Settings only matter for filling a job's omitted fields, and
+   checkpointed specs are fully resolved, so any settings decode them
+   identically; the defaults keep the signature self-contained. *)
+let of_json json =
+  let* v = req_int json "version" in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "checkpoint: unsupported version %d (expected %d)" v version)
+  in
+  let* s_next_id = req_int json "next_id" in
+  let* s_tick = req_int json "tick" in
+  let* s_pending =
+    match Bench_io.member "pending" json with
+    | Some (Bench_io.List items) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+          let* id = req_string item "id" in
+          let* spec =
+            match Bench_io.member "job" item with
+            | Some j -> Job.of_json ~settings:Reconfig.default j
+            | None -> Error "checkpoint: pending entry without a job"
+          in
+          conv ((id, spec) :: acc) rest
+      in
+      conv [] items
+    | _ -> Error "checkpoint: missing pending list"
+  in
+  let* s_completed =
+    match Bench_io.member "completed" json with
+    | Some (Bench_io.List items) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+          let* d = done_of_json item in
+          conv (d :: acc) rest
+      in
+      conv [] items
+    | _ -> Error "checkpoint: missing completed list"
+  in
+  Ok { s_next_id; s_tick; s_pending; s_completed }
+
+let save ~path state = Bench_io.write_file ~path (to_json state)
+
+let load ~path =
+  match Bench_io.read_file ~path with
+  | Error e -> Error (Printf.sprintf "checkpoint: %s" e)
+  | Ok json -> of_json json

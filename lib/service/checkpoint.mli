@@ -1,0 +1,36 @@
+(** Durable service state: the queue backlog and completed results as a
+    {!Ftagg_runner.Bench_io} JSON document.
+
+    A checkpoint holds the pending jobs {e in pop order} (resolved specs,
+    so they survive any later reconfiguration), every completed result,
+    and the id / tick counters.  Restoring re-admits the backlog in order
+    (the fairness rotation restarts from scratch — an accepted loss) and
+    re-seeds the result cache from the completed entries, so a duplicate
+    submitted after a restart is still a cache hit.
+
+    The format is versioned; {!load} rejects a version it does not
+    understand rather than guessing. *)
+
+type done_entry = {
+  d_id : string;
+  d_tenant : string;
+  d_digest : string;
+  d_cached : bool;
+  d_outcome : (Job.outcome, string) result;
+}
+
+type state = {
+  s_next_id : int;  (** the server's id counter, so ids never collide *)
+  s_tick : int;  (** scheduler tick counter (deadline bookkeeping) *)
+  s_pending : (string * Job.spec) list;  (** [(id, spec)] in pop order *)
+  s_completed : done_entry list;  (** completion order *)
+}
+
+val empty : state
+val version : int
+
+val to_json : state -> Ftagg_runner.Bench_io.json
+val of_json : Ftagg_runner.Bench_io.json -> (state, string) result
+
+val save : path:string -> state -> unit
+val load : path:string -> (state, string) result

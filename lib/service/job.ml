@@ -1,0 +1,434 @@
+module Graph = Ftagg_graph.Graph
+module Gen = Ftagg_graph.Gen
+module Prng = Ftagg_util.Prng
+module Failure = Ftagg_sim.Failure
+module Engine = Ftagg_sim.Engine
+module Metrics = Ftagg_sim.Metrics
+module Caaf = Ftagg_caaf.Caaf
+module Instances = Ftagg_caaf.Instances
+module Params = Ftagg_proto.Params
+module Agg = Ftagg_proto.Agg
+module Pair = Ftagg_proto.Pair
+module Run = Ftagg_proto.Run
+module Tradeoff = Ftagg_proto.Tradeoff
+module Unknown_f = Ftagg_proto.Unknown_f
+module Bench_io = Ftagg_runner.Bench_io
+module Incident = Ftagg_chaos.Incident
+module Campaign = Ftagg_chaos.Campaign
+
+type priority = High | Normal | Low
+
+let priority_to_string = function High -> "high" | Normal -> "normal" | Low -> "low"
+
+let priority_of_string = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+let priority_rank = function High -> 0 | Normal -> 1 | Low -> 2
+
+type protocol =
+  | Tradeoff of { b : int; f : int }
+  | Brute
+  | Unknown_f
+  | Chaos_pair of { bit_cap : int option }
+
+type failure_spec =
+  | Generated of { mode : string; budget : int }
+  | Explicit of (int * int) list
+
+type spec = {
+  tenant : string;
+  family : Gen.family;
+  n : int;
+  topo_seed : int;
+  inputs : int array;
+  c : int;
+  t : int;
+  caaf : string;
+  protocol : protocol;
+  failures : failure_spec;
+  seed : int;
+  deadline : int option;
+  priority : priority;
+}
+
+type outcome = {
+  value : int option;
+  correct : bool;
+  cc : int;
+  rounds : int;
+  flooding_rounds : int;
+  via : string;
+  violation : string option;
+}
+
+type executed = { outcome : outcome; report : Campaign.pair_report option }
+
+let caaf_of_name name =
+  match String.lowercase_ascii name with
+  | "sum" -> Some Instances.sum
+  | "count" -> Some Instances.count
+  | "max" -> Some Instances.max_
+  | "min" -> Some Instances.min_
+  | "or" -> Some Instances.bool_or
+  | "and" -> Some Instances.bool_and
+  | "gcd" -> Some Instances.gcd
+  | _ -> None
+
+let failure_modes = [ "none"; "random"; "burst"; "chain"; "neighborhood" ]
+
+(* ---- canonical digest ---- *)
+
+let protocol_token = function
+  | Tradeoff { b; f } -> Printf.sprintf "tradeoff:%d:%d" b f
+  | Brute -> "brute"
+  | Unknown_f -> "unknown_f"
+  | Chaos_pair { bit_cap } ->
+    Printf.sprintf "chaos_pair:%s" (match bit_cap with Some c -> string_of_int c | None -> "-")
+
+let failures_token = function
+  | Generated { mode; budget } -> Printf.sprintf "gen:%s:%d" mode budget
+  | Explicit schedule ->
+    "exp:" ^ String.concat "," (List.map (fun (u, r) -> Printf.sprintf "%d@%d" u r) schedule)
+
+(* FNV-1a over the canonical request string.  Tenant, priority and
+   deadline are deliberately excluded: they change who waits and for how
+   long, not what is computed, so two tenants asking the same question
+   share one cache entry. *)
+let digest spec =
+  let canonical =
+    String.concat "|"
+      [
+        Incident.family_to_string spec.family;
+        string_of_int spec.n;
+        string_of_int spec.topo_seed;
+        String.concat "," (Array.to_list (Array.map string_of_int spec.inputs));
+        string_of_int spec.c;
+        string_of_int spec.t;
+        String.lowercase_ascii spec.caaf;
+        protocol_token spec.protocol;
+        failures_token spec.failures;
+        string_of_int spec.seed;
+      ]
+  in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    canonical;
+  Printf.sprintf "%016Lx" !h
+
+(* ---- JSON codec ---- *)
+
+let to_json spec =
+  let base =
+    [
+      ("tenant", Bench_io.String spec.tenant);
+      ("family", Bench_io.String (Incident.family_to_string spec.family));
+      ("n", Bench_io.Int spec.n);
+      ("topo_seed", Bench_io.Int spec.topo_seed);
+      ("inputs", Bench_io.List (Array.to_list (Array.map (fun x -> Bench_io.Int x) spec.inputs)));
+      ("c", Bench_io.Int spec.c);
+      ("t", Bench_io.Int spec.t);
+      ("caaf", Bench_io.String spec.caaf);
+      ( "protocol",
+        Bench_io.String
+          (match spec.protocol with
+          | Tradeoff _ -> "tradeoff"
+          | Brute -> "brute"
+          | Unknown_f -> "unknown-f"
+          | Chaos_pair _ -> "chaos-pair") );
+      ("seed", Bench_io.Int spec.seed);
+      ("priority", Bench_io.String (priority_to_string spec.priority));
+    ]
+  in
+  let protocol_fields =
+    match spec.protocol with
+    | Tradeoff { b; f } -> [ ("b", Bench_io.Int b); ("f", Bench_io.Int f) ]
+    | Chaos_pair { bit_cap = Some cap } -> [ ("bit_cap", Bench_io.Int cap) ]
+    | _ -> []
+  in
+  let failure_fields =
+    match spec.failures with
+    | Generated { mode; budget } ->
+      [ ("failures", Bench_io.String mode); ("budget", Bench_io.Int budget) ]
+    | Explicit schedule ->
+      [
+        ( "schedule",
+          Bench_io.List
+            (List.map (fun (u, r) -> Bench_io.List [ Bench_io.Int u; Bench_io.Int r ]) schedule) );
+      ]
+  in
+  let deadline_fields =
+    match spec.deadline with Some d -> [ ("deadline", Bench_io.Int d) ] | None -> []
+  in
+  Bench_io.Obj (base @ protocol_fields @ failure_fields @ deadline_fields)
+
+let ( let* ) = Result.bind
+
+let field_int json key default =
+  match Bench_io.member key json with
+  | None -> Ok default
+  | Some v -> (
+    match Bench_io.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "job: %s must be an integer" key))
+
+let field_string json key default =
+  match Bench_io.member key json with
+  | None -> Ok default
+  | Some (Bench_io.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "job: %s must be a string" key)
+
+let of_json ~(settings : Reconfig.settings) json =
+  match json with
+  | Bench_io.Obj _ ->
+    let* tenant = field_string json "tenant" "default" in
+    let* family_s = field_string json "family" "grid" in
+    let* family =
+      match Incident.family_of_string family_s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "job: unknown topology family %S" family_s)
+    in
+    let* n = field_int json "n" 36 in
+    let* () = if n >= 2 then Ok () else Error "job: n must be >= 2" in
+    let* seed = field_int json "seed" 1 in
+    let* topo_seed = field_int json "topo_seed" seed in
+    let* f = field_int json "f" settings.Reconfig.default_f in
+    let* b = field_int json "b" settings.Reconfig.default_b in
+    let* c = field_int json "c" 2 in
+    let* t = field_int json "t" (max 1 (2 * f)) in
+    let* max_input = field_int json "max_input" 50 in
+    let* inputs =
+      match Bench_io.member "inputs" json with
+      | None ->
+        Ok (Params.random_inputs ~rng:(Prng.create (seed + 17)) ~n ~max_input)
+      | Some (Bench_io.List items) ->
+        let rec conv acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | item :: rest -> (
+            match Bench_io.to_int item with
+            | Some i when i >= 0 -> conv (i :: acc) rest
+            | _ -> Error "job: inputs must be non-negative integers")
+        in
+        let* arr = conv [] items in
+        if Array.length arr = n then Ok arr
+        else Error (Printf.sprintf "job: inputs has %d entries, expected n = %d" (Array.length arr) n)
+      | Some _ -> Error "job: inputs must be an array"
+    in
+    let* caaf = field_string json "caaf" "sum" in
+    let* () =
+      match caaf_of_name caaf with
+      | Some _ -> Ok ()
+      | None -> Error (Printf.sprintf "job: unknown aggregate %S" caaf)
+    in
+    let* protocol_s = field_string json "protocol" "tradeoff" in
+    let* bit_cap =
+      match Bench_io.member "bit_cap" json with
+      | None -> Ok None
+      | Some v -> (
+        match Bench_io.to_int v with
+        | Some i -> Ok (Some i)
+        | None -> Error "job: bit_cap must be an integer")
+    in
+    let* protocol =
+      match String.lowercase_ascii protocol_s with
+      | "tradeoff" -> Ok (Tradeoff { b; f })
+      | "brute" -> Ok Brute
+      | "unknown-f" | "unknown_f" -> Ok Unknown_f
+      | "chaos-pair" | "chaos_pair" -> Ok (Chaos_pair { bit_cap })
+      | other -> Error (Printf.sprintf "job: unknown protocol %S" other)
+    in
+    let* failures =
+      match Bench_io.member "schedule" json with
+      | Some (Bench_io.List items) ->
+        let rec conv acc = function
+          | [] -> Ok (Explicit (List.rev acc))
+          | Bench_io.List [ u; r ] :: rest -> (
+            match (Bench_io.to_int u, Bench_io.to_int r) with
+            | Some u, Some r -> conv ((u, r) :: acc) rest
+            | _ -> Error "job: schedule entries must be [node, round] integer pairs")
+          | _ -> Error "job: schedule entries must be [node, round] integer pairs"
+        in
+        conv [] items
+      | Some _ -> Error "job: schedule must be an array of [node, round] pairs"
+      | None ->
+        let* mode = field_string json "failures" "random" in
+        let mode = String.lowercase_ascii mode in
+        let* () =
+          if List.mem mode failure_modes then Ok ()
+          else Error (Printf.sprintf "job: unknown failure mode %S" mode)
+        in
+        let* budget = field_int json "budget" f in
+        Ok (Generated { mode; budget })
+    in
+    let* deadline =
+      match Bench_io.member "deadline" json with
+      | None -> Ok None
+      | Some v -> (
+        match Bench_io.to_int v with
+        | Some d when d >= 0 -> Ok (Some d)
+        | _ -> Error "job: deadline must be a non-negative integer")
+    in
+    let* priority_s = field_string json "priority" "normal" in
+    let* priority =
+      match priority_of_string (String.lowercase_ascii priority_s) with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "job: unknown priority %S" priority_s)
+    in
+    Ok
+      {
+        tenant; family; n; topo_seed; inputs; c; t;
+        caaf = String.lowercase_ascii caaf;
+        protocol; failures; seed; deadline; priority;
+      }
+  | _ -> Error "job: expected an object"
+
+let outcome_to_json o =
+  Bench_io.Obj
+    [
+      ("value", match o.value with Some v -> Bench_io.Int v | None -> Bench_io.Null);
+      ("correct", Bench_io.Bool o.correct);
+      ("cc", Bench_io.Int o.cc);
+      ("rounds", Bench_io.Int o.rounds);
+      ("flooding_rounds", Bench_io.Int o.flooding_rounds);
+      ("via", Bench_io.String o.via);
+      ("violation", match o.violation with Some v -> Bench_io.String v | None -> Bench_io.Null);
+    ]
+
+let outcome_of_json json =
+  let* cc = field_int json "cc" 0 in
+  let* rounds = field_int json "rounds" 0 in
+  let* flooding_rounds = field_int json "flooding_rounds" 0 in
+  let* via = field_string json "via" "" in
+  let value =
+    match Bench_io.member "value" json with Some v -> Bench_io.to_int v | None -> None
+  in
+  let violation =
+    match Bench_io.member "violation" json with
+    | Some (Bench_io.String s) -> Some s
+    | _ -> None
+  in
+  let correct =
+    match Bench_io.member "correct" json with
+    | Some v -> Option.value (Bench_io.to_bool v) ~default:false
+    | None -> false
+  in
+  Ok { value; correct; cc; rounds; flooding_rounds; via; violation }
+
+(* ---- execution ---- *)
+
+let materialize_failures spec graph ~window =
+  match spec.failures with
+  | Explicit schedule -> Failure.of_list ~n:spec.n schedule
+  | Generated { mode; budget } -> (
+    let rng = Prng.create (spec.seed + 3) in
+    match mode with
+    | "none" -> Failure.none ~n:spec.n
+    | "random" -> Failure.random graph ~rng ~budget ~max_round:window
+    | "burst" -> Failure.burst graph ~rng ~budget ~round:(max 1 (window / 3))
+    | "chain" ->
+      Failure.chain ~n:spec.n ~first:1 ~len:(max 0 (min budget (spec.n - 2)))
+        ~round:(max 1 (window / 3))
+    | "neighborhood" -> Failure.neighborhood graph ~center:(spec.n / 2) ~round:(max 1 (window / 3))
+    | other -> failwith (Printf.sprintf "job: unknown failure mode %S" other))
+
+let of_common (c : Run.common) ~value ~via ~violation =
+  {
+    value;
+    correct = c.Run.correct;
+    cc = Metrics.cc c.Run.metrics;
+    rounds = c.Run.rounds;
+    flooding_rounds = c.Run.flooding_rounds;
+    via;
+    violation;
+  }
+
+let execute spec =
+  let graph = Gen.build spec.family ~n:spec.n ~seed:spec.topo_seed in
+  let caaf = Option.get (caaf_of_name spec.caaf) in
+  let params = Params.make ~c:spec.c ~t:spec.t ~caaf ~graph ~inputs:spec.inputs () in
+  let d = params.Params.d in
+  match spec.protocol with
+  | Tradeoff { b; f } ->
+    let failures = materialize_failures spec graph ~window:(b * d) in
+    let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed:spec.seed () in
+    let via =
+      match o.Run.how with
+      | Tradeoff.Via_pair y -> Printf.sprintf "pair interval %d" y
+      | Tradeoff.Via_brute_force -> "brute-force fallback"
+    in
+    {
+      outcome =
+        of_common o.Run.common ~value:(Some (Run.value_exn o.Run.result)) ~via ~violation:None;
+      report = None;
+    }
+  | Brute ->
+    let failures = materialize_failures spec graph ~window:(4 * d) in
+    let o = Run.brute_force ~graph ~failures ~params ~seed:spec.seed () in
+    {
+      outcome =
+        of_common o.Run.common
+          ~value:(Some (Run.value_exn o.Run.result))
+          ~via:"brute-force" ~violation:None;
+      report = None;
+    }
+  | Unknown_f ->
+    let failures = materialize_failures spec graph ~window:(63 * d) in
+    let o = Run.unknown_f ~graph ~failures ~params ~seed:spec.seed () in
+    let via =
+      match o.Run.how with
+      | Unknown_f.Via_slot g -> Printf.sprintf "slot %d" g
+      | Unknown_f.Via_brute_force -> "brute-force fallback"
+    in
+    {
+      outcome =
+        of_common o.Run.common ~value:(Some (Run.value_exn o.Run.result)) ~via ~violation:None;
+      report = None;
+    }
+  | Chaos_pair { bit_cap } ->
+    (* A watched AGG+VERI pair through the chaos oracle: the service is
+       the campaign's trial transport here (see [Chaos_gate]). *)
+    let schedule =
+      match spec.failures with
+      | Explicit schedule -> schedule
+      | Generated _ ->
+        Failure.to_list (materialize_failures spec graph ~window:(Pair.duration params))
+    in
+    let scenario =
+      {
+        Incident.family = spec.family;
+        n = spec.n;
+        topo_seed = spec.topo_seed;
+        run_seed = spec.seed;
+        c = spec.c;
+        t = spec.t;
+        inputs = spec.inputs;
+        schedule;
+        faults = Engine.no_faults;
+        kind = Incident.Pair_run;
+        bit_cap;
+      }
+    in
+    let report = Campaign.run_pair scenario in
+    let value =
+      match report.Campaign.verdict with
+      | Some { Pair.result = Agg.Value v; _ } -> Some v
+      | _ -> None
+    in
+    let outcome =
+      {
+        value;
+        correct = report.Campaign.correct;
+        cc = report.Campaign.cc;
+        rounds = report.Campaign.rounds;
+        flooding_rounds = (report.Campaign.rounds + d - 1) / d;
+        via = "chaos pair";
+        violation =
+          Option.map (fun (v : Engine.violation) -> v.Engine.invariant) report.Campaign.violation;
+      }
+    in
+    { outcome; report = Some report }

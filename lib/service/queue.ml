@@ -1,0 +1,113 @@
+(* Bounded admission queue with per-tenant round-robin fairness.
+
+   Entries live in one FIFO list per tenant (held in arrival order; pop
+   scans the tenant's list for its (priority, seq)-minimal entry, so
+   higher priority wins and arrival order breaks ties).  Tenants take
+   turns: a rotation list in first-seen order is walked from the front,
+   the first tenant with work is served and moved to the back.  A tenant
+   flooding the queue therefore delays its own jobs, not other tenants'. *)
+
+type 'a entry = { e_priority : int; e_seq : int; e_item : 'a }
+
+type 'a t = {
+  mutable capacity : int;
+  mutable length : int;
+  mutable seq : int;
+  buckets : (string, 'a entry list ref) Hashtbl.t;  (* per-tenant, arrival order *)
+  mutable rotation : string list;  (* tenants, next-to-serve first *)
+}
+
+type reject = Queue_full of { depth : int; capacity : int }
+
+let reject_reason (Queue_full _) = "queue_full"
+
+let reject_detail (Queue_full { depth; capacity }) =
+  Printf.sprintf "queue full: %d queued = capacity %d" depth capacity
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Queue.create: capacity must be >= 0";
+  { capacity; length = 0; seq = 0; buckets = Hashtbl.create 8; rotation = [] }
+
+let length t = t.length
+let is_empty t = t.length = 0
+let capacity t = t.capacity
+
+let set_capacity t capacity =
+  (* Shrinking never drops already-admitted jobs; it only gates future
+     submissions. *)
+  if capacity < 0 then invalid_arg "Queue.set_capacity: capacity must be >= 0";
+  t.capacity <- capacity
+
+let submit t ~tenant ~priority item =
+  if t.length >= t.capacity then Error (Queue_full { depth = t.length; capacity = t.capacity })
+  else begin
+    t.seq <- t.seq + 1;
+    let entry = { e_priority = priority; e_seq = t.seq; e_item = item } in
+    (match Hashtbl.find_opt t.buckets tenant with
+    | Some bucket -> bucket := !bucket @ [ entry ]
+    | None ->
+      Hashtbl.replace t.buckets tenant (ref [ entry ]);
+      t.rotation <- t.rotation @ [ tenant ]);
+    t.length <- t.length + 1;
+    Ok ()
+  end
+
+(* The (priority, seq)-minimal entry of a bucket, removed. *)
+let take_best bucket =
+  match !bucket with
+  | [] -> None
+  | first :: _ ->
+    let best =
+      List.fold_left
+        (fun best e ->
+          if (e.e_priority, e.e_seq) < (best.e_priority, best.e_seq) then e else best)
+        first !bucket
+    in
+    bucket := List.filter (fun e -> e.e_seq <> best.e_seq) !bucket;
+    Some best
+
+let pop t =
+  let rec go scanned = function
+    | [] -> None
+    | tenant :: rest -> (
+      let bucket = Hashtbl.find t.buckets tenant in
+      match take_best bucket with
+      | Some e ->
+        t.length <- t.length - 1;
+        (* Served tenant goes to the back; tenants we skipped keep their
+           place at the front. *)
+        t.rotation <- List.rev_append scanned (rest @ [ tenant ]);
+        Some (tenant, e.e_item)
+      | None -> go (tenant :: scanned) rest)
+  in
+  go [] t.rotation
+
+let remove t pred =
+  let removed = ref [] in
+  Hashtbl.iter
+    (fun _ bucket ->
+      let keep, drop = List.partition (fun e -> not (pred e.e_item)) !bucket in
+      bucket := keep;
+      removed := !removed @ List.map (fun e -> e.e_item) drop)
+    t.buckets;
+  t.length <- t.length - List.length !removed;
+  !removed
+
+let tenants t =
+  List.filter (fun tenant -> !(Hashtbl.find t.buckets tenant) <> []) t.rotation
+
+let to_list t =
+  (* Snapshot in pop order without disturbing the live queue: copy the
+     mutable state and pop the copy dry. *)
+  let copy =
+    {
+      capacity = t.capacity;
+      length = t.length;
+      seq = t.seq;
+      buckets = Hashtbl.copy t.buckets;
+      rotation = t.rotation;
+    }
+  in
+  Hashtbl.iter (fun tenant bucket -> Hashtbl.replace copy.buckets tenant (ref !bucket)) t.buckets;
+  let rec drain acc = match pop copy with None -> List.rev acc | Some (_, x) -> drain (x :: acc) in
+  drain []

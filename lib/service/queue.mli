@@ -1,0 +1,50 @@
+(** Bounded admission queue with backpressure and per-tenant fairness.
+
+    Admission is bounded: {!submit} on a full queue is rejected with a
+    structured {!reject} reason (the server turns it into a backpressure
+    response; nothing blocks).  Dispatch is fair: tenants are served
+    round-robin in first-seen order, so one tenant's burst cannot starve
+    another's single job.  Within a tenant, lower {e priority numbers}
+    pop first ([0] = most urgent) and arrival order breaks ties.
+
+    Not thread-safe — the scheduler owns the queue and serializes access
+    (jobs run on domains; admission does not). *)
+
+type 'a t
+
+type reject = Queue_full of { depth : int; capacity : int }
+
+val reject_reason : reject -> string
+(** Machine-readable tag, ["queue_full"]. *)
+
+val reject_detail : reject -> string
+(** Human-readable sentence for logs and responses. *)
+
+val create : capacity:int -> 'a t
+(** [capacity = 0] rejects every submission.  Raises [Invalid_argument]
+    on a negative capacity. *)
+
+val submit : 'a t -> tenant:string -> priority:int -> 'a -> (unit, reject) result
+
+val pop : 'a t -> (string * 'a) option
+(** Next [(tenant, item)] under round-robin fairness, or [None] when
+    empty. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a list
+(** Remove (and return) every queued item matching the predicate — the
+    cancellation path.  Order of the returned list is unspecified. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+
+val set_capacity : 'a t -> int -> unit
+(** Live-resize (the {!Reconfig} path).  Shrinking below the current
+    depth keeps already-admitted jobs and only gates new submissions. *)
+
+val tenants : 'a t -> string list
+(** Tenants with at least one queued job, in rotation order. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the queued items in pop order (the checkpoint view);
+    does not disturb the queue. *)

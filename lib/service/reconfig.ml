@@ -1,0 +1,107 @@
+(* Live service reconfiguration: a plain settings record, a partial patch
+   parsed from JSON, and a pure [apply].  The scheduler re-reads its
+   settings at job boundaries only, so applying a patch never disturbs a
+   job that is already executing. *)
+
+module Bench_io = Ftagg_runner.Bench_io
+
+type settings = {
+  default_b : int;
+  default_f : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  checkpoint_every : int;
+  tick_batch : int;
+  domains : int;
+}
+
+let default =
+  {
+    default_b = 63;
+    default_f = 8;
+    queue_capacity = 64;
+    cache_capacity = 128;
+    checkpoint_every = 8;
+    tick_batch = 4;
+    domains = 1;
+  }
+
+type patch = {
+  p_default_b : int option;
+  p_default_f : int option;
+  p_queue_capacity : int option;
+  p_cache_capacity : int option;
+  p_checkpoint_every : int option;
+  p_tick_batch : int option;
+  p_domains : int option;
+}
+
+let empty =
+  {
+    p_default_b = None;
+    p_default_f = None;
+    p_queue_capacity = None;
+    p_cache_capacity = None;
+    p_checkpoint_every = None;
+    p_tick_batch = None;
+    p_domains = None;
+  }
+
+(* (json key, min legal value, getter, setter) — one row per patchable
+   knob keeps parse/apply/describe in sync. *)
+let fields =
+  [
+    ("default_b", 1, (fun p -> p.p_default_b), fun p v -> { p with p_default_b = Some v });
+    ("default_f", 0, (fun p -> p.p_default_f), fun p v -> { p with p_default_f = Some v });
+    ( "queue_capacity", 0,
+      (fun p -> p.p_queue_capacity), fun p v -> { p with p_queue_capacity = Some v } );
+    ( "cache_capacity", 0,
+      (fun p -> p.p_cache_capacity), fun p v -> { p with p_cache_capacity = Some v } );
+    ( "checkpoint_every", 0,
+      (fun p -> p.p_checkpoint_every), fun p v -> { p with p_checkpoint_every = Some v } );
+    ("tick_batch", 1, (fun p -> p.p_tick_batch), fun p v -> { p with p_tick_batch = Some v });
+    ("domains", 1, (fun p -> p.p_domains), fun p v -> { p with p_domains = Some v });
+  ]
+
+let of_json json =
+  match json with
+  | Bench_io.Obj members ->
+    let rec fold patch = function
+      | [] -> Ok patch
+      | (key, value) :: rest -> (
+        match List.find_opt (fun (k, _, _, _) -> k = key) fields with
+        | None -> Error (Printf.sprintf "reconfig: unknown setting %S" key)
+        | Some (_, min_v, _, set) -> (
+          match Bench_io.to_int value with
+          | Some v when v >= min_v -> fold (set patch v) rest
+          | Some v -> Error (Printf.sprintf "reconfig: %s = %d is below the minimum %d" key v min_v)
+          | None -> Error (Printf.sprintf "reconfig: %s must be an integer" key)))
+    in
+    fold empty members
+  | _ -> Error "reconfig: expected an object of settings"
+
+let apply patch s =
+  let pick o v = Option.value o ~default:v in
+  {
+    default_b = pick patch.p_default_b s.default_b;
+    default_f = pick patch.p_default_f s.default_f;
+    queue_capacity = pick patch.p_queue_capacity s.queue_capacity;
+    cache_capacity = pick patch.p_cache_capacity s.cache_capacity;
+    checkpoint_every = pick patch.p_checkpoint_every s.checkpoint_every;
+    tick_batch = pick patch.p_tick_batch s.tick_batch;
+    domains = pick patch.p_domains s.domains;
+  }
+
+let touched patch = List.filter_map (fun (k, _, get, _) -> Option.map (fun _ -> k) (get patch)) fields
+
+let settings_to_json s =
+  Bench_io.Obj
+    [
+      ("default_b", Bench_io.Int s.default_b);
+      ("default_f", Bench_io.Int s.default_f);
+      ("queue_capacity", Bench_io.Int s.queue_capacity);
+      ("cache_capacity", Bench_io.Int s.cache_capacity);
+      ("checkpoint_every", Bench_io.Int s.checkpoint_every);
+      ("tick_batch", Bench_io.Int s.tick_batch);
+      ("domains", Bench_io.Int s.domains);
+    ]

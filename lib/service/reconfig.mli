@@ -1,0 +1,51 @@
+(** Live service reconfiguration.
+
+    A running server holds a {!settings} record and re-reads it at {e job
+    boundaries} only (admission and dispatch), never mid-execution, in the
+    spirit of live-patchable stores: a patch lands without a restart and
+    without disturbing in-flight work.
+
+    A {!patch} is a partial update — only the fields present in the JSON
+    are touched.  [default_b] / [default_f] fill in a job's omitted
+    tradeoff budgets {e at admission}, so a patch affects jobs submitted
+    after it, not the queued backlog (whose specs were resolved when they
+    were admitted — that keeps digests, and therefore the cache, stable
+    across reconfiguration). *)
+
+type settings = {
+  default_b : int;  (** time budget (flooding rounds) for jobs that omit [b] *)
+  default_f : int;  (** edge-failure budget for jobs that omit [f] *)
+  queue_capacity : int;  (** admission queue bound; [0] rejects everything *)
+  cache_capacity : int;  (** LRU result-cache entries; [0] disables caching *)
+  checkpoint_every : int;  (** completions between auto-checkpoints; [0] = off *)
+  tick_batch : int;  (** jobs dispatched per scheduler tick (>= 1) *)
+  domains : int;  (** sweep-pool width for a tick's batch (>= 1) *)
+}
+
+val default : settings
+(** [b]=63, [f]=8, queue 64, cache 128, checkpoint every 8, batch 4,
+    1 domain. *)
+
+type patch = {
+  p_default_b : int option;
+  p_default_f : int option;
+  p_queue_capacity : int option;
+  p_cache_capacity : int option;
+  p_checkpoint_every : int option;
+  p_tick_batch : int option;
+  p_domains : int option;
+}
+
+val empty : patch
+
+val of_json : Ftagg_runner.Bench_io.json -> (patch, string) result
+(** Parse [{"default_b": 126, ...}].  Unknown keys, non-integers and
+    out-of-range values are errors (the patch is rejected whole). *)
+
+val apply : patch -> settings -> settings
+
+val touched : patch -> string list
+(** Names of the fields the patch sets, in a fixed order — the server
+    echoes them in its [reconfig] response. *)
+
+val settings_to_json : settings -> Ftagg_runner.Bench_io.json

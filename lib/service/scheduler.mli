@@ -1,0 +1,91 @@
+(** The service's job engine: admission, prioritized fair dispatch over
+    the {!Ftagg_runner.Sweep} domain pool, result cache, cancellation,
+    deadlines, checkpointing and live reconfiguration.
+
+    The scheduler is {e tick-driven}: {!submit} only enqueues; each
+    {!tick} pops up to a batch of jobs (per-tenant round-robin, priority
+    within tenant), serves cache hits without re-simulation, runs the
+    misses in parallel via {!Ftagg_runner.Sweep.map_results} (one job
+    failure never abandons the batch), and records completions.  This
+    makes the whole service deterministic and drivable from a line
+    protocol or a test.
+
+    Single ownership: all scheduler state is confined to the driving
+    thread; only [Job.execute] (a pure function of the spec) runs on
+    domains. *)
+
+type completion = {
+  id : string;
+  tenant : string;
+  digest : string;
+  cached : bool;  (** served from the result cache, no simulation ran *)
+  outcome : (Job.outcome, string) result;
+      (** [Error] for an expired deadline or a job that raised *)
+  report : Ftagg_chaos.Campaign.pair_report option;
+      (** chaos-pair evidence when available (never across a restart) *)
+}
+
+type t
+
+val create :
+  ?obs:Ftagg_obs.Obs.t ->
+  ?checkpoint_path:string ->
+  settings:Reconfig.settings ->
+  unit ->
+  t
+(** [obs] supplies the telemetry sink: its registry receives the
+    service metrics ([service_queue_depth] gauge, [service_job_rounds]
+    histogram, [service_jobs_*_total] and [service_cache_*_total]
+    counters) and its event stream one [job_completed] event per
+    completion.  [checkpoint_path] enables auto-checkpointing every
+    [settings.checkpoint_every] completions and {!checkpoint_now}. *)
+
+val restore :
+  ?obs:Ftagg_obs.Obs.t ->
+  ?checkpoint_path:string ->
+  settings:Reconfig.settings ->
+  Checkpoint.state ->
+  t
+(** Resume from a checkpoint: the backlog is re-admitted in order
+    (bypassing the capacity gate — admission was already granted in the
+    previous life) and completed results re-seed the cache, so
+    post-restart duplicates still hit. *)
+
+val submit : t -> Job.spec -> (string, Queue.reject) result
+(** Admit a job; returns its fresh id, or the backpressure reason when
+    the queue is full. *)
+
+val cancel : t -> string -> bool
+(** Remove a still-queued job.  [false] if unknown, already running, or
+    already completed — completions are never retracted. *)
+
+val tick : ?max:int -> t -> unit -> completion list
+(** Run one dispatch round of up to [max] jobs (default
+    [settings.tick_batch]); returns the jobs that finished this tick, in
+    dispatch order.  Deadlines are charged in ticks: a job whose wait
+    exceeds its [deadline] completes with an [Error] instead of running.
+    Co-batched duplicates are deduplicated (when caching is enabled):
+    one representative executes, the rest are served from its fresh
+    result as cache hits. *)
+
+val drain : t -> completion list
+(** Tick until the queue is empty — the graceful-shutdown path. *)
+
+val result : t -> string -> completion option
+val depth : t -> int
+val tenants : t -> string list
+val completed_count : t -> int
+val cache_stats : t -> Cache.stats
+val tick_count : t -> int
+val settings : t -> Reconfig.settings
+val registry : t -> Ftagg_obs.Registry.t
+
+val reconfig : t -> Reconfig.patch -> Reconfig.settings
+(** Apply a live patch at a job boundary: queue and cache capacities
+    resize immediately, defaults affect future admissions.  Returns the
+    new settings. *)
+
+val snapshot : t -> Checkpoint.state
+
+val checkpoint_now : t -> string option
+(** Write a checkpoint if a path was configured; returns it. *)

@@ -20,4 +20,5 @@ let () =
       ("engine-perf", Test_engine_perf.suite);
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
     ]

@@ -296,6 +296,7 @@ let test_campaign_end_to_end () =
         max_n = 14;
         log = ignore;
         obs = None;
+        via = None;
       }
   in
   check_true "planted cap violates every trial" (outcome.Campaign.o_violating_trials = 6);

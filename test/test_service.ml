@@ -1,0 +1,539 @@
+(* Tests for lib/service: the long-lived aggregation service.
+
+   The load-bearing properties:
+
+   - admission is bounded and fair: a full queue rejects with a
+     structured backpressure reason, tenants rotate, priorities order
+     within a tenant;
+   - the digest is a sound cache key: envelope fields (tenant, priority,
+     deadline) never enter it, everything that affects the computation
+     does, and a duplicate submission is served without re-simulation;
+   - checkpoints round-trip the whole service: a restart re-seeds the
+     cache, keeps ids unique, and drains the restored backlog;
+   - the protocol responses are byte-identical with telemetry globally
+     disabled (the obs kill switch changes exports, never answers);
+   - a chaos campaign routed through the service sees the same planted
+     violations as the in-process path, plus the service's backpressure. *)
+
+open Ftagg
+open Helpers
+module Job = Service.Job
+module Squeue = Service.Queue
+module Cache = Service.Cache
+module Reconfig = Service.Reconfig
+module Scheduler = Service.Scheduler
+module Checkpoint = Service.Checkpoint
+module Server = Service.Server
+
+(* A small, fast, failure-free job: a 4x4 grid SUM under Algorithm 1. *)
+let spec ?(tenant = "default") ?(n = 16) ?(seed = 7) ?(priority = Job.Normal) ?deadline () =
+  {
+    Job.tenant;
+    family = Topo.Grid;
+    n;
+    topo_seed = seed;
+    inputs = default_inputs n;
+    c = 2;
+    t = 2;
+    caaf = "sum";
+    protocol = Job.Tradeoff { b = 63; f = 1 };
+    failures = Job.Generated { mode = "none"; budget = 0 };
+    seed;
+    deadline;
+    priority;
+  }
+
+let settings ?(queue = 8) ?(cache = 8) ?(batch = 2) ?(every = 0) () =
+  {
+    Reconfig.default with
+    Reconfig.queue_capacity = queue;
+    cache_capacity = cache;
+    tick_batch = batch;
+    checkpoint_every = every;
+  }
+
+(* --- admission queue --- *)
+
+let test_queue_fairness () =
+  let q = Squeue.create ~capacity:10 in
+  let put tenant x = Result.get_ok (Squeue.submit q ~tenant ~priority:1 x) in
+  put "a" 1;
+  put "a" 2;
+  put "a" 3;
+  put "b" 4;
+  check_true "tenants in first-seen order" (Squeue.tenants q = [ "a"; "b" ]);
+  let pops = List.init 4 (fun _ -> Option.get (Squeue.pop q)) in
+  Alcotest.(check (list (pair string int)))
+    "round-robin: b's single job is not starved"
+    [ ("a", 1); ("b", 4); ("a", 2); ("a", 3) ]
+    pops;
+  check_true "drained" (Squeue.pop q = None)
+
+let test_queue_priority () =
+  let q = Squeue.create ~capacity:10 in
+  let put priority x = Result.get_ok (Squeue.submit q ~tenant:"t" ~priority x) in
+  put 1 1;
+  put 1 2;
+  put 0 3;
+  put 2 4;
+  let order = List.init 4 (fun _ -> snd (Option.get (Squeue.pop q))) in
+  Alcotest.(check (list int)) "priority first, FIFO within" [ 3; 1; 2; 4 ] order
+
+let test_queue_backpressure () =
+  let q = Squeue.create ~capacity:2 in
+  ignore (Squeue.submit q ~tenant:"a" ~priority:1 1);
+  ignore (Squeue.submit q ~tenant:"b" ~priority:1 2);
+  (match Squeue.submit q ~tenant:"c" ~priority:1 3 with
+  | Ok () -> Alcotest.fail "expected rejection"
+  | Error (Squeue.Queue_full { depth; capacity } as r) ->
+    check_int "depth reported" 2 depth;
+    check_int "capacity reported" 2 capacity;
+    check_true "machine tag" (Squeue.reject_reason r = "queue_full"));
+  let zero = Squeue.create ~capacity:0 in
+  check_true "capacity 0 rejects everything"
+    (Result.is_error (Squeue.submit zero ~tenant:"a" ~priority:0 1));
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Queue.create: capacity must be >= 0") (fun () ->
+      ignore (Squeue.create ~capacity:(-1)))
+
+let test_queue_snapshot_and_remove () =
+  let q = Squeue.create ~capacity:10 in
+  List.iter
+    (fun (tenant, x) -> ignore (Squeue.submit q ~tenant ~priority:1 x))
+    [ ("a", 1); ("a", 2); ("b", 3) ];
+  let snap = Squeue.to_list q in
+  Alcotest.(check (list int)) "snapshot is pop order" [ 1; 3; 2 ] snap;
+  check_int "snapshot does not consume" 3 (Squeue.length q);
+  let removed = Squeue.remove q (fun x -> x = 3) in
+  Alcotest.(check (list int)) "removed the match" [ 3 ] removed;
+  check_int "two left" 2 (Squeue.length q);
+  (* shrinking below depth keeps admitted jobs, gates new ones *)
+  Squeue.set_capacity q 1;
+  check_int "shrink keeps admitted jobs" 2 (Squeue.length q);
+  check_true "but gates new submissions"
+    (Result.is_error (Squeue.submit q ~tenant:"a" ~priority:1 9))
+
+(* --- result cache --- *)
+
+let test_cache_lru () =
+  let r = Registry.create () in
+  let c = Cache.create ~registry:r ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check_true "hit a" (Cache.find c "a" = Some 1);
+  Cache.add c "x" 3 (* b is now LRU -> evicted *);
+  check_true "a survived (recently used)" (Cache.find c "a" = Some 1);
+  check_true "b evicted" (Cache.find c "b" = None);
+  let s = Cache.stats c in
+  check_int "hits" 2 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses;
+  check_int "evictions" 1 s.Cache.evictions;
+  check_int "entries" 2 s.Cache.entries;
+  (* plain stats are mirrored into the registry *)
+  check_int "registry hits" 2 (Registry.counter r "service_cache_hits_total");
+  check_int "registry misses" 1 (Registry.counter r "service_cache_misses_total");
+  check_int "registry evictions" 1 (Registry.counter r "service_cache_evictions_total");
+  (* live shrink evicts down *)
+  Cache.set_capacity c 1;
+  check_int "shrink evicts to capacity" 1 (Cache.length c)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 () in
+  Cache.add c "a" 1;
+  check_true "capacity 0 stores nothing" (Cache.find c "a" = None);
+  check_int "still counts the miss" 1 (Cache.stats c).Cache.misses
+
+(* --- job digests and wire form --- *)
+
+let test_job_digest () =
+  let base = spec () in
+  check_int "digest is 16 hex chars" 16 (String.length (Job.digest base));
+  check_true "digest is deterministic" (Job.digest base = Job.digest (spec ()));
+  (* envelope fields are excluded: same question, same cache entry *)
+  check_true "tenant excluded" (Job.digest base = Job.digest (spec ~tenant:"other" ()));
+  check_true "priority excluded" (Job.digest base = Job.digest (spec ~priority:Job.High ()));
+  check_true "deadline excluded" (Job.digest base = Job.digest (spec ~deadline:5 ()));
+  (* everything computational is included *)
+  check_true "n included" (Job.digest base <> Job.digest (spec ~n:25 ()));
+  check_true "seed included" (Job.digest base <> Job.digest (spec ~seed:8 ()));
+  check_true "inputs included"
+    (Job.digest base <> Job.digest { base with Job.inputs = Array.make 16 1 });
+  check_true "protocol included"
+    (Job.digest base <> Job.digest { base with Job.protocol = Job.Brute });
+  check_true "caaf included" (Job.digest base <> Job.digest { base with Job.caaf = "max" })
+
+let test_job_json_roundtrip () =
+  let s = spec ~tenant:"acme" ~priority:Job.High ~deadline:4 () in
+  (match Job.of_json ~settings:Reconfig.default (Job.to_json s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+    check_true "spec round-trips" (s = s');
+    check_true "digest stable across the wire" (Job.digest s = Job.digest s'));
+  let explicit = { s with Job.failures = Job.Explicit [ (3, 10); (5, 2) ] } in
+  (match Job.of_json ~settings:Reconfig.default (Job.to_json explicit) with
+  | Error e -> Alcotest.fail e
+  | Ok s' -> check_true "explicit schedule round-trips" (explicit = s'));
+  let o =
+    {
+      Job.value = Some 42;
+      correct = true;
+      cc = 100;
+      rounds = 50;
+      flooding_rounds = 10;
+      via = "pair interval 1";
+      violation = None;
+    }
+  in
+  match Job.outcome_of_json (Job.outcome_to_json o) with
+  | Error e -> Alcotest.fail e
+  | Ok o' -> check_true "outcome round-trips" (o = o')
+
+let test_job_of_json_defaults_and_errors () =
+  let parse s =
+    match Bench_io.of_string s with
+    | Ok j -> Job.of_json ~settings:(settings ()) j
+    | Error e -> Error e
+  in
+  (match parse {|{"family":"grid","n":25,"seed":7}|} with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    check_true "tenant defaulted" (s.Job.tenant = "default");
+    check_true "b/f defaulted from settings" (s.Job.protocol = Job.Tradeoff { b = 63; f = 8 });
+    check_int "inputs drawn from the seed" 25 (Array.length s.Job.inputs));
+  check_true "unknown family rejected"
+    (Result.is_error (parse {|{"family":"moebius","n":25,"seed":7}|}));
+  check_true "unknown caaf rejected"
+    (Result.is_error (parse {|{"family":"grid","n":25,"seed":7,"caaf":"median"}|}));
+  check_true "non-positive n rejected" (Result.is_error (parse {|{"family":"grid","n":0}|}))
+
+(* --- scheduler --- *)
+
+let test_scheduler_cache_hit () =
+  let t = Scheduler.create ~settings:(settings ~batch:1 ()) () in
+  let id1 = Result.get_ok (Scheduler.submit t (spec ())) in
+  let id2 = Result.get_ok (Scheduler.submit t (spec ~tenant:"other" ()))
+  and _ = check_true "ids are fresh" true in
+  check_true "distinct ids" (id1 <> id2);
+  (match Scheduler.tick t () with
+  | [ c ] ->
+    check_true "first executes" (not c.Scheduler.cached);
+    check_true "outcome correct"
+      (match c.Scheduler.outcome with Ok o -> o.Job.correct | Error _ -> false)
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 completion, got %d" (List.length cs)));
+  (match Scheduler.tick t () with
+  | [ c ] ->
+    check_true "duplicate from another tenant is a cache hit" c.Scheduler.cached;
+    check_true "same digest" (Job.digest (spec ()) = c.Scheduler.digest)
+  | _ -> Alcotest.fail "expected 1 completion");
+  let s = Scheduler.cache_stats t in
+  check_int "one hit" 1 s.Cache.hits;
+  check_int "one miss" 1 s.Cache.misses;
+  (* same-batch duplicates: one execution, the rest served from it *)
+  let t2 = Scheduler.create ~settings:(settings ~batch:4 ()) () in
+  ignore (Scheduler.submit t2 (spec ()));
+  ignore (Scheduler.submit t2 (spec ~tenant:"b" ()));
+  ignore (Scheduler.submit t2 (spec ~tenant:"c" ()));
+  let cs = Scheduler.tick t2 () in
+  check_int "all three complete in one tick" 3 (List.length cs);
+  check_int "exactly one executed" 1
+    (List.length (List.filter (fun c -> not c.Scheduler.cached) cs));
+  check_true "all agree on the value"
+    (List.for_all
+       (fun c ->
+         match c.Scheduler.outcome with
+         | Ok o -> o.Job.value = Some (total (default_inputs 16))
+         | Error _ -> false)
+       cs)
+
+let test_scheduler_cancel_and_deadline () =
+  let t = Scheduler.create ~settings:(settings ~batch:4 ()) () in
+  let id1 = Result.get_ok (Scheduler.submit t (spec ())) in
+  let id2 = Result.get_ok (Scheduler.submit t (spec ~seed:8 ())) in
+  check_true "cancel a queued job" (Scheduler.cancel t id2);
+  check_true "cancel is idempotent-false" (not (Scheduler.cancel t id2));
+  check_true "unknown id" (not (Scheduler.cancel t "j999"));
+  let cs = Scheduler.drain t in
+  check_int "only the uncancelled job ran" 1 (List.length cs);
+  check_true "and it is id1" ((List.hd cs).Scheduler.id = id1);
+  check_true "completed job cannot be cancelled" (not (Scheduler.cancel t id1));
+  (* a job whose queue wait exceeds its deadline expires instead of running *)
+  let t2 = Scheduler.create ~settings:(settings ~batch:1 ()) () in
+  ignore (Scheduler.submit t2 (spec ()));
+  let expiring = Result.get_ok (Scheduler.submit t2 (spec ~seed:9 ~deadline:0 ())) in
+  ignore (Scheduler.tick t2 ()) (* runs the first job; the deadline-0 job now waited 1 > 0 *);
+  match Scheduler.tick t2 () with
+  | [ c ] ->
+    check_true "expired job is the one with the deadline" (c.Scheduler.id = expiring);
+    check_true "expired, not executed"
+      (match c.Scheduler.outcome with Error e -> String.length e > 0 | Ok _ -> false)
+  | _ -> Alcotest.fail "expected the expired completion"
+
+let test_scheduler_reconfig () =
+  let t = Scheduler.create ~settings:(settings ~queue:1 ~cache:8 ()) () in
+  ignore (Scheduler.submit t (spec ()));
+  check_true "full at capacity 1" (Result.is_error (Scheduler.submit t (spec ~seed:8 ())));
+  let patch = { Reconfig.empty with Reconfig.p_queue_capacity = Some 4; p_default_b = Some 126 } in
+  let s' = Scheduler.reconfig t patch in
+  check_int "queue capacity patched" 4 s'.Reconfig.queue_capacity;
+  check_int "default_b patched" 126 s'.Reconfig.default_b;
+  check_true "admission reopened" (Result.is_ok (Scheduler.submit t (spec ~seed:8 ())));
+  (* defaults resolve at admission: a job parsed after the patch gets the
+     new b, so its digest differs from the same request parsed before *)
+  let parse st =
+    match Bench_io.of_string {|{"family":"grid","n":16,"seed":7}|} with
+    | Ok j -> Result.get_ok (Job.of_json ~settings:st j)
+    | Error e -> Alcotest.fail e
+  in
+  let before = parse (settings ()) and after = parse s' in
+  check_true "patched default changes new digests" (Job.digest before <> Job.digest after);
+  ignore (Scheduler.drain t)
+
+let test_scheduler_checkpoint_restore () =
+  let path = Filename.temp_file "ftagg-service" ".ckpt.json" in
+  let st = settings ~batch:1 ~every:1 () in
+  let t = Scheduler.create ~checkpoint_path:path ~settings:st () in
+  ignore (Scheduler.submit t (spec ()));
+  ignore (Scheduler.submit t (spec ~seed:8 ()));
+  ignore (Scheduler.submit t (spec ~seed:9 ~tenant:"b" ()));
+  ignore (Scheduler.tick t ()) (* one completion -> auto-checkpoint (every = 1) *);
+  let state = Result.get_ok (Checkpoint.load ~path) in
+  check_int "backlog checkpointed" 2 (List.length state.Checkpoint.s_pending);
+  check_int "completion checkpointed" 1 (List.length state.Checkpoint.s_completed);
+  (* restart *)
+  let t' = Scheduler.restore ~checkpoint_path:path ~settings:st state in
+  check_int "backlog restored" 2 (Scheduler.depth t');
+  check_int "completions restored" 1 (Scheduler.completed_count t');
+  (* a post-restart duplicate of the completed job hits the re-seeded cache *)
+  let dup = Result.get_ok (Scheduler.submit t' (spec ())) in
+  check_true "ids never collide across the restart" (not (String.equal dup "j1"));
+  let cs = Scheduler.drain t' in
+  check_int "backlog + duplicate drained" 3 (List.length cs);
+  let dup_c = List.find (fun c -> c.Scheduler.id = dup) cs in
+  check_true "duplicate served from the restored cache" dup_c.Scheduler.cached;
+  check_true "every drained job succeeded"
+    (List.for_all (fun c -> Result.is_ok c.Scheduler.outcome) cs);
+  Sys.remove path
+
+(* --- checkpoint codec --- *)
+
+let test_checkpoint_codec () =
+  let state =
+    {
+      Checkpoint.s_next_id = 7;
+      s_tick = 3;
+      s_pending = [ ("j5", spec ()); ("j6", spec ~seed:8 ~priority:Job.Low ()) ];
+      s_completed =
+        [
+          {
+            Checkpoint.d_id = "j1";
+            d_tenant = "a";
+            d_digest = "0123456789abcdef";
+            d_cached = false;
+            d_outcome =
+              Ok
+                {
+                  Job.value = Some 3;
+                  correct = true;
+                  cc = 9;
+                  rounds = 5;
+                  flooding_rounds = 1;
+                  via = "x";
+                  violation = None;
+                };
+          };
+          {
+            Checkpoint.d_id = "j2";
+            d_tenant = "b";
+            d_digest = "fedcba9876543210";
+            d_cached = true;
+            d_outcome = Error "deadline exceeded";
+          };
+        ];
+    }
+  in
+  (match Checkpoint.of_json (Checkpoint.to_json state) with
+  | Error e -> Alcotest.fail e
+  | Ok state' -> check_true "state round-trips" (state = state'));
+  match Checkpoint.of_json (Bench_io.Obj [ ("version", Bench_io.Int 999) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown version must be rejected"
+
+(* --- server protocol --- *)
+
+let server ?checkpoint_path ?(st = settings ()) () =
+  Server.create { Server.settings = st; checkpoint_path; name = "test" }
+
+let test_server_protocol () =
+  let t = server () in
+  let get path line =
+    match Bench_io.of_string (Server.handle t line) with
+    | Ok json -> Bench_io.member path json
+    | Error e -> Alcotest.fail e
+  in
+  check_true "submit acks queued"
+    (get "status" {|{"op":"submit","job":{"family":"grid","n":16,"seed":7}}|}
+    = Some (Bench_io.String "queued"));
+  check_true "malformed line is an error response, not a crash"
+    (get "ok" "{nope" = Some (Bench_io.Bool false));
+  check_true "unknown op is an error response"
+    (get "ok" {|{"op":"florble"}|} = Some (Bench_io.Bool false));
+  check_true "missing op is an error response"
+    (get "ok" {|{"x":1}|} = Some (Bench_io.Bool false));
+  check_true "bad job is an error response"
+    (get "ok" {|{"op":"submit","job":{"family":"moebius"}}|} = Some (Bench_io.Bool false));
+  check_true "drain completes the backlog"
+    (get "depth" {|{"op":"drain"}|} = Some (Bench_io.Int 0));
+  check_true "status reports the completion"
+    (get "completed" {|{"op":"status"}|} = Some (Bench_io.Int 1));
+  check_true "get finds it"
+    (get "found" {|{"op":"get","id":"j1"}|} = Some (Bench_io.Bool true));
+  check_true "get on unknown id"
+    (get "found" {|{"op":"get","id":"j99"}|} = Some (Bench_io.Bool false));
+  check_true "reconfig echoes touched fields"
+    (get "applied" {|{"op":"reconfig","set":{"cache_capacity":2}}|}
+    = Some (Bench_io.List [ Bench_io.String "cache_capacity" ]));
+  check_true "bad patch rejected whole"
+    (get "ok" {|{"op":"reconfig","set":{"cache_capacity":2,"warp":9}}|}
+    = Some (Bench_io.Bool false));
+  check_true "checkpoint without a path is an error"
+    (get "ok" {|{"op":"checkpoint"}|} = Some (Bench_io.Bool false));
+  check_true "metrics carries a prometheus dump"
+    (match get "prometheus" {|{"op":"metrics"}|} with
+    | Some (Bench_io.String s) -> String.length s > 0
+    | _ -> false);
+  check_true "shutdown flips the flag"
+    (get "ok" {|{"op":"shutdown"}|} = Some (Bench_io.Bool true));
+  check_true "shutdown requested" (Server.shutdown_requested t)
+
+let test_server_backpressure_response () =
+  let t = server ~st:(settings ~queue:1 ()) () in
+  let submit = {|{"op":"submit","job":{"family":"grid","n":16,"seed":7}}|} in
+  ignore (Server.handle t submit);
+  match Bench_io.of_string (Server.handle t {|{"op":"submit","job":{"family":"grid","n":16,"seed":8}}|}) with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+    check_true "refused" (Bench_io.member "ok" json = Some (Bench_io.Bool false));
+    check_true "backpressure error"
+      (Bench_io.member "error" json = Some (Bench_io.String "backpressure"));
+    check_true "machine-readable reason"
+      (Bench_io.member "reason" json = Some (Bench_io.String "queue_full"))
+
+let test_server_obs_off_identity () =
+  (* The kill switch disables every registry/span/event path.  Responses
+     must not change: they are built from scheduler state, never from
+     telemetry.  ([metrics] is excepted — it *is* telemetry.) *)
+  let script =
+    [
+      {|{"op":"submit","job":{"family":"grid","n":16,"seed":7}}|};
+      {|{"op":"submit","job":{"family":"grid","n":16,"seed":7,"tenant":"b"}}|};
+      {|{"op":"tick"}|};
+      {|{"op":"drain"}|};
+      {|{"op":"status"}|};
+      {|{"op":"cancel","id":"j1"}|};
+    ]
+  in
+  let run_script () = List.map (Server.handle (server ())) script in
+  let with_obs = run_script () in
+  Registry.set_enabled false;
+  let without_obs = Fun.protect ~finally:(fun () -> Registry.set_enabled true) run_script in
+  Alcotest.(check (list string)) "responses byte-identical with telemetry off" with_obs without_obs
+
+(* --- sweep: the non-abandoning variant --- *)
+
+let test_map_results () =
+  let f x = if x mod 3 = 0 then failwith (Printf.sprintf "boom %d" x) else x * 10 in
+  let results = Sweep.map_results ~domains:2 f [ 1; 2; 3; 4; 5; 6 ] in
+  check_int "all six jobs report" 6 (List.length results);
+  List.iteri
+    (fun i r ->
+      let x = i + 1 in
+      match r with
+      | Ok v ->
+        check_true "non-multiples succeed in order" (x mod 3 <> 0);
+        check_int "value" (x * 10) v
+      | Error (Failure msg) ->
+        check_true "multiples of 3 fail" (x mod 3 = 0);
+        check_true "their own exception" (msg = Printf.sprintf "boom %d" x)
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    results;
+  (* [map] keeps its fail-fast contract *)
+  match Sweep.map ~domains:2 (fun x -> if x = 2 then failwith "x" else x) [ 1; 2; 3 ] with
+  | exception Sweep.Job_failed (i, _) -> check_int "index of the failure" 1 i
+  | _ -> Alcotest.fail "expected Job_failed"
+
+(* --- chaos campaigns through the service --- *)
+
+let campaign_config =
+  {
+    Campaign.default_config with
+    Campaign.trials = 6;
+    seed = 99;
+    bit_cap = Some 40 (* planted: every executed trial must violate *);
+    max_n = 14;
+    log = ignore;
+  }
+
+let test_campaign_via_service () =
+  let sched = Scheduler.create ~settings:(settings ~queue:4 ~cache:4 ()) () in
+  let outcome =
+    Campaign.run { campaign_config with Campaign.via = Some (Service.Chaos_gate.via sched) }
+  in
+  check_int "nothing rejected at this capacity" 0 outcome.Campaign.o_rejected_trials;
+  check_int "planted cap violates every trial" 6 outcome.Campaign.o_violating_trials;
+  check_true "the service actually ran them" (Scheduler.completed_count sched >= 6);
+  check_true "under the chaos tenant"
+    (Registry.counter (Scheduler.registry sched)
+       ~labels:[ ("tenant", "chaos") ]
+       "service_jobs_completed_total"
+    >= 6)
+
+let test_campaign_via_service_backpressure () =
+  (* queue capacity 0: the service refuses every trial; the campaign
+     counts them as rejected and reports no violations. *)
+  let sched = Scheduler.create ~settings:(settings ~queue:0 ()) () in
+  let outcome =
+    Campaign.run { campaign_config with Campaign.via = Some (Service.Chaos_gate.via sched) }
+  in
+  check_int "every trial rejected" 6 outcome.Campaign.o_rejected_trials;
+  check_int "no violations observed" 0 outcome.Campaign.o_violating_trials;
+  check_true "no incidents" (outcome.Campaign.o_incidents = []);
+  check_int "nothing completed" 0 (Scheduler.completed_count sched)
+
+let test_campaign_via_service_cancellation () =
+  let sched = Scheduler.create ~settings:(settings ~queue:4 ()) () in
+  let outcome =
+    Campaign.run
+      {
+        campaign_config with
+        Campaign.via = Some (Service.Chaos_gate.via ~cancel_every:2 sched);
+      }
+  in
+  check_int "every second trial cancelled" 3 outcome.Campaign.o_rejected_trials;
+  check_int "the rest still violate" 3 outcome.Campaign.o_violating_trials
+
+let suite =
+  [
+    Alcotest.test_case "queue: per-tenant fairness" `Quick test_queue_fairness;
+    Alcotest.test_case "queue: priority within tenant" `Quick test_queue_priority;
+    Alcotest.test_case "queue: bounded with backpressure" `Quick test_queue_backpressure;
+    Alcotest.test_case "queue: snapshot, remove, live resize" `Quick test_queue_snapshot_and_remove;
+    Alcotest.test_case "cache: LRU + mirrored counters" `Quick test_cache_lru;
+    Alcotest.test_case "cache: capacity 0 disables" `Quick test_cache_disabled;
+    Alcotest.test_case "job: digest soundness" `Quick test_job_digest;
+    Alcotest.test_case "job: wire round-trip" `Quick test_job_json_roundtrip;
+    Alcotest.test_case "job: defaults and validation" `Quick test_job_of_json_defaults_and_errors;
+    Alcotest.test_case "scheduler: duplicate = cache hit" `Quick test_scheduler_cache_hit;
+    Alcotest.test_case "scheduler: cancel + deadline" `Quick test_scheduler_cancel_and_deadline;
+    Alcotest.test_case "scheduler: live reconfig" `Quick test_scheduler_reconfig;
+    Alcotest.test_case "scheduler: checkpoint + restore" `Quick test_scheduler_checkpoint_restore;
+    Alcotest.test_case "checkpoint: codec + versioning" `Quick test_checkpoint_codec;
+    Alcotest.test_case "server: protocol surface" `Quick test_server_protocol;
+    Alcotest.test_case "server: backpressure response" `Quick test_server_backpressure_response;
+    Alcotest.test_case "server: obs-off byte identity" `Quick test_server_obs_off_identity;
+    Alcotest.test_case "sweep: map_results never abandons" `Quick test_map_results;
+    Alcotest.test_case "campaign via service" `Quick test_campaign_via_service;
+    Alcotest.test_case "campaign via service: backpressure" `Quick
+      test_campaign_via_service_backpressure;
+    Alcotest.test_case "campaign via service: cancellation" `Quick
+      test_campaign_via_service_cancellation;
+  ]
