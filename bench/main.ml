@@ -1474,6 +1474,61 @@ let e19 () =
     (Bench_io.Obj (bench_engine_others [ "service_throughput" ] @ [ ("service_throughput", payload) ]));
   Printf.printf "wrote BENCH_engine.json (service_throughput)\n"
 
+(* ------------------------------------------------------------------ *)
+(* guard — CI regression gate on the engine hot path                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-times the fast engine on [perf]'s exact config and compares
+   rounds/sec against the committed BENCH_engine.json.  More than a 30%
+   drop fails the process (exit 1) — the CI gate for accidental
+   de-optimisation of the CSR delivery loop.  Unlike [perf] it never
+   rewrites the baseline, and it is not part of the default experiment
+   list: run it explicitly as `bench/main.exe -- guard`. *)
+let guard () =
+  header
+    "GUARD | bench regression gate — fast engine vs committed BENCH_engine.json\n\
+     fails (exit 1) if rounds/sec drops more than 30% below the baseline";
+  let baseline =
+    match Bench_io.read_file ~path:"BENCH_engine.json" with
+    | exception Sys_error e -> Error e
+    | Error e -> Error e
+    | Ok json -> (
+      match Bench_io.member "overhauled_pipeline" json with
+      | None -> Error "no overhauled_pipeline object in baseline"
+      | Some sub -> (
+        match Bench_io.member "rounds_per_sec" sub with
+        | Some (Bench_io.Int r) -> Ok (float_of_int r)
+        | Some (Bench_io.Float r) -> Ok r
+        | _ -> Error "overhauled_pipeline.rounds_per_sec missing from baseline"))
+  in
+  match baseline with
+  | Error e ->
+    Printf.eprintf "guard: cannot read the committed baseline: %s\n" e;
+    exit 3
+  | Ok baseline_rps ->
+    let n = 256 in
+    let g = Gen.grid n in
+    let params = Params.make ~c:2 ~graph:g ~inputs:(Array.make n 3) () in
+    let failures = Failure.none ~n in
+    let dur = Agg.duration params in
+    let run_fast s =
+      Engine.run ~graph:g ~failures ~max_rounds:dur ~seed:s (perf_fast_proto params)
+    in
+    let reps = List.concat_map (fun s -> [ s; s + 100; s + 200 ]) seeds in
+    ignore (run_fast 0);
+    (* warm-up *)
+    let (), wall = Bench_io.timed (fun () -> List.iter (fun s -> ignore (run_fast s)) reps) in
+    let rps = float_of_int (List.length reps * dur) /. wall in
+    let ratio = rps /. baseline_rps in
+    Printf.printf "baseline  %9.0f rounds/sec (BENCH_engine.json)\n" baseline_rps;
+    Printf.printf "measured  %9.0f rounds/sec (%.3f s, %d runs)\n" rps wall (List.length reps);
+    Printf.printf "ratio     %9.2fx (gate: >= 0.70)\n" ratio;
+    if ratio < 0.7 then begin
+      Printf.printf "guard: FAIL — hot path regressed more than 30%% vs the committed baseline\n";
+      exit 1
+    end
+    else Printf.printf "guard: OK\n"
+
 let all_experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1481,6 +1536,11 @@ let all_experiments =
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("timing", timing); ("perf", perf);
   ]
+
+(* Runnable only by name — never part of the no-args "run everything"
+   sweep (guard exits nonzero by design, and must not overwrite
+   timings). *)
+let on_request_only = [ ("guard", guard) ]
 
 let () =
   let requested =
@@ -1490,9 +1550,10 @@ let () =
   in
   List.iter
     (fun pick ->
-      match List.assoc_opt (String.lowercase_ascii pick) all_experiments with
+      let pick = String.lowercase_ascii pick in
+      match List.assoc_opt pick (all_experiments @ on_request_only) with
       | Some f -> f ()
       | None ->
         Printf.eprintf "unknown experiment %S (known: %s)\n" pick
-          (String.concat ", " (List.map fst all_experiments)))
+          (String.concat ", " (List.map fst (all_experiments @ on_request_only))))
     requested

@@ -690,23 +690,103 @@ let serve_cmd =
       & opt (some string) None
       & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the service event stream as JSONL on exit.")
   in
-  let run (settings, checkpoint_path) prom jsonl =
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve many concurrent clients on a socket ($(b,unix:PATH) or $(b,tcp:HOST:PORT)) \
+             instead of stdin/stdout.  SIGTERM drains gracefully: pending responses are \
+             flushed, the backlog runs to completion and the final checkpoint is written.")
+  in
+  let auth_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "auth-file" ] ~docv:"FILE"
+          ~doc:
+            "JSON object mapping bearer token to tenant name.  With it, every connection must \
+             open with {\"op\":\"hello\",\"token\":...} (refused otherwise) and the resolved \
+             tenant is stamped onto every submit.  Socket mode only.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections silent for this long (0 disables).  Socket mode only.")
+  in
+  let max_line =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:
+            "Longest accepted request line; longer lines are discarded and answered with a \
+             structured line_too_long error.  Socket mode only.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent-connection limit; excess connections get server_busy and are closed.")
+  in
+  let run (settings, checkpoint_path) prom jsonl listen auth_file idle_timeout max_line max_conns
+      =
     let obs = Obs.create ~name:"ftagg-serve" () in
     let config = { Service.Server.settings; checkpoint_path; name = "ftagg-serve" } in
     let t = Service.Server.create ~obs config in
     let restored = Service.Server.restored_backlog t in
     if restored > 0 then Printf.eprintf "serve: restored %d pending job(s) from checkpoint\n%!" restored;
-    let code = Service.Server.serve t stdin stdout in
+    let code =
+      match listen with
+      | None -> Service.Server.serve t stdin stdout
+      | Some addr -> (
+        let fail msg =
+          Printf.eprintf "serve: %s\n" msg;
+          exit 3
+        in
+        match Transport.Listener.address_of_string addr with
+        | Error e -> fail (Printf.sprintf "--listen %s: %s" addr e)
+        | Ok address -> (
+          let auth =
+            match auth_file with
+            | None -> Transport.Session.Open
+            | Some path -> (
+              match Transport.Auth.load ~path with
+              | Error e -> fail e
+              | Ok table -> Transport.Session.Tokens table)
+          in
+          let lcfg =
+            Transport.Listener.config ~auth ~max_line ~idle_timeout ~max_conns address
+          in
+          match Transport.Listener.create lcfg t with
+          | Error e -> fail e
+          | Ok listener ->
+            Printf.eprintf "serve: listening on %s (%s)\n%!"
+              (Transport.Listener.address_to_string address)
+              (match auth with
+              | Transport.Session.Open -> "open, hello optional"
+              | Transport.Session.Tokens table ->
+                Printf.sprintf "%d token(s), %d tenant(s)" (Transport.Auth.size table)
+                  (List.length (Transport.Auth.tenants table)));
+            Transport.Listener.run listener))
+    in
     export_telemetry ~prom ~jsonl obs;
     code
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the long-lived aggregation service: one JSON request per line on stdin, one \
-          response per line on stdout (ops: submit, tick, drain, get, cancel, status, reconfig, \
-          checkpoint, metrics, shutdown).")
-    Term.(const run $ service_settings_term $ prom $ jsonl)
+         "Run the long-lived aggregation service: one JSON request per line, one response per \
+          line (ops: submit, tick, drain, get, cancel, status, reconfig, checkpoint, metrics, \
+          shutdown).  Default transport is stdin/stdout; --listen serves many concurrent \
+          clients over a Unix or TCP socket with per-connection tenants.")
+    Term.(
+      const run $ service_settings_term $ prom $ jsonl $ listen $ auth_file $ idle_timeout
+      $ max_line $ max_conns)
 
 let client_cmd =
   let files =
@@ -720,23 +800,88 @@ let client_cmd =
     Arg.(
       value & flag & info [ "no-drain" ] ~doc:"Do not drain the backlog after the last script.")
   in
-  let run (settings, checkpoint_path) files no_drain =
-    (* An in-process server driven through [handle]: the same protocol the
-       serve loop speaks, without process plumbing — for scripting and CI.
-       Exit 2 if any response carries ok:false (the service refused or
-       failed a request), 3 on an unreadable script. *)
-    let config = { Service.Server.settings; checkpoint_path; name = "ftagg-client" } in
-    let t = Service.Server.create config in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Drive a running $(b,ftagg serve --listen) server at $(b,unix:PATH) or \
+             $(b,tcp:HOST:PORT) instead of an in-process one.")
+  in
+  let token =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token" ] ~docv:"TOKEN"
+          ~doc:"Bearer token for the hello handshake (servers started with --auth-file).")
+  in
+  let tenant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Tenant to bind via hello on an open (no-auth) server.")
+  in
+  let run (settings, checkpoint_path) files no_drain connect token tenant =
+    (* The same protocol either way: exit 2 if any response carries
+       ok:false (the service refused or failed a request), 3 on an
+       unreadable script or a dead connection.  Without --connect the
+       server is in-process, driven through [handle] — scripting and CI
+       without process plumbing. *)
     let refused = ref false in
-    let submit_line line =
-      if String.trim line <> "" then begin
-        let response = Service.Server.handle t line in
-        print_endline response;
-        match Bench_io.of_string response with
-        | Ok json when Bench_io.member "ok" json = Some (Bench_io.Bool false) -> refused := true
-        | _ -> ()
-      end
+    let note_response response =
+      print_endline response;
+      match Bench_io.of_string response with
+      | Ok json when Bench_io.member "ok" json = Some (Bench_io.Bool false) -> refused := true
+      | _ -> ()
     in
+    let step, finish =
+      match connect with
+      | None ->
+        let config = { Service.Server.settings; checkpoint_path; name = "ftagg-client" } in
+        let t = Service.Server.create config in
+        ( (fun line -> note_response (Service.Server.handle t line)),
+          fun () ->
+            if (not no_drain) && not (Service.Server.shutdown_requested t) then
+              note_response (Service.Server.handle t {|{"op":"drain"}|});
+            Service.Server.finish t )
+      | Some addr -> (
+        let fail msg =
+          Printf.eprintf "client: %s\n" msg;
+          exit 3
+        in
+        match Transport.Listener.address_of_string addr with
+        | Error e -> fail (Printf.sprintf "--connect %s: %s" addr e)
+        | Ok address -> (
+          match Transport.Client.connect address with
+          | Error e -> fail e
+          | Ok c ->
+            (* hello first when an identity was given; a refusal closes
+               the connection, so surface it and stop with exit 2. *)
+            (match (token, tenant) with
+            | None, None -> ()
+            | _ -> (
+              match Transport.Client.hello ?token ?tenant c with
+              | Error e -> fail e
+              | Ok response ->
+                note_response response;
+                if !refused then begin
+                  Transport.Client.close c;
+                  exit 2
+                end));
+            ( (fun line ->
+                match Transport.Client.request c line with
+                | Error e -> fail e
+                | Ok response -> note_response response),
+              fun () ->
+                (if not no_drain then
+                   match Transport.Client.request c {|{"op":"drain"}|} with
+                   | Error e -> fail e
+                   | Ok response -> note_response response);
+                Transport.Client.close c )))
+    in
+    let submit_line line = if String.trim line <> "" then step line in
     let run_file path =
       match In_channel.with_open_text path In_channel.input_all with
       | exception Sys_error e ->
@@ -745,17 +890,15 @@ let client_cmd =
       | contents -> List.iter submit_line (String.split_on_char '\n' contents)
     in
     List.iter run_file files;
-    if (not no_drain) && not (Service.Server.shutdown_requested t) then
-      submit_line {|{"op":"drain"}|};
-    Service.Server.finish t;
+    finish ();
     if !refused then 2 else 0
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
-         "Feed service request scripts to an in-process server and print the responses — the \
-          serve protocol without a long-running process.")
-    Term.(const run $ service_settings_term $ files $ no_drain)
+         "Feed service request scripts to a server and print the responses: in-process by \
+          default, or a running serve --listen socket via --connect.")
+    Term.(const run $ service_settings_term $ files $ no_drain $ connect $ token $ tenant)
 
 let () =
   let doc = "fault-tolerant aggregation with near-optimal communication-time tradeoff" in

@@ -78,6 +78,10 @@ module Campaign = Ftagg_chaos.Campaign
 
 module Service = Ftagg_service
 
+(** {1 Socket transport (Unix/TCP listener, line framing, token auth)} *)
+
+module Transport = Ftagg_transport
+
 (** {1 Derived queries} *)
 
 module Selection = Ftagg_select.Selection

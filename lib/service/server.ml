@@ -204,25 +204,49 @@ let handle_shutdown t json =
   t.shutdown <- true;
   ok "shutdown" [ ("drained", Bench_io.Int drained); depth_field t ]
 
-let handle t line_text =
+let dispatch t json =
+  match Bench_io.member "op" json with
+  | Some (Bench_io.String op) -> (
+    match op with
+    | "submit" -> handle_submit t json
+    | "tick" -> handle_tick t json
+    | "drain" -> handle_drain t
+    | "get" -> handle_get t json
+    | "cancel" -> handle_cancel t json
+    | "status" -> handle_status t
+    | "reconfig" -> handle_reconfig t json
+    | "checkpoint" -> handle_checkpoint t
+    | "metrics" -> handle_metrics t
+    | "shutdown" -> handle_shutdown t json
+    | other -> err "unknown_op" [ ("op", Bench_io.String other) ])
+  | _ -> err "bad_request" [ ("detail", Bench_io.String "missing op field") ]
+
+(* Overwrite the job's claimed tenant with the connection's: on a shared
+   transport the handshake, not the request body, is the identity.  Only
+   [submit] carries a tenant; every other op passes through untouched. *)
+let stamp_tenant tenant json =
+  match (Bench_io.member "op" json, json) with
+  | Some (Bench_io.String "submit"), Bench_io.Obj fields -> (
+    match List.assoc_opt "job" fields with
+    | Some (Bench_io.Obj job_fields) ->
+      let job_fields =
+        ("tenant", Bench_io.String tenant) :: List.remove_assoc "tenant" job_fields
+      in
+      Bench_io.Obj
+        (List.map
+           (fun (k, v) -> if k = "job" then (k, Bench_io.Obj job_fields) else (k, v))
+           fields)
+    | _ -> json (* a missing/malformed job object fails validation downstream *))
+  | _ -> json
+
+let handle_as ?tenant t line_text =
   match Bench_io.of_string line_text with
   | Error e -> err "parse" [ ("detail", Bench_io.String e) ]
-  | Ok json -> (
-    match Bench_io.member "op" json with
-    | Some (Bench_io.String op) -> (
-      match op with
-      | "submit" -> handle_submit t json
-      | "tick" -> handle_tick t json
-      | "drain" -> handle_drain t
-      | "get" -> handle_get t json
-      | "cancel" -> handle_cancel t json
-      | "status" -> handle_status t
-      | "reconfig" -> handle_reconfig t json
-      | "checkpoint" -> handle_checkpoint t
-      | "metrics" -> handle_metrics t
-      | "shutdown" -> handle_shutdown t json
-      | other -> err "unknown_op" [ ("op", Bench_io.String other) ])
-    | _ -> err "bad_request" [ ("detail", Bench_io.String "missing op field") ])
+  | Ok json ->
+    let json = match tenant with Some ten -> stamp_tenant ten json | None -> json in
+    dispatch t json
+
+let handle t line_text = handle_as t line_text
 
 let finish t =
   (* Final checkpoint so a plain EOF (or a kill between auto-checkpoints

@@ -49,6 +49,14 @@ val handle : t -> string -> string
 (** One request line in, one response line out — the whole protocol,
     usable without any process machinery. *)
 
+val handle_as : ?tenant:string -> t -> string -> string
+(** {!handle} on behalf of an authenticated client: [tenant] (when
+    given) is stamped over the [job.tenant] of every [submit] before
+    dispatch, so a transport that binds identity at the connection (the
+    socket listener's [hello] handshake) makes tenant spoofing through
+    the request body impossible.  [handle] is [handle_as] with no
+    tenant. *)
+
 val serve : t -> in_channel -> out_channel -> int
 (** Read requests until EOF or a [shutdown] op, writing one response line
     per request (blank lines are skipped); writes a final checkpoint when

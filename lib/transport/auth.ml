@@ -1,0 +1,46 @@
+module Bench_io = Ftagg_runner.Bench_io
+
+type table = (string, string) Hashtbl.t
+
+let of_json json =
+  let obj =
+    match Bench_io.member "tokens" json with
+    | Some (Bench_io.Obj fields) -> Ok fields
+    | Some _ -> Error "\"tokens\" must be an object"
+    | None -> (
+      match json with
+      | Bench_io.Obj fields -> Ok fields
+      | _ -> Error "auth file must be a JSON object of token -> tenant")
+  in
+  match obj with
+  | Error _ as e -> e
+  | Ok fields ->
+    let tbl = Hashtbl.create (List.length fields) in
+    let rec add = function
+      | [] -> Ok tbl
+      | (token, value) :: rest -> (
+        if token = "" then Error "empty token"
+        else if Hashtbl.mem tbl token then Printf.ksprintf Result.error "duplicate token %S" token
+        else
+          match value with
+          | Bench_io.String tenant when tenant <> "" ->
+            Hashtbl.add tbl token tenant;
+            add rest
+          | _ -> Printf.ksprintf Result.error "token %S: tenant must be a non-empty string" token)
+    in
+    add fields
+
+let load ~path =
+  match Bench_io.read_file ~path with
+  | exception Sys_error e -> Error e
+  | Error e -> Printf.ksprintf Result.error "%s: %s" path e
+  | Ok json -> (
+    match of_json json with
+    | Error e -> Printf.ksprintf Result.error "%s: %s" path e
+    | Ok t -> Ok t)
+
+let tenant_of_token t token = Hashtbl.find_opt t token
+let size t = Hashtbl.length t
+
+let tenants t =
+  List.sort_uniq compare (Hashtbl.fold (fun _ tenant acc -> tenant :: acc) t [])

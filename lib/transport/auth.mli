@@ -1,0 +1,26 @@
+(** Static token table for the socket transport's [hello] handshake.
+
+    The auth file is one JSON object mapping bearer token → tenant name:
+
+    {v {"alpha-sekrit": "alpha", "beta-sekrit": "beta"} v}
+
+    (or the same object nested under a ["tokens"] key, so the file can
+    grow siblings later).  Several tokens may map to one tenant; tokens
+    must be non-empty and unique.  The table is immutable once loaded —
+    rotating tokens is a server restart, which the checkpoint makes
+    cheap. *)
+
+type table
+
+val of_json : Ftagg_runner.Bench_io.json -> (table, string) result
+val load : path:string -> (table, string) result
+(** Read and parse the auth file; every failure is an [Error reason]
+    (the CLI refuses to start on one — a half-loaded token table must
+    not fail open). *)
+
+val tenant_of_token : table -> string -> string option
+val size : table -> int
+(** Number of tokens. *)
+
+val tenants : table -> string list
+(** Distinct tenant names, sorted. *)

@@ -1,0 +1,51 @@
+module Bench_io = Ftagg_runner.Bench_io
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect address =
+  let sock () =
+    match (address : Listener.address) with
+    | Listener.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | Listener.Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | exception Not_found -> Printf.ksprintf failwith "unknown host %S" host
+          | h -> h.Unix.h_addr_list.(0))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+  in
+  match sock () with
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.ksprintf Result.error "%s: %s" (Listener.address_to_string address)
+      (Unix.error_message e)
+  | fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error e -> Error e
+  | response -> Ok response
+
+let hello ?token ?tenant t =
+  let fields =
+    [ ("op", Bench_io.String "hello") ]
+    @ (match token with Some tok -> [ ("token", Bench_io.String tok) ] | None -> [])
+    @ match tenant with Some ten -> [ ("tenant", Bench_io.String ten) ] | None -> []
+  in
+  request t (Bench_io.to_string ~indent:false (Bench_io.Obj fields))
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()

@@ -1,0 +1,22 @@
+(** A minimal blocking client for the socket transport — what
+    [ftagg client --connect] (and the socket smoke in CI) speaks.
+
+    The protocol is strict request/response lockstep: every non-empty
+    line sent gets exactly one response line, so a blocking
+    send-then-read loop is all a client needs.  [Error] from {!request}
+    means the connection is gone (the server refused the handshake and
+    hung up, or was stopped); protocol-level refusals come back as
+    ordinary [{"ok": false, ...}] response lines. *)
+
+type t
+
+val connect : Listener.address -> (t, string) result
+
+val hello : ?token:string -> ?tenant:string -> t -> (string, string) result
+(** Send the handshake and return the response line.  [token] is for
+    authenticated listeners, [tenant] for open ones. *)
+
+val request : t -> string -> (string, string) result
+(** Send one request line, read one response line. *)
+
+val close : t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  max_line : int;
+  buf : Buffer.t;
+  mutable over : int;  (* bytes seen of the oversized line, 0 = not discarding *)
+}
+
+type item = Line of string | Oversized of int
+
+let create ~max_line =
+  if max_line <= 0 then invalid_arg "Frame.create: max_line must be positive";
+  { max_line; buf = Buffer.create 256; over = 0 }
+
+let pending t = Buffer.length t.buf
+let discarding t = t.over > 0
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let feed t bytes ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length bytes then
+    invalid_arg "Frame.feed: bad slice";
+  let items = ref [] in
+  for i = off to off + len - 1 do
+    let c = Bytes.get bytes i in
+    if t.over > 0 then
+      (* Discard mode: count until the newline that ends the bad line. *)
+      if c = '\n' then begin
+        items := Oversized t.over :: !items;
+        t.over <- 0
+      end
+      else t.over <- t.over + 1
+    else if c = '\n' then begin
+      items := Line (strip_cr (Buffer.contents t.buf)) :: !items;
+      Buffer.clear t.buf
+    end
+    else begin
+      Buffer.add_char t.buf c;
+      if Buffer.length t.buf > t.max_line then begin
+        (* The bound is crossed mid-line: switch to discard mode carrying
+           the count of what we already buffered. *)
+        t.over <- Buffer.length t.buf;
+        Buffer.clear t.buf
+      end
+    end
+  done;
+  List.rev !items
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)

@@ -1,0 +1,40 @@
+(** Incremental line framing for the socket transport.
+
+    A framer turns an arbitrary byte stream into protocol lines: feed it
+    whatever [read] returned and get back every line completed so far.
+    Framing rules match the stdin serve loop — one request per
+    ['\n']-terminated line, an optional trailing ['\r'] stripped (so
+    [nc]/telnet clients work), blank lines skipped by the caller.
+
+    The one thing a socket framer must add over [input_line] is a bound:
+    a client that never sends a newline must not grow the buffer without
+    limit.  Once a line exceeds [max_line] bytes the framer emits
+    {!Oversized} {e once} and discards bytes until the next newline, after
+    which framing resumes cleanly — an oversized request costs the client
+    one error response, not the connection, and never poisons the next
+    line. *)
+
+type t
+
+type item =
+  | Line of string  (** a complete line, newline (and any ['\r']) stripped *)
+  | Oversized of int
+      (** a line crossed the [max_line] bound; the payload is the number
+          of bytes seen before discarding began *)
+
+val create : max_line:int -> t
+(** [max_line] must be positive; it bounds the {e payload} length, the
+    terminator excluded. *)
+
+val feed : t -> bytes -> off:int -> len:int -> item list
+(** Consume [len] bytes at [off]; returns the items completed by this
+    chunk, in stream order. *)
+
+val feed_string : t -> string -> item list
+
+val pending : t -> int
+(** Bytes buffered of the current partial line (0 right after a
+    newline); discarded oversized bytes are not counted. *)
+
+val discarding : t -> bool
+(** The framer is skipping to the next newline after an oversized line. *)

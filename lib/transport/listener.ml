@@ -1,0 +1,335 @@
+module Server = Ftagg_service.Server
+module Scheduler = Ftagg_service.Scheduler
+module Obs = Ftagg_obs.Obs
+module Registry = Ftagg_obs.Registry
+module Bench_io = Ftagg_runner.Bench_io
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error "expected unix:PATH or tcp:HOST:PORT"
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" -> if rest = "" then Error "unix: needs a path" else Ok (Unix_sock rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error "tcp: needs HOST:PORT"
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port_s with
+        | Some port when port >= 0 && port < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), port))
+        | _ -> Printf.ksprintf Result.error "bad port %S" port_s))
+    | other -> Printf.ksprintf Result.error "unknown scheme %S (use unix: or tcp:)" other)
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type config = {
+  address : address;
+  auth : Session.auth_mode;
+  max_line : int;
+  idle_timeout : float;
+  max_conns : int;
+  now : unit -> float;
+}
+
+let config ?(auth = Session.Open) ?(max_line = 65536) ?(idle_timeout = 300.) ?(max_conns = 64)
+    ?(now = Unix.gettimeofday) address =
+  { address; auth; max_line; idle_timeout; max_conns; now }
+
+type conn = {
+  fd : Unix.file_descr;
+  frame : Frame.t;
+  session : Session.t;
+  out : Buffer.t;
+  mutable out_off : int;  (* bytes of [out] already written *)
+  mutable last_active : float;
+  mutable closing : bool;  (* close once [out] is flushed *)
+}
+
+type t = {
+  cfg : config;
+  server : Server.t;
+  listen_fd : Unix.file_descr;
+  registry : Registry.t;
+  mutable conns : conn list;
+  mutable stop_requested : bool;
+  mutable drained : bool;
+  bound_port : int option;
+}
+
+let bump t name = Registry.incr t.registry name 1
+let add t name k = Registry.incr t.registry name k
+
+let set_open_gauge t =
+  Registry.set_gauge t.registry "transport_open_connections" (float_of_int (List.length t.conns))
+
+let create cfg server =
+  let mk_listen () =
+    match cfg.address with
+    | Unix_sock path ->
+      if Sys.file_exists path then
+        if (Unix.stat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+        else Printf.ksprintf failwith "%s exists and is not a socket" path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      (fd, None)
+    | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | exception Not_found -> Printf.ksprintf failwith "unknown host %S" host
+          | h -> h.Unix.h_addr_list.(0))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      let bound =
+        match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> Some p | _ -> None
+      in
+      (fd, bound)
+  in
+  match mk_listen () with
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.ksprintf Result.error "%s: %s(%s): %s" (address_to_string cfg.address)
+      (Unix.error_message e) fn arg
+  | listen_fd, bound_port ->
+    Unix.listen listen_fd 64;
+    Unix.set_nonblock listen_fd;
+    let registry = Obs.registry (Server.obs server) in
+    Ok
+      {
+        cfg; server; listen_fd; registry; conns = []; stop_requested = false; drained = false;
+        bound_port;
+      }
+
+let connections t = List.length t.conns
+let port t = t.bound_port
+let stop t = t.stop_requested <- true
+
+(* ---- per-connection plumbing ---- *)
+
+let enqueue conn line =
+  Buffer.add_string conn.out line;
+  Buffer.add_char conn.out '\n'
+
+(* Flush as much of [conn.out] as the socket accepts; true = fully flushed. *)
+let flush_conn t conn =
+  let len = Buffer.length conn.out - conn.out_off in
+  if len = 0 then true
+  else
+    match
+      Unix.write_substring conn.fd (Buffer.contents conn.out) conn.out_off len
+    with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> false
+    | exception Unix.Unix_error (_, _, _) ->
+      (* Peer is gone (EPIPE, ECONNRESET, ...): drop what we could not say. *)
+      conn.closing <- true;
+      Buffer.clear conn.out;
+      conn.out_off <- 0;
+      true
+    | n ->
+      add t "transport_bytes_out_total" n;
+      conn.out_off <- conn.out_off + n;
+      if conn.out_off >= Buffer.length conn.out then begin
+        Buffer.clear conn.out;
+        conn.out_off <- 0;
+        true
+      end
+      else false
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  set_open_gauge t
+
+let apply_reply conn (reply : Session.reply) =
+  (match reply.Session.response with Some r -> enqueue conn r | None -> ());
+  if reply.Session.close then conn.closing <- true
+
+let accepting t =
+  (not t.stop_requested) && not t.drained
+
+let accept_ready t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> false
+  | fd, _peer ->
+    Unix.set_nonblock fd;
+    let conn =
+      {
+        fd;
+        frame = Frame.create ~max_line:t.cfg.max_line;
+        session =
+          Session.create
+            {
+              Session.auth = t.cfg.auth;
+              registry = t.registry;
+              handle = (fun ~tenant line -> Server.handle_as ?tenant t.server line);
+            };
+        out = Buffer.create 256;
+        out_off = 0;
+        last_active = t.cfg.now ();
+        closing = false;
+      }
+    in
+    if List.length t.conns >= t.cfg.max_conns then begin
+      bump t "transport_connections_refused_total";
+      enqueue conn
+        (Bench_io.to_string ~indent:false
+           (Bench_io.Obj
+              [
+                ("ok", Bench_io.Bool false); ("op", Bench_io.String "transport");
+                ("error", Bench_io.String "server_busy");
+                ("detail", Bench_io.String "connection limit reached");
+              ]));
+      conn.closing <- true;
+      ignore (flush_conn t conn);
+      (try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ())
+    end
+    else begin
+      bump t "transport_connections_accepted_total";
+      t.conns <- conn :: t.conns;
+      set_open_gauge t
+    end;
+    true
+
+let read_buf = Bytes.create 4096
+
+let read_ready t conn =
+  match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t conn
+  | 0 ->
+    (* EOF: a half-written line dies with its connection — the framer is
+       per-connection state, so the next client starts clean. *)
+    close_conn t conn
+  | n ->
+    add t "transport_bytes_in_total" n;
+    conn.last_active <- t.cfg.now ();
+    let items = Frame.feed conn.frame read_buf ~off:0 ~len:n in
+    List.iter
+      (fun item ->
+        if not conn.closing then
+          match item with
+          | Frame.Line l when String.trim l = "" -> ()
+          | Frame.Line l -> apply_reply conn (Session.on_line conn.session l)
+          | Frame.Oversized seen -> apply_reply conn (Session.on_oversized conn.session ~seen))
+      items;
+    ignore (flush_conn t conn)
+
+let check_timeouts t =
+  if t.cfg.idle_timeout > 0. then begin
+    let now = t.cfg.now () in
+    let expired =
+      List.filter
+        (fun c -> (not c.closing) && now -. c.last_active > t.cfg.idle_timeout)
+        t.conns
+    in
+    List.iter
+      (fun conn ->
+        bump t "transport_idle_timeouts_total";
+        enqueue conn
+          (Bench_io.to_string ~indent:false
+             (Bench_io.Obj
+                [
+                  ("ok", Bench_io.Bool false); ("op", Bench_io.String "transport");
+                  ("error", Bench_io.String "idle_timeout");
+                ]));
+        conn.closing <- true;
+        ignore (flush_conn t conn))
+      expired;
+    List.length expired
+  end
+  else 0
+
+let reap_closed t =
+  List.iter
+    (fun conn -> if conn.closing && Buffer.length conn.out - conn.out_off = 0 then close_conn t conn)
+    t.conns
+
+let poll ?(timeout = 0.) t =
+  let read_fds =
+    (if accepting t then [ t.listen_fd ] else [])
+    @ List.filter_map (fun c -> if c.closing then None else Some c.fd) t.conns
+  in
+  let write_fds =
+    List.filter_map (fun c -> if Buffer.length c.out - c.out_off > 0 then Some c.fd else None) t.conns
+  in
+  match Unix.select read_fds write_fds [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  | readable, writable, _ ->
+    let events = ref 0 in
+    if List.mem t.listen_fd readable then begin
+      let more = ref true in
+      while !more do
+        if accept_ready t then incr events else more := false
+      done
+    end;
+    List.iter
+      (fun conn ->
+        if List.mem conn.fd readable then begin
+          events := !events + 1;
+          read_ready t conn
+        end)
+      t.conns;
+    List.iter
+      (fun conn ->
+        if List.mem conn.fd writable then begin
+          events := !events + 1;
+          ignore (flush_conn t conn)
+        end)
+      t.conns;
+    events := !events + check_timeouts t;
+    reap_closed t;
+    !events
+
+(* ---- shutdown ---- *)
+
+let drain t =
+  if not t.drained then begin
+    t.drained <- true;
+    (* Best-effort flush of everything already queued, then hang up. *)
+    List.iter
+      (fun conn ->
+        let rec flush_retries k =
+          if k > 0 && not (flush_conn t conn) then begin
+            ignore (Unix.select [] [ conn.fd ] [] 0.05);
+            flush_retries (k - 1)
+          end
+        in
+        flush_retries 20)
+      t.conns;
+    List.iter (fun conn -> close_conn t conn) t.conns;
+    (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+    (match t.cfg.address with
+    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    | Tcp _ -> ());
+    (* Finish the admitted backlog, then the final checkpoint: SIGTERM is
+       a graceful drain, not an abort. *)
+    ignore (Scheduler.drain (Server.scheduler t.server));
+    Server.finish t.server
+  end
+
+let run t =
+  let previous_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop t)) in
+  let previous_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t)) in
+  let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore () =
+    Sys.set_signal Sys.sigterm previous_term;
+    Sys.set_signal Sys.sigint previous_int;
+    Sys.set_signal Sys.sigpipe previous_pipe
+  in
+  Fun.protect ~finally:restore (fun () ->
+      while not t.stop_requested do
+        ignore (poll ~timeout:0.2 t)
+      done;
+      drain t;
+      0)

@@ -1,0 +1,84 @@
+(** The socket front door: a single-threaded [select] event loop
+    multiplexing many client connections onto one {!Ftagg_service.Server}.
+
+    One loop owns everything — the listening socket, every connection's
+    read framer and write buffer, and the only thread that ever touches
+    the scheduler — so the service keeps the single-ownership discipline
+    it had under stdin/stdout while serving many clients.  Each
+    connection gets a {!Frame.t} (line framing with a byte bound) and a
+    {!Session.t} (handshake, tenant stamping); completed request lines
+    run through [Server.handle_as] synchronously, in arrival order
+    across connections.
+
+    The loop is {e pollable}: {!poll} runs exactly one select iteration
+    (accept, read, dispatch, write, timeouts), so tests drive a real
+    socket server deterministically from one thread, with a fake clock
+    for the idle timeout.  {!run} is the production wrapper: poll until
+    {!stop} or SIGTERM, then drain — stop accepting, flush every
+    connection, finish the queued backlog ([Scheduler.drain]) and write
+    the final checkpoint ([Server.finish]).
+
+    Transport telemetry lands in the server's own registry (so the
+    [metrics] op exposes it): [transport_connections_accepted_total],
+    [transport_connections_refused_total], [transport_requests_total],
+    [transport_malformed_lines_total], [transport_oversized_lines_total],
+    [transport_idle_timeouts_total], [transport_bytes_total{dir=in|out}]
+    and the [transport_open_connections] gauge. *)
+
+type address =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port; port [0] binds an ephemeral port *)
+
+val address_of_string : string -> (address, string) result
+(** Parse [unix:PATH] or [tcp:HOST:PORT]. *)
+
+val address_to_string : address -> string
+
+type config = {
+  address : address;
+  auth : Session.auth_mode;
+  max_line : int;  (** request-line byte bound (default 65536) *)
+  idle_timeout : float;  (** seconds without traffic before a connection
+                             is closed; [0.] disables (default 300) *)
+  max_conns : int;  (** accepted connections beyond this are answered
+                        with a [server_busy] error and closed (default 64) *)
+  now : unit -> float;  (** the idle-timeout clock (default
+                            [Unix.gettimeofday]; tests inject a fake) *)
+}
+
+val config : ?auth:Session.auth_mode -> ?max_line:int -> ?idle_timeout:float ->
+  ?max_conns:int -> ?now:(unit -> float) -> address -> config
+
+type t
+
+val create : config -> Ftagg_service.Server.t -> (t, string) result
+(** Bind and listen.  A stale Unix-socket file left by a dead server is
+    replaced; any other existing file at the path is an error. *)
+
+val poll : ?timeout:float -> t -> int
+(** One event-loop iteration with the given select timeout (default
+    [0.], i.e. non-blocking); returns the number of I/O events handled
+    (accepts + readable/writable connections + timeouts), so callers can
+    loop until quiescent. *)
+
+val run : t -> int
+(** Poll until {!stop} is called from a signal context, SIGTERM or
+    SIGINT arrives, then drain gracefully and return the exit code (0).
+    Installs (and restores) the SIGTERM/SIGINT handlers and ignores
+    SIGPIPE for the duration. *)
+
+val stop : t -> unit
+(** Ask {!run} to begin the graceful drain; safe from a signal handler. *)
+
+val drain : t -> unit
+(** The shutdown path itself: stop accepting, flush and close every
+    connection, run the queued backlog to completion and write the final
+    checkpoint.  {!run} calls this; pollers driving the loop by hand can
+    call it directly.  Idempotent. *)
+
+val connections : t -> int
+(** Currently open connections. *)
+
+val port : t -> int option
+(** The bound TCP port (useful after binding port [0]); [None] for a
+    Unix socket. *)

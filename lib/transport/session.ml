@@ -1,0 +1,108 @@
+module Bench_io = Ftagg_runner.Bench_io
+module Registry = Ftagg_obs.Registry
+
+type auth_mode = Open | Tokens of Auth.table
+
+type config = {
+  auth : auth_mode;
+  registry : Registry.t;
+  handle : tenant:string option -> string -> string;
+}
+
+type state =
+  | Hello_pending  (* nothing processed yet *)
+  | Ready of string option  (* bound tenant; [None] = open mode, no hello *)
+
+type t = { config : config; mutable state : state }
+
+type reply = { response : string option; close : bool }
+
+let create config = { config; state = Hello_pending }
+
+let tenant t = match t.state with Ready (Some tenant) -> Some tenant | _ -> None
+let authenticated t = match t.state with Ready _ -> true | Hello_pending -> false
+
+let incr t name = Registry.incr t.config.registry name 1
+
+let line json = Bench_io.to_string ~indent:false json
+
+let err ~error fields =
+  line
+    (Bench_io.Obj
+       ([ ("ok", Bench_io.Bool false); ("op", Bench_io.String "transport");
+          ("error", Bench_io.String error) ]
+       @ fields))
+
+let hello_ok tenant =
+  line
+    (Bench_io.Obj
+       [ ("ok", Bench_io.Bool true); ("op", Bench_io.String "hello");
+         ("tenant", Bench_io.String tenant) ])
+
+let refuse t ~error detail =
+  incr t "transport_connections_refused_total";
+  { response = Some (err ~error [ ("detail", Bench_io.String detail) ]); close = true }
+
+let str_member key json =
+  match Bench_io.member key json with Some (Bench_io.String s) -> Some s | _ -> None
+
+(* The handshake line.  Only reached while [Hello_pending]. *)
+let on_hello t json =
+  match t.config.auth with
+  | Tokens table -> (
+    match str_member "token" json with
+    | None -> refuse t ~error:"auth_required" "hello must carry a token on this listener"
+    | Some token -> (
+      match Auth.tenant_of_token table token with
+      | None -> refuse t ~error:"bad_token" "unknown token"
+      | Some tenant ->
+        t.state <- Ready (Some tenant);
+        { response = Some (hello_ok tenant); close = false }))
+  | Open ->
+    let tenant = Option.value (str_member "tenant" json) ~default:"default" in
+    t.state <- Ready (Some tenant);
+    { response = Some (hello_ok tenant); close = false }
+
+let delegate t line_text =
+  { response = Some (t.config.handle ~tenant:(tenant t) line_text); close = false }
+
+let on_line t line_text =
+  incr t "transport_requests_total";
+  let parsed = Bench_io.of_string line_text in
+  (match parsed with
+  | Error _ -> incr t "transport_malformed_lines_total"
+  | Ok _ -> ());
+  let op = match parsed with Ok json -> str_member "op" json | Error _ -> None in
+  match (t.state, op) with
+  | Hello_pending, Some "hello" -> on_hello t (Result.get_ok parsed)
+  | Hello_pending, _ -> (
+    match t.config.auth with
+    | Tokens _ ->
+      (* First line must identify the client; anything else is refused
+         before it can touch the scheduler. *)
+      refuse t ~error:"auth_required" "first request must be {\"op\":\"hello\",\"token\":...}"
+    | Open ->
+      (* No handshake on an open listener: behave like the stdin loop. *)
+      t.state <- Ready None;
+      (match op with
+      | Some "shutdown" ->
+        { response = Some (err ~error:"connection_scoped"
+              [ ("detail", Bench_io.String "shutdown over a socket closes only this connection") ]);
+          close = true }
+      | _ -> delegate t line_text))
+  | Ready _, Some "hello" ->
+    { response =
+        Some (err ~error:"already_identified"
+            [ ("detail", Bench_io.String "hello must be the first request") ]);
+      close = false }
+  | Ready _, Some "shutdown" ->
+    (* A shared listener must not let one tenant stop the service for the
+       others: shutdown degrades to a connection goodbye. *)
+    { response = Some (err ~error:"connection_scoped"
+          [ ("detail", Bench_io.String "shutdown over a socket closes only this connection") ]);
+      close = true }
+  | Ready _, _ -> delegate t line_text
+
+let on_oversized t ~seen =
+  incr t "transport_oversized_lines_total";
+  { response = Some (err ~error:"line_too_long" [ ("bytes", Bench_io.Int seen) ]); close = false }

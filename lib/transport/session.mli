@@ -1,0 +1,64 @@
+(** Per-connection protocol state for the socket transport.
+
+    A session wraps the service's [handle] step with the two things a
+    shared socket front door adds over the single-client stdin loop:
+
+    - {b identity}: the first request on an authenticated listener must
+      be [{"op":"hello","token":"..."}]; the token resolves to a tenant
+      in the static {!Auth.table} and a bad or missing token closes the
+      connection ({e refused}).  On an open listener (no [--auth-file])
+      the handshake is optional — [{"op":"hello","tenant":"x"}] binds a
+      tenant, and a session that skips it behaves exactly like the stdin
+      loop (requests pass through untouched).
+    - {b stamping}: once a tenant is bound, it is stamped onto every
+      [submit] (overriding whatever the job object claimed), so one
+      client cannot enqueue work under another tenant's name.
+
+    Two ops change meaning on a shared transport: [shutdown] scopes to
+    the {e connection} (a tenant must not stop the service for everyone
+    — stopping the process is SIGTERM's job), and [hello] is answered
+    here without reaching the service.  Everything else is delegated
+    verbatim to [handle].
+
+    Sessions are socket-free — the listener feeds them framed lines, and
+    the tests drive them directly. *)
+
+type auth_mode =
+  | Open  (** no token table; [hello] is optional and names the tenant *)
+  | Tokens of Auth.table
+      (** [hello] is mandatory and must carry a known token *)
+
+type config = {
+  auth : auth_mode;
+  registry : Ftagg_obs.Registry.t;
+      (** receives the [transport_*] counters; share the server's
+          registry so the [metrics] op exposes them *)
+  handle : tenant:string option -> string -> string;
+      (** the service step, normally [Server.handle_as] partially
+          applied *)
+}
+
+type t
+
+type reply = {
+  response : string option;  (** one response line to send, if any *)
+  close : bool;  (** close the connection after flushing [response] *)
+}
+
+val create : config -> t
+(** One session per accepted connection. *)
+
+val on_line : t -> string -> reply
+(** Process one complete, non-empty request line. *)
+
+val on_oversized : t -> seen:int -> reply
+(** A request line crossed the framer's bound: answer a structured
+    [line_too_long] error (the connection survives — the framer already
+    discarded the bad line). *)
+
+val tenant : t -> string option
+(** The bound tenant, once the handshake happened. *)
+
+val authenticated : t -> bool
+(** The session got past the handshake (always true on an [Open]
+    listener once any line was processed). *)

@@ -16,6 +16,11 @@ let default_inputs n = Array.init n (fun i -> i + 1)
 
 let total inputs = Array.fold_left ( + ) 0 inputs
 
+let string_contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 let params_of ?(c = 2) ?(t = 0) ?caaf graph ~inputs =
   Params.make ~c ~t ?caaf ~graph ~inputs ()
 

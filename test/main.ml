@@ -21,4 +21,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
+      ("transport", Test_transport.suite);
     ]

@@ -1,0 +1,508 @@
+(* Tests for lib/transport: the socket front door.
+
+   The load-bearing properties:
+
+   - framing is bounded and self-healing: an oversized line costs one
+     structured error, never the connection, and a half-written line at
+     disconnect cannot poison any later connection (framer state is
+     per-connection);
+   - identity comes from the handshake, not the request body: on an
+     authenticated listener a bad token is refused before it can touch
+     the scheduler, and the handshake tenant overrides whatever tenant a
+     submit claims;
+   - one select loop multiplexes concurrent clients onto one scheduler:
+     interleaved sessions from two connections share the result cache
+     (the second asker of a question gets a cache hit) while keeping
+     per-tenant attribution;
+   - timeouts and shutdown are orderly: idle connections are closed with
+     a structured error, and drain finishes the backlog and writes the
+     final checkpoint. *)
+
+open Ftagg
+open Helpers
+module Frame = Transport.Frame
+module Auth = Transport.Auth
+module Session = Transport.Session
+module Listener = Transport.Listener
+module Server = Service.Server
+module Reconfig = Service.Reconfig
+module Scheduler = Service.Scheduler
+
+let settings ?(queue = 8) ?(cache = 8) ?(batch = 4) () =
+  {
+    Reconfig.default with
+    Reconfig.queue_capacity = queue;
+    cache_capacity = cache;
+    tick_batch = batch;
+    checkpoint_every = 0;
+  }
+
+let make_server ?checkpoint_path ?(name = "transport-test") () =
+  Server.create { Server.settings = settings (); checkpoint_path; name }
+
+let submit_line ?(tenant = "spoof") ~seed () =
+  Printf.sprintf
+    {|{"op":"submit","job":{"family":"grid","n":16,"seed":%d,"tenant":"%s","failures":"none"}}|}
+    seed tenant
+
+let ok_of response =
+  match Bench_io.of_string response with
+  | Ok json -> Bench_io.member "ok" json = Some (Bench_io.Bool true)
+  | Error _ -> false
+
+let field key response =
+  match Bench_io.of_string response with
+  | Ok json -> (
+    match Bench_io.member key json with Some (Bench_io.String s) -> Some s | _ -> None)
+  | Error _ -> None
+
+(* --- framing --- *)
+
+let test_frame_split_across_feeds () =
+  let f = Frame.create ~max_line:64 in
+  check_true "no line yet" (Frame.feed_string f "ab" = []);
+  check_int "one byte pending" 2 (Frame.pending f);
+  (match Frame.feed_string f "c\nde\nf" with
+  | [ Frame.Line "abc"; Frame.Line "de" ] -> ()
+  | _ -> Alcotest.fail "expected [abc; de]");
+  check_int "partial line buffered" 1 (Frame.pending f);
+  match Frame.feed_string f "\n" with
+  | [ Frame.Line "f" ] -> ()
+  | _ -> Alcotest.fail "expected [f]"
+
+let test_frame_crlf () =
+  let f = Frame.create ~max_line:64 in
+  match Frame.feed_string f "hello\r\nworld\n" with
+  | [ Frame.Line "hello"; Frame.Line "world" ] -> ()
+  | _ -> Alcotest.fail "CR must be stripped"
+
+let test_frame_oversized_recovers () =
+  let f = Frame.create ~max_line:8 in
+  let items = Frame.feed_string f (String.make 12 'x') in
+  check_true "no item until the newline" (items = []);
+  check_true "discarding" (Frame.discarding f);
+  (match Frame.feed_string f "yy\nok\n" with
+  | [ Frame.Oversized 14; Frame.Line "ok" ] -> ()
+  | _ -> Alcotest.fail "expected [Oversized 14; Line ok]");
+  check_true "clean after recovery" (not (Frame.discarding f));
+  check_int "nothing pending" 0 (Frame.pending f)
+
+let test_frame_exact_bound () =
+  let f = Frame.create ~max_line:8 in
+  match Frame.feed_string f "12345678\n123456789\n" with
+  | [ Frame.Line "12345678"; Frame.Oversized 9 ] -> ()
+  | _ -> Alcotest.fail "bound is inclusive on the payload"
+
+(* --- auth table --- *)
+
+let auth_json = {|{"alpha-sekrit": "alpha", "alpha-backup": "alpha", "beta-sekrit": "beta"}|}
+
+let test_auth_lookup () =
+  let table =
+    Result.get_ok (Auth.of_json (Result.get_ok (Bench_io.of_string auth_json)))
+  in
+  check_int "three tokens" 3 (Auth.size table);
+  check_true "tenants sorted" (Auth.tenants table = [ "alpha"; "beta" ]);
+  check_true "token resolves" (Auth.tenant_of_token table "beta-sekrit" = Some "beta");
+  check_true "second token, same tenant" (Auth.tenant_of_token table "alpha-backup" = Some "alpha");
+  check_true "unknown token" (Auth.tenant_of_token table "nope" = None)
+
+let test_auth_nested_and_errors () =
+  let parse s = Auth.of_json (Result.get_ok (Bench_io.of_string s)) in
+  check_true "nested tokens key"
+    (match parse {|{"tokens": {"t1": "a"}}|} with
+    | Ok table -> Auth.tenant_of_token table "t1" = Some "a"
+    | Error _ -> false);
+  check_true "duplicate token rejected"
+    (Result.is_error (parse {|{"t1": "a", "t1": "b"}|}));
+  check_true "non-string tenant rejected" (Result.is_error (parse {|{"t1": 3}|}));
+  check_true "empty tenant rejected" (Result.is_error (parse {|{"t1": ""}|}));
+  check_true "array rejected" (Result.is_error (parse {|[1, 2]|}))
+
+let test_auth_load_missing_file () =
+  check_true "missing file is an error"
+    (Result.is_error (Auth.load ~path:"/nonexistent/ftagg-auth.json"))
+
+(* --- sessions (socket-free) --- *)
+
+let session ?(auth = Session.Open) server =
+  Session.create
+    {
+      Session.auth;
+      registry = Obs.registry (Server.obs server);
+      handle = (fun ~tenant line -> Server.handle_as ?tenant server line);
+    }
+
+let tokens_table () =
+  Result.get_ok (Auth.of_json (Result.get_ok (Bench_io.of_string auth_json)))
+
+let test_session_open_passthrough () =
+  let server = make_server () in
+  let s = session server in
+  check_true "not yet authenticated" (not (Session.authenticated s));
+  let reply = Session.on_line s {|{"op":"status"}|} in
+  check_true "status answered" (match reply.Session.response with Some r -> ok_of r | None -> false);
+  check_true "kept open" (not reply.Session.close);
+  check_true "authenticated without hello" (Session.authenticated s);
+  check_true "no tenant bound" (Session.tenant s = None)
+
+let test_session_open_hello_binds_tenant () =
+  let server = make_server () in
+  let s = session server in
+  let reply = Session.on_line s {|{"op":"hello","tenant":"carol"}|} in
+  check_true "hello ok" (match reply.Session.response with Some r -> ok_of r | None -> false);
+  check_true "tenant bound" (Session.tenant s = Some "carol");
+  let reply = Session.on_line s {|{"op":"hello","tenant":"dave"}|} in
+  check_true "second hello refused"
+    (match reply.Session.response with
+    | Some r -> field "error" r = Some "already_identified"
+    | None -> false);
+  check_true "still carol" (Session.tenant s = Some "carol")
+
+let test_session_tokens_requires_hello () =
+  let server = make_server () in
+  let s = session ~auth:(Session.Tokens (tokens_table ())) server in
+  let reply = Session.on_line s {|{"op":"status"}|} in
+  check_true "refused" (match reply.Session.response with
+    | Some r -> field "error" r = Some "auth_required"
+    | None -> false);
+  check_true "closed" reply.Session.close
+
+let test_session_tokens_bad_token () =
+  Registry.set_enabled true;
+  let server = make_server () in
+  let registry = Obs.registry (Server.obs server) in
+  let before = Registry.counter registry "transport_connections_refused_total" in
+  let s = session ~auth:(Session.Tokens (tokens_table ())) server in
+  let reply = Session.on_line s {|{"op":"hello","token":"nope"}|} in
+  check_true "bad token" (match reply.Session.response with
+    | Some r -> field "error" r = Some "bad_token"
+    | None -> false);
+  check_true "closed" reply.Session.close;
+  check_int "refusal counted" (before + 1)
+    (Registry.counter registry "transport_connections_refused_total")
+
+let test_session_tokens_good_token () =
+  let server = make_server () in
+  let s = session ~auth:(Session.Tokens (tokens_table ())) server in
+  let reply = Session.on_line s {|{"op":"hello","token":"beta-sekrit"}|} in
+  check_true "hello ok" (match reply.Session.response with Some r -> ok_of r | None -> false);
+  check_true "tenant from the table" (Session.tenant s = Some "beta")
+
+let test_session_stamps_tenant_over_spoof () =
+  let server = make_server () in
+  let s = session server in
+  ignore (Session.on_line s {|{"op":"hello","tenant":"alice"}|});
+  let reply = Session.on_line s (submit_line ~tenant:"mallory" ~seed:3 ()) in
+  check_true "submit accepted" (match reply.Session.response with Some r -> ok_of r | None -> false);
+  let completions = Scheduler.drain (Server.scheduler server) in
+  check_int "one completion" 1 (List.length completions);
+  check_true "handshake tenant won"
+    ((List.hd completions).Scheduler.tenant = "alice")
+
+let test_session_shutdown_is_connection_scoped () =
+  let server = make_server () in
+  let s = session server in
+  let reply = Session.on_line s {|{"op":"shutdown"}|} in
+  check_true "connection_scoped error"
+    (match reply.Session.response with
+    | Some r -> field "error" r = Some "connection_scoped"
+    | None -> false);
+  check_true "closes the connection" reply.Session.close;
+  check_true "server still up" (not (Server.shutdown_requested server))
+
+let test_session_oversized_reply () =
+  let server = make_server () in
+  let s = session server in
+  let reply = Session.on_oversized s ~seen:99999 in
+  check_true "line_too_long"
+    (match reply.Session.response with
+    | Some r -> field "error" r = Some "line_too_long" && not (ok_of r)
+    | None -> false);
+  check_true "connection survives" (not reply.Session.close)
+
+(* --- the listener, driven deterministically through [poll] --- *)
+
+let sock_counter = ref 0
+
+let fresh_sock_path () =
+  incr sock_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ftagg-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_listener ?auth ?now ?(idle_timeout = 0.) ?(max_line = 65536) ?(max_conns = 16)
+    ?checkpoint_path f =
+  Registry.set_enabled true;
+  let path = fresh_sock_path () in
+  let server = make_server ?checkpoint_path () in
+  let cfg =
+    Listener.config ?auth ?now ~idle_timeout ~max_line ~max_conns (Listener.Unix_sock path)
+  in
+  let t = Result.get_ok (Listener.create cfg server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Listener.drain t;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f t server path)
+
+(* A raw test client: a blocking-connect unix socket plus a client-side
+   framer so multi-line reads are handled uniformly. *)
+type test_client = { fd : Unix.file_descr; frame : Frame.t; mutable inbox : string list }
+
+let client_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; frame = Frame.create ~max_line:1_000_000; inbox = [] }
+
+let client_send c s =
+  let b = s ^ "\n" in
+  ignore (Unix.write_substring c.fd b 0 (String.length b))
+
+let client_send_raw c s = ignore (Unix.write_substring c.fd s 0 (String.length s))
+let client_close c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+(* Pump the event loop until the client has a response line (bounded, so
+   a bug fails the test instead of hanging it). *)
+let client_recv t c =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "no response within the retry budget"
+    else
+      match c.inbox with
+      | line :: rest ->
+        c.inbox <- rest;
+        line
+      | [] ->
+        ignore (Listener.poll t);
+        (match Unix.select [ c.fd ] [] [] 0.01 with
+        | [ _ ], _, _ -> (
+          let buf = Bytes.create 4096 in
+          match Unix.read c.fd buf 0 4096 with
+          | 0 -> Alcotest.fail "server closed the connection while a reply was expected"
+          | n ->
+            let lines =
+              List.filter_map
+                (function Frame.Line l -> Some l | Frame.Oversized _ -> None)
+                (Frame.feed c.frame buf ~off:0 ~len:n)
+            in
+            c.inbox <- c.inbox @ lines
+        )
+        | _ -> ());
+        go (tries - 1)
+  in
+  go 500
+
+(* Like [client_recv] but expects the server to close: returns the lines
+   that arrived before EOF. *)
+let client_recv_until_eof t c =
+  let rec go tries acc =
+    if tries = 0 then Alcotest.fail "connection not closed within the retry budget"
+    else begin
+      ignore (Listener.poll t);
+      match Unix.select [ c.fd ] [] [] 0.01 with
+      | [ _ ], _, _ -> (
+        let buf = Bytes.create 4096 in
+        match Unix.read c.fd buf 0 4096 with
+        | 0 -> acc
+        | n ->
+          let lines =
+            List.filter_map
+              (function Frame.Line l -> Some l | Frame.Oversized _ -> None)
+              (Frame.feed c.frame buf ~off:0 ~len:n)
+          in
+          go (tries - 1) (acc @ lines))
+      | _ -> go (tries - 1) acc
+    end
+  in
+  go 500 []
+
+let test_listener_two_concurrent_clients () =
+  with_listener ~auth:(Session.Tokens (tokens_table ())) (fun t server path ->
+      let a = client_connect path and b = client_connect path in
+      (* Interleaved handshakes. *)
+      client_send a {|{"op":"hello","token":"alpha-sekrit"}|};
+      client_send b {|{"op":"hello","token":"beta-sekrit"}|};
+      check_true "a hello" (ok_of (client_recv t a));
+      check_true "b hello" (ok_of (client_recv t b));
+      check_int "two connections" 2 (Listener.connections t);
+      (* The same question from both tenants, spoofed tenants in the
+         body; interleaved submits then drains. *)
+      client_send a (submit_line ~tenant:"mallory" ~seed:7 ());
+      client_send b (submit_line ~tenant:"mallory" ~seed:7 ());
+      check_true "a submit queued" (ok_of (client_recv t a));
+      check_true "b submit queued" (ok_of (client_recv t b));
+      client_send a {|{"op":"drain"}|};
+      let a_drain = client_recv t a in
+      client_send b {|{"op":"drain"}|};
+      let b_drain = client_recv t b in
+      check_true "a drain ok" (ok_of a_drain);
+      check_true "b drain ok" (ok_of b_drain);
+      (* One execution, one cache hit, and the handshake tenants — never
+         "mallory" — own the completions.  The first drain ran both jobs
+         (batch 4), so it carries both completions. *)
+      let completions = a_drain ^ b_drain in
+      check_true "cache hit across clients"
+        (string_contains ~needle:{|"cached": true|} completions);
+      check_true "one real execution"
+        (string_contains ~needle:{|"cached": false|} completions);
+      check_true "tenant alpha attributed"
+        (string_contains ~needle:{|"tenant": "alpha"|} completions);
+      check_true "tenant beta attributed"
+        (string_contains ~needle:{|"tenant": "beta"|} completions);
+      check_true "spoofed tenant nowhere"
+        (not (string_contains ~needle:"mallory" completions));
+      (* Both clients still live; metrics flow through the service op. *)
+      client_send a {|{"op":"metrics"}|};
+      let metrics = client_recv t a in
+      check_true "transport counters exposed via the metrics op"
+        (string_contains ~needle:"transport_connections_accepted_total" metrics);
+      client_close a;
+      client_close b;
+      check_int "cache saw one hit" 1 (Scheduler.cache_stats (Server.scheduler server)).Service.Cache.hits)
+
+let test_listener_half_written_line_dies_with_conn () =
+  with_listener (fun t _server path ->
+      let a = client_connect path in
+      client_send_raw a {|{"op":"status"|};
+      (* partial line, no newline *)
+      while Listener.poll t > 0 do () done;
+      client_close a;
+      while Listener.poll t > 0 do () done;
+      check_int "connection reaped" 0 (Listener.connections t);
+      (* A fresh connection starts with a fresh framer: the torn bytes
+         are gone, not prepended to the next client's first request. *)
+      let b = client_connect path in
+      client_send b {|{"op":"status"}|};
+      check_true "next connection unaffected" (ok_of (client_recv t b));
+      client_close b)
+
+let test_listener_oversized_line () =
+  with_listener ~max_line:64 (fun t _server path ->
+      let a = client_connect path in
+      client_send a (String.make 200 'x');
+      let response = client_recv t a in
+      check_true "structured error" (field "error" response = Some "line_too_long");
+      check_true "not ok" (not (ok_of response));
+      (* The same connection keeps working. *)
+      client_send a {|{"op":"status"}|};
+      check_true "connection survives an oversized line" (ok_of (client_recv t a));
+      client_close a)
+
+let test_listener_idle_timeout () =
+  let clock = ref 1000. in
+  with_listener ~now:(fun () -> !clock) ~idle_timeout:30. (fun t server path ->
+      let a = client_connect path in
+      client_send a {|{"op":"status"}|};
+      check_true "alive" (ok_of (client_recv t a));
+      clock := !clock +. 10.;
+      ignore (Listener.poll t);
+      check_int "still connected within the timeout" 1 (Listener.connections t);
+      clock := !clock +. 31.;
+      let lines = client_recv_until_eof t a in
+      check_true "idle_timeout error before close"
+        (List.exists (fun l -> field "error" l = Some "idle_timeout") lines);
+      check_int "connection closed" 0 (Listener.connections t);
+      check_int "timeout counted" 1
+        (Registry.counter (Obs.registry (Server.obs server)) "transport_idle_timeouts_total");
+      client_close a)
+
+let test_listener_max_conns () =
+  with_listener ~max_conns:1 (fun t _server path ->
+      let a = client_connect path in
+      client_send a {|{"op":"status"}|};
+      check_true "first connection served" (ok_of (client_recv t a));
+      let b = client_connect path in
+      let lines = client_recv_until_eof t b in
+      check_true "second connection told server_busy"
+        (List.exists (fun l -> field "error" l = Some "server_busy") lines);
+      client_close a;
+      client_close b)
+
+let test_listener_drain_checkpoints () =
+  let ckpt = Filename.temp_file "ftagg-test-ckpt" ".json" in
+  Sys.remove ckpt;
+  with_listener ~checkpoint_path:ckpt (fun t server path ->
+      let a = client_connect path in
+      client_send a (submit_line ~seed:5 ());
+      check_true "queued" (ok_of (client_recv t a));
+      (* No drain op: the queued job must be finished by the listener's
+         graceful drain, and the checkpoint written. *)
+      Listener.drain t;
+      check_int "backlog executed" 1 (Scheduler.completed_count (Server.scheduler server));
+      check_true "final checkpoint written" (Sys.file_exists ckpt);
+      check_true "socket file removed" (not (Sys.file_exists path));
+      client_close a);
+  if Sys.file_exists ckpt then Sys.remove ckpt
+
+let test_listener_tcp_ephemeral_port () =
+  Registry.set_enabled true;
+  let server = make_server () in
+  let cfg = Listener.config (Listener.Tcp ("127.0.0.1", 0)) in
+  let t = Result.get_ok (Listener.create cfg server) in
+  Fun.protect
+    ~finally:(fun () -> Listener.drain t)
+    (fun () ->
+      let port = Option.get (Listener.port t) in
+      check_true "ephemeral port bound" (port > 0);
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let c = { fd; frame = Frame.create ~max_line:1_000_000; inbox = [] } in
+      client_send c {|{"op":"status"}|};
+      check_true "status over tcp" (ok_of (client_recv t c));
+      client_close c)
+
+let test_address_parsing () =
+  check_true "unix ok"
+    (Listener.address_of_string "unix:/tmp/x.sock" = Ok (Listener.Unix_sock "/tmp/x.sock"));
+  check_true "tcp ok"
+    (Listener.address_of_string "tcp:127.0.0.1:8125" = Ok (Listener.Tcp ("127.0.0.1", 8125)));
+  check_true "tcp empty host defaults to loopback"
+    (Listener.address_of_string "tcp::9000" = Ok (Listener.Tcp ("127.0.0.1", 9000)));
+  check_true "bad scheme" (Result.is_error (Listener.address_of_string "udp:1.2.3.4:53"));
+  check_true "bad port" (Result.is_error (Listener.address_of_string "tcp:host:notaport"));
+  check_true "no scheme" (Result.is_error (Listener.address_of_string "/tmp/x.sock"));
+  check_true "round trip"
+    (Listener.address_to_string (Listener.Tcp ("h", 1)) = "tcp:h:1")
+
+let suite =
+  [
+    Alcotest.test_case "frame: lines split across feeds" `Quick test_frame_split_across_feeds;
+    Alcotest.test_case "frame: CRLF stripped" `Quick test_frame_crlf;
+    Alcotest.test_case "frame: oversized line discarded, then recovers" `Quick
+      test_frame_oversized_recovers;
+    Alcotest.test_case "frame: bound is inclusive" `Quick test_frame_exact_bound;
+    Alcotest.test_case "auth: token lookup" `Quick test_auth_lookup;
+    Alcotest.test_case "auth: nested form and malformed tables" `Quick
+      test_auth_nested_and_errors;
+    Alcotest.test_case "auth: missing file is an error" `Quick test_auth_load_missing_file;
+    Alcotest.test_case "session: open mode passes through without hello" `Quick
+      test_session_open_passthrough;
+    Alcotest.test_case "session: open-mode hello binds a tenant once" `Quick
+      test_session_open_hello_binds_tenant;
+    Alcotest.test_case "session: token mode requires hello first" `Quick
+      test_session_tokens_requires_hello;
+    Alcotest.test_case "session: bad token refused and counted" `Quick
+      test_session_tokens_bad_token;
+    Alcotest.test_case "session: good token binds the table's tenant" `Quick
+      test_session_tokens_good_token;
+    Alcotest.test_case "session: handshake tenant overrides submit's" `Quick
+      test_session_stamps_tenant_over_spoof;
+    Alcotest.test_case "session: shutdown is connection-scoped" `Quick
+      test_session_shutdown_is_connection_scoped;
+    Alcotest.test_case "session: oversized line gets a structured error" `Quick
+      test_session_oversized_reply;
+    Alcotest.test_case "listener: two concurrent clients, cache hit across them" `Quick
+      test_listener_two_concurrent_clients;
+    Alcotest.test_case "listener: half-written line dies with its connection" `Quick
+      test_listener_half_written_line_dies_with_conn;
+    Alcotest.test_case "listener: oversized line over a real socket" `Quick
+      test_listener_oversized_line;
+    Alcotest.test_case "listener: idle timeout fires on the injected clock" `Quick
+      test_listener_idle_timeout;
+    Alcotest.test_case "listener: connection limit answers server_busy" `Quick
+      test_listener_max_conns;
+    Alcotest.test_case "listener: drain finishes the backlog and checkpoints" `Quick
+      test_listener_drain_checkpoints;
+    Alcotest.test_case "listener: tcp on an ephemeral port" `Quick
+      test_listener_tcp_ephemeral_port;
+    Alcotest.test_case "address parsing" `Quick test_address_parsing;
+  ]
