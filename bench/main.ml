@@ -671,14 +671,27 @@ let e12 () =
       Printf.sprintf "%.0f" tr_rounds;
     ];
   (* push-sum gossip with the same round budget *)
-  let go_runs = Sweep.map (fun s -> Gossip.run ~graph:g ~failures:(failures s) ~inputs ~rounds:(b * d) ~seed:s) seeds in
+  let go_runs =
+    Sweep.map
+      (fun s -> Gossip.run ~graph:g ~failures:(failures s) ~params ~rounds:(b * d) ~seed:s ())
+      seeds
+  in
+  let est o = match o.Backend.result with
+    | Backend.Estimate { value; _ } -> value
+    | Backend.Exact _ -> nan
+  in
+  let rel o = match o.Backend.result with
+    | Backend.Estimate { relative_error; _ } -> relative_error
+    | Backend.Exact _ -> nan
+  in
   Table.add_row table
     [
       "push-sum gossip [8]";
       "approximate, degrades";
-      Printf.sprintf "%.1f" (mean (List.map (fun o -> o.Gossip.estimate) go_runs));
-      Printf.sprintf "%.4f" (mean (List.map (fun o -> o.Gossip.relative_error) go_runs));
-      Printf.sprintf "%.0f" (mean (List.map (fun o -> float_of_int o.Gossip.cc) go_runs));
+      Printf.sprintf "%.1f" (mean (List.map est go_runs));
+      Printf.sprintf "%.4f" (mean (List.map rel go_runs));
+      Printf.sprintf "%.0f"
+        (mean (List.map (fun o -> float_of_int (Metrics.cc o.Backend.common.Backend.metrics)) go_runs));
       string_of_int (b * d);
     ];
   (* synopsis diffusion, d+2 rounds *)
@@ -1475,15 +1488,205 @@ let e19 () =
   Printf.printf "wrote BENCH_engine.json (service_throughput)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E20 — cross-protocol matrix over the backend registry               *)
+(* ------------------------------------------------------------------ *)
+
+let q6 x = Float.round (x *. 1e6) /. 1e6
+
+(* Every registered backend on the same topology, inputs, budget and
+   crash schedule: correctness guarantee x CC x TC in one table.  The
+   headline contrast is the crash rows — flow-updating's crash-reset
+   flows recover the routed mass, so its error re-converges toward zero,
+   while push-sum's destroyed mass leaves a permanent bias.  That strict
+   inequality is asserted here and re-checked by [guard] against the
+   committed BENCH_engine.json. *)
+let e20 () =
+  header
+    "E20 | Cross-protocol matrix — correctness guarantee x CC x TC per backend\n\
+     same topology, inputs, budget and crash schedule for every backend;\n\
+     JSON to BENCH_engine.json (cross_protocol)";
+  let n = 36 in
+  let g = Gen.grid n in
+  let inputs = Array.make n 10 in
+  let truth = float_of_int (Array.fold_left ( + ) 0 inputs) in
+  let params = Params.make ~c:2 ~graph:g ~inputs () in
+  let d = params.Params.d in
+  let b = 40 and f = 4 in
+  let scenarios =
+    [
+      ("none", Failure.none ~n, false);
+      ("crash-early", Failure.kill_nodes ~n ~nodes:[ 5; 6; 7 ] ~round:5, true);
+      ("crash-mid", Failure.kill_nodes ~n ~nodes:[ 11; 17; 23 ] ~round:30, true);
+    ]
+  in
+  let backend_names = [ "agg"; "flood"; "folklore"; "pushsum"; "flowupdating" ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "SUM of %.0f on a 6x6 grid; b = %d flooding rounds (d = %d), f = %d"
+           truth b d f)
+      [
+        ("scenario", Table.Left);
+        ("backend", Table.Left);
+        ("result", Table.Right);
+        ("rel. error", Table.Right);
+        ("correct", Table.Left);
+        ("CC (bits)", Table.Right);
+        ("TC (rounds)", Table.Right);
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun (sname, failures, crashy) ->
+        List.map
+          (fun bname ->
+            let backend = Option.get (Run.backend_of_string bname) in
+            let o = Run.exec ~backend ~graph:g ~failures ~params ~b ~f ~seed:1 () in
+            let shown, rel =
+              match o.Backend.result with
+              | Backend.Exact (Agg.Value v) ->
+                (string_of_int v, Float.abs (float_of_int v -. truth) /. truth)
+              | Backend.Exact Agg.Aborted -> ("<aborted>", nan)
+              | Backend.Estimate { value; relative_error } ->
+                (Printf.sprintf "%.1f" value, relative_error)
+            in
+            Table.add_row table
+              [
+                sname;
+                bname;
+                shown;
+                (if Float.is_finite rel then Printf.sprintf "%.6f" rel else "-");
+                string_of_bool o.Backend.common.Backend.correct;
+                string_of_int (Metrics.cc o.Backend.common.Backend.metrics);
+                string_of_int o.Backend.common.Backend.rounds;
+              ];
+            (sname, bname, crashy, o, rel))
+          backend_names)
+      scenarios
+  in
+  Table.print table;
+  (* The mass-conservation contrast, asserted: under crashes the
+     flow-updating estimate must beat push-sum's strictly. *)
+  let err sname bname =
+    let _, _, _, _, rel =
+      List.find (fun (s, bk, _, _, _) -> s = sname && bk = bname) rows
+    in
+    rel
+  in
+  List.iter
+    (fun (sname, _, crashy) ->
+      if crashy then begin
+        let fu = err sname "flowupdating" and ps = err sname "pushsum" in
+        Printf.printf "%-12s flow-updating rel err %.3g vs push-sum %.3g\n" sname fu ps;
+        assert (fu < ps)
+      end)
+    scenarios;
+  Printf.printf
+    "Under crashes, push-sum's destroyed (s, w) mass leaves a permanent bias while\n\
+     flow-updating's crash-reset flows recover the routed mass — only the zero-error\n\
+     backends keep the paper's interval guarantee, at the CC the theorems charge for it.\n";
+  let payload =
+    Bench_io.(
+      Obj
+        [
+          ("graph", String "grid");
+          ("n", Int n);
+          ("b", Int b);
+          ("f", Int f);
+          ( "rows",
+            List
+              (List.map
+                 (fun (sname, bname, crashy, (o : Backend.outcome), rel) ->
+                   Obj
+                     [
+                       ("scenario", String sname);
+                       ("backend", String bname);
+                       ("crash", Bool crashy);
+                       ("correct", Bool o.Backend.common.Backend.correct);
+                       ("relative_error", if Float.is_finite rel then Float (q6 rel) else Null);
+                       ("cc", Int (Metrics.cc o.Backend.common.Backend.metrics));
+                       ("rounds", Int o.Backend.common.Backend.rounds);
+                     ])
+                 rows) );
+        ])
+  in
+  Bench_io.write_file ~path:"BENCH_engine.json"
+    (Bench_io.Obj (bench_engine_others [ "cross_protocol" ] @ [ ("cross_protocol", payload) ]));
+  Printf.printf "wrote BENCH_engine.json (cross_protocol)\n"
+
+(* ------------------------------------------------------------------ *)
 (* guard — CI regression gate on the engine hot path                   *)
 (* ------------------------------------------------------------------ *)
+
+(* The committed E20 matrix must exist, cover the registry, and keep the
+   mass-conservation contrast: on every crash row set, flow-updating's
+   relative error strictly below push-sum's. *)
+let guard_cross_protocol () =
+  let fail msg =
+    Printf.eprintf "guard: cross_protocol — %s\n" msg;
+    exit 1
+  in
+  match Bench_io.read_file ~path:"BENCH_engine.json" with
+  | exception Sys_error e -> fail e
+  | Error e -> fail e
+  | Ok json -> (
+    match Bench_io.member "cross_protocol" json with
+    | None -> fail "no cross_protocol object in BENCH_engine.json (run bench e20)"
+    | Some sub -> (
+      match Bench_io.member "rows" sub with
+      | Some (Bench_io.List rows) ->
+        let get_str k j =
+          match Bench_io.member k j with Some (Bench_io.String s) -> s | _ -> fail ("row without " ^ k)
+        in
+        let get_err j =
+          match Bench_io.member "relative_error" j with
+          | Some (Bench_io.Float x) -> Some x
+          | Some (Bench_io.Int x) -> Some (float_of_int x)
+          | _ -> None
+        in
+        let expected = [ "agg"; "flood"; "folklore"; "pushsum"; "flowupdating" ] in
+        List.iter
+          (fun bk ->
+            if not (List.exists (fun r -> get_str "backend" r = bk) rows) then
+              fail (Printf.sprintf "backend %S missing from the matrix" bk))
+          expected;
+        let crash_scenarios =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun r ->
+                 match Bench_io.member "crash" r with
+                 | Some (Bench_io.Bool true) -> Some (get_str "scenario" r)
+                 | _ -> None)
+               rows)
+        in
+        if crash_scenarios = [] then fail "no crash scenarios in the matrix";
+        List.iter
+          (fun sname ->
+            let err bk =
+              match
+                List.find_opt (fun r -> get_str "scenario" r = sname && get_str "backend" r = bk) rows
+              with
+              | Some r -> get_err r
+              | None -> fail (Printf.sprintf "%s: no %s row" sname bk)
+            in
+            match (err "flowupdating", err "pushsum") with
+            | Some fu, Some ps when fu < ps ->
+              Printf.printf "cross_protocol %-12s flowupdating %.3g < pushsum %.3g  OK\n" sname fu ps
+            | Some fu, Some ps ->
+              fail
+                (Printf.sprintf "%s: flow-updating (%.3g) no longer beats push-sum (%.3g)" sname fu
+                   ps)
+            | _ -> fail (Printf.sprintf "%s: missing relative_error" sname))
+          crash_scenarios
+      | _ -> fail "cross_protocol.rows missing"))
 
 (* Re-times the fast engine on [perf]'s exact config and compares
    rounds/sec against the committed BENCH_engine.json.  More than a 30%
    drop fails the process (exit 1) — the CI gate for accidental
-   de-optimisation of the CSR delivery loop.  Unlike [perf] it never
-   rewrites the baseline, and it is not part of the default experiment
-   list: run it explicitly as `bench/main.exe -- guard`. *)
+   de-optimisation of the CSR delivery loop.  Also re-validates the
+   committed E20 cross-protocol matrix ([guard_cross_protocol]).  Unlike
+   [perf]/[e20] it never rewrites the baseline, and it is not part of the
+   default experiment list: run it explicitly as `bench/main.exe -- guard`. *)
 let guard () =
   header
     "GUARD | bench regression gate — fast engine vs committed BENCH_engine.json\n\
@@ -1527,14 +1730,17 @@ let guard () =
       Printf.printf "guard: FAIL — hot path regressed more than 30%% vs the committed baseline\n";
       exit 1
     end
-    else Printf.printf "guard: OK\n"
+    else begin
+      guard_cross_protocol ();
+      Printf.printf "guard: OK\n"
+    end
 
 let all_experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19); ("timing", timing); ("perf", perf);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("timing", timing); ("perf", perf);
   ]
 
 (* Runnable only by name — never part of the no-args "run everything"

@@ -140,7 +140,17 @@ let run_cmd =
   in
   let budget = Arg.(value & opt (some int) None & info [ "budget" ] ~doc:"Edge failures to inject (default f).") in
   let max_input = Arg.(value & opt int 100 & info [ "max-input" ] ~doc:"Inputs drawn from [0, max].") in
-  let run protocol topology n seed caaf b f tol fmode budget max_input =
+  let backend =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ]
+          ~doc:
+            "Run a registered protocol backend (agg, flood, folklore, pushsum, flowupdating, \
+             flowupdating-avg) through the unified Run.exec harness instead of $(b,--protocol). \
+             Exact and approximate backends print the same outcome shape.")
+  in
+  let run protocol topology n seed caaf b f tol fmode budget max_input backend_opt =
     let graph = Gen.build topology ~n ~seed in
     let rng = Prng.create (seed + 17) in
     let inputs = Params.random_inputs ~rng ~n ~max_input in
@@ -160,6 +170,27 @@ let run_cmd =
     in
     (* Exit code 2 on a protocol abort (pair/agg [Aborted], folklore
        [No_clean_epoch]) so scripts and CI can gate on the outcome. *)
+    match backend_opt with
+    | Some bname -> (
+      match Run.backend_of_string bname with
+      | None ->
+        Printf.eprintf "ftagg: unknown backend %S (have: %s)\n" bname
+          (String.concat ", " (List.map fst Run.backends));
+        3
+      | Some backend ->
+        let o = Run.exec ~backend ~graph ~failures ~params ~b ~f ~seed () in
+        let v, code =
+          match o.Backend.result with
+          | Backend.Exact (Agg.Value v) -> (string_of_int v, 0)
+          | Backend.Exact Agg.Aborted -> ("<aborted>", 2)
+          | Backend.Estimate { value; relative_error } ->
+            (Printf.sprintf "%.6g (relative error %.3g)" value relative_error, 0)
+        in
+        print_common (Backend.name backend) v o.Backend.common;
+        Printf.printf "guarantee  : %s\n" (Backend.guarantee backend);
+        List.iter (fun (k, v) -> Printf.printf "%-11s: %s\n" k v) o.Backend.evidence;
+        code)
+    | None -> (
     match String.lowercase_ascii protocol with
     | "tradeoff" ->
       let o = Run.tradeoff ~graph ~failures ~params ~b ~f ~seed () in
@@ -222,13 +253,13 @@ let run_cmd =
       if o.Run.result = Agg.Aborted then 2 else 0
     | other ->
       Printf.eprintf "ftagg: unknown protocol %S\n" other;
-      3
+      3)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated topology under an adversary.")
     Term.(
       const run $ protocol $ topology $ nodes $ seed $ caaf $ b $ f $ tol $ fmode $ budget
-      $ max_input)
+      $ max_input $ backend)
 
 let graph_cmd =
   let run topology n seed =
@@ -536,7 +567,22 @@ let chaos_cmd =
   in
   let max_n = Arg.(value & opt int 34 & info [ "max-n" ] ~doc:"Largest system size drawn.") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.") in
-  let run trials seed out bit_cap max_n quiet =
+  let backend =
+    Arg.(
+      value
+      & opt string "agg"
+      & info [ "backend" ]
+          ~doc:
+            "Protocol backend the trials run (agg, flood, folklore, pushsum, flowupdating, \
+             flowupdating-avg). Every random draw is backend-independent, so equal seeds \
+             subject every backend to the same adversary schedules.")
+  in
+  let run trials seed out bit_cap max_n quiet backend =
+    if Run.backend_of_string backend = None then begin
+      Printf.eprintf "ftagg: unknown backend %S (have: %s)\n" backend
+        (String.concat ", " (List.map fst Run.backends));
+      exit 3
+    end;
     (match out with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
@@ -554,6 +600,7 @@ let chaos_cmd =
         log = (if quiet then ignore else print_endline);
         obs;
         via = None;
+        backend;
       }
     in
     let o = Campaign.run config in
@@ -581,7 +628,7 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run a randomized chaos campaign: adversaries + watchdogs + auto-shrinking.")
-    Term.(const run $ trials $ seed $ out $ bit_cap $ max_n $ quiet)
+    Term.(const run $ trials $ seed $ out $ bit_cap $ max_n $ quiet $ backend)
 
 let replay_cmd =
   let file =

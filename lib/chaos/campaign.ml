@@ -9,6 +9,7 @@ module Message = Ftagg_proto.Message
 module Agg = Ftagg_proto.Agg
 module Pair = Ftagg_proto.Pair
 module Run = Ftagg_proto.Run
+module Backend = Ftagg_proto.Backend
 module Obs = Ftagg_obs.Obs
 module Bench_io = Ftagg_runner.Bench_io
 
@@ -17,12 +18,20 @@ let graph_of (sc : Incident.scenario) = Gen.build sc.Incident.family ~n:sc.Incid
 let params_of (sc : Incident.scenario) graph =
   Params.make ~c:sc.Incident.c ~t:sc.Incident.t ~graph ~inputs:sc.Incident.inputs ()
 
+let backend_exn name =
+  match Run.backend_of_string name with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Campaign: unknown backend %S" name)
+
 let max_round_of (sc : Incident.scenario) =
   let graph = graph_of sc in
   let params = params_of sc graph in
   match sc.Incident.kind with
   | Incident.Pair_run -> Pair.duration params
   | Incident.Tradeoff_run { b; _ } -> b * params.Params.d
+  | Incident.Backend_run { backend; b; f } ->
+    let module B = (val backend_exn backend : Backend.S) in
+    B.max_rounds ~params ~b ~f
 
 type pair_report = {
   scenario : Incident.scenario;  (** with the materialized schedule *)
@@ -84,6 +93,32 @@ let run_pair ?online ?obs (sc : Incident.scenario) =
     rounds;
   }
 
+type backend_report = {
+  b_scenario : Incident.scenario;  (** with the materialized schedule *)
+  b_violation : Engine.violation option;
+  b_outcome : Backend.outcome;
+}
+
+let run_backend ?online ?obs (sc : Incident.scenario) =
+  let bname, b, f =
+    match sc.Incident.kind with
+    | Incident.Backend_run { backend; b; f } -> (backend, b, f)
+    | _ -> invalid_arg "Campaign.run_backend: scenario kind is not Backend_run"
+  in
+  let backend = backend_exn bname in
+  let graph = graph_of sc in
+  let params = params_of sc graph in
+  let failures = Failure.of_list ~n:sc.Incident.n sc.Incident.schedule in
+  let ch =
+    Run.exec_chaos ?obs ~faults:sc.Incident.faults ?online ?bit_cap:sc.Incident.bit_cap
+      ~backend ~graph ~failures ~params ~b ~f ~seed:sc.Incident.run_seed ()
+  in
+  {
+    b_scenario = { sc with Incident.schedule = Failure.to_list ch.Backend.c_schedule };
+    b_violation = ch.Backend.c_violation;
+    b_outcome = ch.Backend.c_outcome;
+  }
+
 let check_tradeoff (sc : Incident.scenario) ~b ~f =
   let graph = graph_of sc in
   let params = params_of sc graph in
@@ -112,6 +147,7 @@ let check (sc : Incident.scenario) =
   match sc.Incident.kind with
   | Incident.Pair_run -> (run_pair sc).violation
   | Incident.Tradeoff_run { b; f } -> check_tradeoff sc ~b ~f
+  | Incident.Backend_run _ -> (run_backend sc).b_violation
 
 let shrink ?obs (sc : Incident.scenario) (v : Engine.violation) =
   (* Every accepted shrink step goes to the telemetry sink, so an
@@ -156,6 +192,7 @@ type config = {
   log : string -> unit;
   obs : Obs.t option;
   via : (Incident.scenario -> pair_report option) option;
+  backend : string;
 }
 
 let default_config =
@@ -168,6 +205,7 @@ let default_config =
     log = ignore;
     obs = None;
     via = None;
+    backend = "agg";
   }
 
 type outcome = {
@@ -204,7 +242,16 @@ let random_scenario rng ~bit_cap ~max_n =
 let sanitize s =
   String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> c | _ -> '_') s
 
+(* What the trial loop needs from any backend's run: the materialized
+   scenario and the first violation. *)
+type trial = {
+  t_scenario : Incident.scenario;
+  t_violation : Engine.violation option;
+}
+
 let run config =
+  (* Fail fast on a typo'd backend, before burning trials. *)
+  if config.backend <> "agg" then ignore (backend_exn config.backend);
   let rng = Prng.create config.seed in
   let seen = Hashtbl.create 8 in
   let incidents = ref [] in
@@ -216,28 +263,54 @@ let run config =
     let budget = Prng.int rng 14 in
     let graph = graph_of sc0 in
     let params = params_of sc0 graph in
+    (* The adversary draws against the pair window regardless of backend,
+       and every rng draw above is backend-independent: campaigns with
+       equal seeds run the {e same} oblivious schedules on every backend
+       (the `ftagg chaos --backend …` comparability contract). *)
     let base, online =
       Adversary.instantiate adversary graph ~rng ~budget ~window:(Pair.duration params)
     in
     let sc0 = { sc0 with Incident.schedule = Failure.to_list base } in
+    let sc0 =
+      if config.backend = "agg" then sc0
+      else begin
+        (* Round the pair window up to whole flooding rounds so the
+           approximate backends run at least as long. *)
+        let d = params.Params.d in
+        let b = (Pair.duration params + d - 1) / d in
+        { sc0 with Incident.kind = Incident.Backend_run { backend = config.backend; b; f = budget } }
+      end
+    in
     (match config.obs with
     | Some o -> Ftagg_obs.Registry.incr (Obs.registry o) "chaos_trials_total" 1
     | None -> ());
     (* With a [via] transport the trial runs wherever the hook says —
        e.g. through the aggregation service's admission queue.  A [None]
        answer means the transport refused (backpressure / cancellation);
-       the trial is counted and skipped, never silently retried. *)
+       the trial is counted and skipped, never silently retried.  The
+       transport speaks pair scenarios only, so it applies to the "agg"
+       backend; other backends run in-process. *)
     let report =
-      match config.via with
-      | None -> Some (run_pair ?online ?obs:config.obs sc0)
-      | Some transport -> transport sc0
+      if config.backend <> "agg" then begin
+        let r = run_backend ?online ?obs:config.obs sc0 in
+        Some { t_scenario = r.b_scenario; t_violation = r.b_violation }
+      end
+      else
+        match config.via with
+        | None ->
+          let r = run_pair ?online ?obs:config.obs sc0 in
+          Some { t_scenario = r.scenario; t_violation = r.violation }
+        | Some transport ->
+          Option.map
+            (fun (r : pair_report) -> { t_scenario = r.scenario; t_violation = r.violation })
+            (transport sc0)
     in
     match report with
     | None ->
       incr rejected;
       config.log (Printf.sprintf "trial %d (%s): rejected by transport" i (Adversary.name adversary))
     | Some report ->
-    (match report.violation with
+    (match report.t_violation with
     | None -> ()
     | Some v ->
       incr violating;
@@ -257,7 +330,7 @@ let run config =
       if not (Hashtbl.mem seen v.Engine.invariant) then begin
         Hashtbl.replace seen v.Engine.invariant ();
         let inc =
-          to_incident ?obs:config.obs ~adversary:(Adversary.name adversary) report.scenario v
+          to_incident ?obs:config.obs ~adversary:(Adversary.name adversary) report.t_scenario v
         in
         (match config.obs with
         | Some o ->

@@ -37,6 +37,23 @@ val run_pair :
     {!Ftagg_sim.Engine.run_chaos}, so the sink sees the run's broadcasts,
     phase spans and any watchdog violation. *)
 
+type backend_report = {
+  b_scenario : Incident.scenario;  (** with the materialized schedule *)
+  b_violation : Ftagg_sim.Engine.violation option;
+  b_outcome : Ftagg_proto.Backend.outcome;
+      (** the backend's packaged outcome (packaged from truncated states
+          when [b_violation] halted the run — the violation is
+          authoritative then) *)
+}
+
+val run_backend :
+  ?online:Ftagg_sim.Engine.online -> ?obs:Ftagg_obs.Obs.t -> Incident.scenario -> backend_report
+(** One watched run of a registered backend.  The scenario's [kind] must
+    be {!Incident.Backend_run} (raises [Invalid_argument] otherwise);
+    the backend is resolved via {!Ftagg_proto.Run.backend_of_string} and
+    driven through {!Ftagg_proto.Run.exec_chaos} under its own watchdog
+    (which honours the scenario's planted [bit_cap]). *)
+
 val check : Incident.scenario -> Ftagg_sim.Engine.violation option
 (** The oracle: run the scenario, report its first violation. *)
 
@@ -82,12 +99,22 @@ type config = {
           {!run_pair} — e.g. [Ftagg_service.Chaos_gate.via] pushes it
           through the aggregation service's admission queue.  [None] from
           the hook means the transport refused the trial (backpressure or
-          cancellation); it is counted in [o_rejected_trials] and skipped. *)
+          cancellation); it is counted in [o_rejected_trials] and skipped.
+          The transport speaks pair scenarios, so it only applies when
+          [backend = "agg"]. *)
+  backend : string;
+      (** which {!Ftagg_proto.Run.backends} entry the trials run
+          (default ["agg"], the watched AGG+VERI pair).  Every random
+          draw — topology, parameters, adversary, schedule — is
+          backend-independent, so campaigns with equal seeds subject
+          every backend to the {e same} adversary schedules.  Unknown
+          names raise [Invalid_argument] before the first trial. *)
 }
 
 val default_config : config
 (** 100 trials, seed 20260806, no output dir, no cap override, max_n 34,
-    silent, no telemetry sink, no transport (trials run in-process). *)
+    silent, no telemetry sink, no transport (trials run in-process),
+    backend ["agg"]. *)
 
 type outcome = {
   o_trials : int;

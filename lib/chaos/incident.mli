@@ -12,6 +12,9 @@
 type kind =
   | Pair_run  (** one AGG+VERI pair *)
   | Tradeoff_run of { b : int; f : int }  (** Algorithm 1 with budget [b] *)
+  | Backend_run of { backend : string; b : int; f : int }
+      (** any registered {!Ftagg_proto.Run.backends} entry, driven through
+          {!Ftagg_proto.Run.exec_chaos} under its own watchdog *)
 
 type scenario = {
   family : Ftagg_graph.Gen.family;

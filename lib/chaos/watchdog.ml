@@ -8,6 +8,8 @@ module Agg = Ftagg_proto.Agg
 module Pair = Ftagg_proto.Pair
 module Checker = Ftagg_proto.Checker
 
+let backend_bit_watch ~bit_cap = Ftagg_proto.Backend.bits_watch ~bit_cap
+
 let pair_bit_cap params =
   Params.agg_bit_budget params + Params.veri_bit_budget params
   + Message.bits params Message.Agg_abort

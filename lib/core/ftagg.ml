@@ -51,11 +51,13 @@ module Unknown_f = Ftagg_proto.Unknown_f
 module Brute_force = Ftagg_proto.Brute_force
 module Folklore = Ftagg_proto.Folklore
 module Checker = Ftagg_proto.Checker
+module Backend = Ftagg_proto.Backend
 module Run = Ftagg_proto.Run
 
 (** {1 Approximate-aggregation baselines (related work [8], [14])} *)
 
 module Gossip = Ftagg_proto.Gossip
+module Flow_updating = Ftagg_proto.Flow_updating
 module Synopsis = Ftagg_proto.Synopsis
 
 (** {1 Lower-bound structure} *)

@@ -2,13 +2,6 @@ module Graph = Ftagg_graph.Graph
 module Engine = Ftagg_sim.Engine
 module Metrics = Ftagg_sim.Metrics
 
-type outcome = {
-  estimate : float;
-  relative_error : float;
-  cc : int;
-  rounds : int;
-}
-
 let value_bits = 32
 
 type state = {
@@ -19,42 +12,114 @@ type state = {
 
 type msg = Share of { s : float; w : float }
 
-let run ~graph ~failures ~inputs ~rounds ~seed =
+let push_sum_protocol ~graph ~inputs =
   let n = Graph.n graph in
   if Array.length inputs <> n then invalid_arg "Gossip.run: wrong inputs length";
-  let proto =
-    {
-      Engine.name = "push-sum";
-      init =
-        (fun u ~rng:_ ->
-          {
-            s = float_of_int inputs.(u);
-            w = (if u = Graph.root then 1.0 else 0.0);
-            degree = Graph.degree graph u;
-          });
-      step =
-        (fun ~round:_ ~me:_ ~state ~inbox ->
-          List.iter
-            (fun (_, Share { s; w }) ->
-              state.s <- state.s +. s;
-              state.w <- state.w +. w)
-            inbox;
-          (* Split the current mass over self + neighbours and broadcast
-             one share; keep our own share. *)
-          let parts = float_of_int (state.degree + 1) in
-          let share_s = state.s /. parts and share_w = state.w /. parts in
-          state.s <- share_s;
-          state.w <- share_w;
-          (state, [ Share { s = share_s; w = share_w } ]));
-      msg_bits = (fun (Share _) -> 5 + (2 * value_bits));
-      root_done = (fun _ -> false);
-    }
-  in
-  let states, metrics = Engine.run ~graph ~failures ~max_rounds:rounds ~seed proto in
+  {
+    Engine.name = "push-sum";
+    init =
+      (fun u ~rng:_ ->
+        {
+          s = float_of_int inputs.(u);
+          w = (if u = Graph.root then 1.0 else 0.0);
+          degree = Graph.degree graph u;
+        });
+    step =
+      (fun ~round:_ ~me:_ ~state ~inbox ->
+        List.iter
+          (fun (_, Share { s; w }) ->
+            state.s <- state.s +. s;
+            state.w <- state.w +. w)
+          inbox;
+        (* Split the current mass over self + neighbours and broadcast
+           one share; keep our own share. *)
+        let parts = float_of_int (state.degree + 1) in
+        let share_s = state.s /. parts and share_w = state.w /. parts in
+        state.s <- share_s;
+        state.w <- share_w;
+        (state, [ Share { s = share_s; w = share_w } ]));
+    msg_bits = (fun (Share _) -> 5 + (2 * value_bits));
+    root_done = (fun _ -> false);
+  }
+
+(* The one engine run both entry points share: [run_legacy] must stay
+   byte-identical to the pre-backend behaviour, so the unified [run] is
+   packaging only. *)
+let core ?loss ?obs ~graph ~failures ~inputs ~rounds ~seed () =
+  Engine.run ?obs ?loss ~graph ~failures ~max_rounds:rounds ~seed
+    (push_sum_protocol ~graph ~inputs)
+
+let estimate_of_root (root : state) = if root.w > 0.0 then root.s /. root.w else Float.nan
+
+let rel_error ~truth estimate =
+  if truth = 0.0 then Float.abs estimate else Float.abs (estimate -. truth) /. truth
+
+let package ~graph ~failures ~params ~states ~metrics =
   let root = states.(Graph.root) in
-  let estimate = if root.w > 0.0 then root.s /. root.w else Float.nan in
-  let truth = float_of_int (Array.fold_left ( + ) 0 inputs) in
-  let relative_error =
-    if truth = 0.0 then Float.abs estimate else Float.abs (estimate -. truth) /. truth
+  let estimate = estimate_of_root root in
+  let truth = float_of_int (Array.fold_left ( + ) 0 params.Params.inputs) in
+  let relative_error = rel_error ~truth estimate in
+  let correct =
+    Float.is_finite estimate
+    && Float.abs estimate < 1e15
+    && Checker.result_correct ~graph ~failures ~end_round:(Metrics.rounds metrics) ~params
+         (int_of_float (Float.round estimate))
   in
-  { estimate; relative_error; cc = Metrics.cc metrics; rounds = Metrics.rounds metrics }
+  {
+    Backend.result = Backend.Estimate { value = estimate; relative_error };
+    common = Backend.mk_common ~d:params.Params.d ~metrics ~correct;
+    evidence =
+      [
+        ("estimate_root", Printf.sprintf "%.6g" estimate);
+        ("w_root", Printf.sprintf "%.6g" root.w);
+      ];
+  }
+
+let run ?loss ?obs ~graph ~failures ~params ~rounds ~seed () =
+  let states, metrics =
+    core ?loss ?obs ~graph ~failures ~inputs:params.Params.inputs ~rounds ~seed ()
+  in
+  package ~graph ~failures ~params ~states ~metrics
+
+type legacy = {
+  estimate : float;
+  relative_error : float;
+  cc : int;
+  rounds : int;
+}
+
+let run_legacy ~graph ~failures ~inputs ~rounds ~seed =
+  let states, metrics = core ~graph ~failures ~inputs ~rounds ~seed () in
+  let root = states.(Graph.root) in
+  let estimate = estimate_of_root root in
+  let truth = float_of_int (Array.fold_left ( + ) 0 inputs) in
+  {
+    estimate;
+    relative_error = rel_error ~truth estimate;
+    cc = Metrics.cc metrics;
+    rounds = Metrics.rounds metrics;
+  }
+
+let backend : Backend.t =
+  (module struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = "pushsum"
+    let exact = false
+
+    let guarantee =
+      "approximate; mass held by a crashed node is destroyed, so the estimate keeps a \
+       permanent error after crashes"
+
+    let protocol ~graph ~params ~b:_ ~f:_ =
+      push_sum_protocol ~graph ~inputs:params.Params.inputs
+
+    let max_rounds ~params ~b ~f:_ = b * params.Params.d
+
+    let finish ~graph ~failures ~params ~b:_ ~f:_ ~states ~metrics =
+      package ~graph ~failures ~params ~states ~metrics
+
+    let watch ?bit_cap ~params:_ ~graph:_ () =
+      Option.map (fun cap -> Backend.bits_watch ~bit_cap:cap) bit_cap
+  end)

@@ -11,28 +11,60 @@
     Under crashes the mass held by (or in flight to) a dead node is
     destroyed, so the estimate degrades gracefully instead of staying in
     the correctness interval — exactly the zero-error-vs-approximate gap
-    the paper's problem statement draws (§1).  The benchmark harness
-    quantifies it (experiment E12).
+    the paper's problem statement draws (§1), and the gap
+    {!Flow_updating} closes by routing flows instead of moving mass.
+    The benchmark harness quantifies both (experiments E12, E20).
 
     Message accounting: a share carries two fixed-point values quantised
     to {!value_bits} bits each (plus tag and sender id), mirroring how a
     real implementation would ship them. *)
 
-type outcome = {
+val value_bits : int
+(** Fixed-point width per transmitted mass value (32). *)
+
+val run :
+  ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  Backend.outcome
+(** Run broadcast push-sum for [rounds] rounds on [params.inputs] and
+    package the root's [s/w] as a unified {!Backend.outcome} with
+    [Estimate].  [common.correct] checks the rounded estimate against
+    the {!Checker} correctness interval (an untouched-root run that has
+    not mixed yet is simply incorrect, not an error).  Evidence:
+    [estimate_root], [w_root].
+
+    Same engine run as {!run_legacy} — identical states, metrics and
+    PRNG streams on equal seeds (pinned in [test/test_backend.ml]). *)
+
+(** {2 Deprecated pre-backend entry point}
+
+    The bespoke outcome record, kept one release.  Migrate
+    [Gossip.run_legacy ~inputs …] → [Gossip.run ~params …] and read the
+    estimate from the outcome's [Backend.Estimate]. *)
+
+type legacy = {
   estimate : float;  (** the root's [s/w] (NaN if the root's [w] is 0) *)
   relative_error : float;  (** |estimate − true sum| / true sum *)
   cc : int;  (** max bits broadcast by a single node *)
   rounds : int;
 }
 
-val value_bits : int
-(** Fixed-point width per transmitted mass value (32). *)
-
-val run :
+val run_legacy :
   graph:Ftagg_graph.Graph.t ->
   failures:Ftagg_sim.Failure.t ->
   inputs:int array ->
   rounds:int ->
   seed:int ->
-  outcome
-(** Run broadcast push-sum for the given number of rounds. *)
+  legacy
+[@@ocaml.deprecated "use Gossip.run (unified Backend.outcome)"]
+
+val backend : Backend.t
+(** Push-sum as a backend ([Backend.name] = ["pushsum"]): round budget
+    [b × d] (the TC budget Algorithm 1 gets), bit-cap watchdog via
+    {!Backend.bits_watch} when planted. *)

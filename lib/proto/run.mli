@@ -5,9 +5,12 @@
     Every entry point returns an outcome record with the same shape: a
     [result : Agg.result] (the root's answer, [Aborted] when the protocol
     gave up), a [common : common] with the run's metrics and checks, and
-    protocol-specific evidence fields.  The pre-overhaul names ([vc]/[tc]/
-    [uc]/[pc]/[fc]/[ac], [t_value]/[u_value]/…) survive one release as
-    deprecated accessor functions at the bottom of this interface.
+    protocol-specific evidence fields.
+
+    Protocols are also packaged as first-class {!Backend}s ({!backends}
+    is the registry): heterogeneous exact and approximate protocols run
+    under one harness via {!exec} / {!exec_chaos}, which is how the CLI's
+    [--backend], the chaos campaign and bench E20 dispatch.
 
     All entry points accept [?loss] (default [0.]): the per-edge delivery
     loss probability forwarded to {!Ftagg_sim.Engine.run}.  Non-zero loss
@@ -20,8 +23,9 @@
     streams. *)
 
 module Metrics = Ftagg_sim.Metrics
+module Backend = Backend
 
-type common = {
+type common = Backend.common = {
   metrics : Metrics.t;
   rounds : int;  (** rounds until the run halted *)
   flooding_rounds : int;  (** [ceil (rounds / d)] *)
@@ -29,6 +33,8 @@ type common = {
                        no-clean-epoch outcome is reported as correct only
                        if the protocol is allowed to give up there) *)
 }
+(** Re-export of {!Backend.common} — the record every runner and backend
+    outcome shares. *)
 
 val value_exn : Agg.result -> int
 (** The computed value; raises [Invalid_argument] on [Agg.Aborted]. *)
@@ -167,44 +173,62 @@ val unknown_f :
   unit ->
   unknown_f_outcome
 
-(** {2 Deprecated aliases}
+(** {2 Protocol backends}
 
-    The pre-overhaul outcome fields, kept for one release as accessor
-    functions.  Migrate [o.Run.tc] → [o.Run.common], [o.Run.t_value] →
-    [Run.value_exn o.Run.result], and so on. *)
+    The registry of first-class {!Backend}s, and the generic drivers.
+    Exact backends: ["agg"] (one AGG+VERI pair, fixed [Pair.duration]
+    rounds), ["flood"] (brute force), ["folklore"] (retry with [f + 1]
+    epochs).  Approximate backends: ["pushsum"] ({!Gossip.backend}) and
+    ["flowupdating"] / ["flowupdating-avg"] ({!Flow_updating.backend}),
+    each budgeted [b × d] rounds — the same TC budget Algorithm 1 gets,
+    so cross-backend rows are comparable. *)
 
-val pc : pair_outcome -> common
-[@@ocaml.deprecated "use o.common"]
+type backend = Backend.t
 
-val ac : agg_outcome -> common
-[@@ocaml.deprecated "use o.common"]
+val agg_backend : backend
+(** One AGG+VERI pair.  On a watchdog-truncated run the result is
+    [Exact Aborted] with [("halted_early", "true")] evidence; otherwise
+    evidence carries [veri_ok], [lfc] and [edge_failures]. *)
 
-val agg_result : agg_outcome -> Agg.result
-[@@ocaml.deprecated "use o.result"]
+val flood_backend : backend
+(** Brute force — tolerates any number of crashes. *)
 
-val agg_trace : agg_outcome -> Checker.agg_trace
-[@@ocaml.deprecated "use o.trace"]
+val folklore_backend : backend
+(** Folklore retry with [f + 1] epochs; evidence carries [epochs]. *)
 
-val vc : value_outcome -> common
-[@@ocaml.deprecated "use o.common"]
+val backends : (string * backend) list
+(** Every registered backend, keyed by {!Backend.name}. *)
 
-val value : value_outcome -> int
-[@@ocaml.deprecated "use Run.value_exn o.result"]
+val backend_of_string : string -> backend option
+(** Look up a backend by name (the CLI's [--backend] values). *)
 
-val fc : folklore_outcome -> common
-[@@ocaml.deprecated "use o.common"]
+val exec :
+  ?loss:float ->
+  ?obs:Ftagg_obs.Obs.t ->
+  backend:backend ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  unit ->
+  Backend.outcome
+(** {!Backend.exec} — run any backend under the plain engine. *)
 
-val tc : tradeoff_outcome -> common
-[@@ocaml.deprecated "use o.common"]
-
-val t_value : tradeoff_outcome -> int
-[@@ocaml.deprecated "use Run.value_exn o.result"]
-
-val uc : unknown_f_outcome -> common
-[@@ocaml.deprecated "use o.common"]
-
-val u_value : unknown_f_outcome -> int
-[@@ocaml.deprecated "use Run.value_exn o.result"]
-
-val u_how : unknown_f_outcome -> Unknown_f.how
-[@@ocaml.deprecated "use o.how"]
+val exec_chaos :
+  ?obs:Ftagg_obs.Obs.t ->
+  ?faults:Ftagg_sim.Engine.faults ->
+  ?online:Ftagg_sim.Engine.online ->
+  ?bit_cap:int ->
+  backend:backend ->
+  graph:Ftagg_graph.Graph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Params.t ->
+  b:int ->
+  f:int ->
+  seed:int ->
+  unit ->
+  Backend.chaos
+(** {!Backend.exec_chaos} — run any backend under the chaos engine with
+    the backend's own watchdog. *)

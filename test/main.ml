@@ -13,6 +13,7 @@ let () =
       ("selection", Test_selection.suite);
       ("twoparty", Test_twoparty.suite);
       ("extensions", Test_extensions.suite);
+      ("backend", Test_backend.suite);
       ("facade", Test_facade.suite);
       ("deep", Test_deep.suite);
       ("representative", Test_representative.suite);

@@ -1,0 +1,301 @@
+(* The backend interface (lib/proto/backend.ml): registry dispatch,
+   differential pins of Run.exec against hand-driven runs, the unified
+   Gossip.run against its deprecated legacy entry point, flow-updating's
+   convergence and crash recovery, and the chaos harness (exec_chaos,
+   campaigns over non-default backends, Backend_run incidents). *)
+
+open Ftagg
+open Helpers
+
+(* --- registry --- *)
+
+let test_registry () =
+  let names = List.map fst Run.backends in
+  List.iter
+    (fun bk -> check_true (bk ^ " registered") (List.mem bk names))
+    [ "agg"; "flood"; "folklore"; "pushsum"; "flowupdating"; "flowupdating-avg" ];
+  List.iter
+    (fun (bk, backend) -> check_true (bk ^ " keyed by its own name") (Backend.name backend = bk))
+    Run.backends;
+  check_true "lookup is case-insensitive"
+    (match Run.backend_of_string "PushSum" with
+    | Some b -> Backend.name b = "pushsum"
+    | None -> false);
+  check_true "unknown name rejected" (Run.backend_of_string "raft" = None);
+  check_true "agg is exact" (Backend.exact (Option.get (Run.backend_of_string "agg")));
+  check_true "pushsum is approximate"
+    (not (Backend.exact (Option.get (Run.backend_of_string "pushsum"))))
+
+(* --- Run.exec vs driving the backend by hand: identical outcomes --- *)
+
+let test_exec_differential () =
+  let n = 25 in
+  let g = Gen.grid n in
+  let inputs = default_inputs n in
+  let params = Params.make ~c:2 ~t:2 ~graph:g ~inputs () in
+  let failures = Failure.kill_nodes ~n ~nodes:[ 7; 13 ] ~round:9 in
+  let b = 20 and f = 3 and seed = 5 in
+  List.iter
+    (fun (bk, backend) ->
+      let via_exec = Run.exec ~backend ~graph:g ~failures ~params ~b ~f ~seed () in
+      let by_hand =
+        let module B = (val backend : Backend.S) in
+        let states, metrics =
+          Engine.run ~graph:g ~failures
+            ~max_rounds:(B.max_rounds ~params ~b ~f)
+            ~seed
+            (B.protocol ~graph:g ~params ~b ~f)
+        in
+        B.finish ~graph:g ~failures ~params ~b ~f ~states ~metrics
+      in
+      check_true (bk ^ ": same result") (via_exec.Backend.result = by_hand.Backend.result);
+      check_true (bk ^ ": same evidence") (via_exec.Backend.evidence = by_hand.Backend.evidence);
+      check_true (bk ^ ": same correctness")
+        (via_exec.Backend.common.Backend.correct = by_hand.Backend.common.Backend.correct);
+      check_int (bk ^ ": same rounds") by_hand.Backend.common.Backend.rounds
+        via_exec.Backend.common.Backend.rounds;
+      check_int (bk ^ ": same CC")
+        (Metrics.cc by_hand.Backend.common.Backend.metrics)
+        (Metrics.cc via_exec.Backend.common.Backend.metrics))
+    Run.backends
+
+(* exec_chaos with every knob at its default is observationally the
+   plain exec. *)
+let test_exec_chaos_defaults_match_exec () =
+  let n = 16 in
+  let g = Gen.grid n in
+  let params = Params.make ~graph:g ~inputs:(default_inputs n) () in
+  let failures = Failure.none ~n in
+  List.iter
+    (fun (bk, backend) ->
+      let plain = Run.exec ~backend ~graph:g ~failures ~params ~b:12 ~f:2 ~seed:3 () in
+      let chaos = Run.exec_chaos ~backend ~graph:g ~failures ~params ~b:12 ~f:2 ~seed:3 () in
+      check_true (bk ^ ": no violation") (chaos.Backend.c_violation = None);
+      check_true (bk ^ ": completed") chaos.Backend.c_completed;
+      check_true (bk ^ ": same result")
+        (chaos.Backend.c_outcome.Backend.result = plain.Backend.result);
+      check_int (bk ^ ": same CC")
+        (Metrics.cc plain.Backend.common.Backend.metrics)
+        (Metrics.cc chaos.Backend.c_outcome.Backend.common.Backend.metrics))
+    Run.backends
+
+(* every backend honours a planted bit cap *)
+let test_exec_chaos_bit_cap_fires () =
+  let n = 16 in
+  let g = Gen.grid n in
+  let params = Params.make ~graph:g ~inputs:(default_inputs n) () in
+  let failures = Failure.none ~n in
+  List.iter
+    (fun (bk, backend) ->
+      let c =
+        Run.exec_chaos ~bit_cap:3 ~backend ~graph:g ~failures ~params ~b:12 ~f:2 ~seed:3 ()
+      in
+      match c.Backend.c_violation with
+      | Some v ->
+        check_true (bk ^ ": bit_budget invariant") (v.Engine.invariant = "bit_budget");
+        check_true (bk ^ ": not completed") (not c.Backend.c_completed)
+      | None -> Alcotest.failf "%s: a 3-bit cap did not fire" bk)
+    Run.backends
+
+(* --- the unified Gossip.run against the deprecated legacy record --- *)
+
+let test_gossip_legacy_pin () =
+  let n = 25 in
+  let g = Gen.grid n in
+  let inputs = default_inputs n in
+  let params = Params.make ~graph:g ~inputs () in
+  let failures = Failure.kill_nodes ~n ~nodes:[ 6; 12 ] ~round:20 in
+  let o = Gossip.run ~graph:g ~failures ~params ~rounds:150 ~seed:4 () in
+  let l =
+    (Gossip.run_legacy [@alert "-deprecated"]) ~graph:g ~failures ~inputs ~rounds:150 ~seed:4
+  in
+  (match o.Backend.result with
+  | Backend.Estimate { value; relative_error } ->
+    check_true "same estimate" (value = l.Gossip.estimate);
+    check_true "same relative error" (relative_error = l.Gossip.relative_error)
+  | Backend.Exact _ -> Alcotest.fail "push-sum answered Exact");
+  check_int "same CC" l.Gossip.cc (Metrics.cc o.Backend.common.Backend.metrics);
+  check_int "same rounds" l.Gossip.rounds o.Backend.common.Backend.rounds
+
+(* --- flow updating --- *)
+
+let test_flow_updating_converges () =
+  let n = 36 in
+  let g = Gen.grid n in
+  let inputs = default_inputs n in
+  let params = Params.make ~graph:g ~inputs () in
+  let o = Flow_updating.run ~graph:g ~failures:(Failure.none ~n) ~params ~rounds:400 ~seed:1 () in
+  (match o.Backend.result with
+  | Backend.Estimate { value; relative_error } ->
+    check_true
+      (Printf.sprintf "estimate %.3f near %d" value (total inputs))
+      (relative_error < 1e-6)
+  | Backend.Exact _ -> Alcotest.fail "flow updating answered Exact");
+  check_true "correct under the interval checker" o.Backend.common.Backend.correct
+
+(* At the fixed point the flow identity e_i = v_i − ΣF_i holds exactly
+   and the estimates sum back to the total: nothing leaked. *)
+let test_flow_updating_mass_conservation () =
+  let n = 36 in
+  let g = Gen.grid n in
+  let inputs = default_inputs n in
+  let params = Params.make ~graph:g ~inputs () in
+  let states, _ =
+    Flow_updating.run_states ~graph:g ~failures:(Failure.none ~n) ~params ~rounds:400 ~seed:1 ()
+  in
+  Array.iteri
+    (fun u st ->
+      let e = Flow_updating.node_estimate st in
+      check_true
+        (Printf.sprintf "node %d flow identity" u)
+        (Float.abs (e -. (float_of_int inputs.(u) -. Flow_updating.node_net_flow st)) < 1e-9))
+    states;
+  let sum_est = Array.fold_left (fun acc st -> acc +. Flow_updating.node_estimate st) 0.0 states in
+  check_true
+    (Printf.sprintf "estimates sum to the total (%.6f vs %d)" sum_est (total inputs))
+    (Float.abs (sum_est -. float_of_int (total inputs)) < 1e-4)
+
+(* The contrast the backend exists for: under the same crash schedule,
+   flow-updating's reset flows recover the routed mass while push-sum's
+   destroyed mass leaves a permanent bias. *)
+let test_flow_updating_crash_recovery_beats_pushsum () =
+  let n = 36 in
+  let g = Gen.grid n in
+  let inputs = Array.make n 10 in
+  let params = Params.make ~graph:g ~inputs () in
+  let failures = Failure.kill_nodes ~n ~nodes:[ 5; 6; 7 ] ~round:5 in
+  let rel o =
+    match o.Backend.result with
+    | Backend.Estimate { relative_error; _ } -> relative_error
+    | Backend.Exact _ -> Alcotest.fail "expected an estimate"
+  in
+  let fu = rel (Flow_updating.run ~graph:g ~failures ~params ~rounds:400 ~seed:1 ()) in
+  let ps = rel (Gossip.run ~graph:g ~failures ~params ~rounds:400 ~seed:1 ()) in
+  check_true "some crash recovery kicked in" (fu < 0.01);
+  check_true
+    (Printf.sprintf "flow-updating %.4g strictly beats push-sum %.4g" fu ps)
+    (fu < ps);
+  (* dead links were actually declared: the crashed nodes' neighbours
+     reset their flows *)
+  let states, _ = Flow_updating.run_states ~graph:g ~failures ~params ~rounds:400 ~seed:1 () in
+  let dead = Array.fold_left (fun acc st -> acc + Flow_updating.dead_links st) 0 states in
+  check_true "dead links declared" (dead > 0)
+
+(* avg backend reports the average, sum backend n times it *)
+let test_flow_updating_modes_consistent () =
+  let n = 16 in
+  let g = Gen.grid n in
+  let params = Params.make ~graph:g ~inputs:(default_inputs n) () in
+  let failures = Failure.none ~n in
+  let est backend =
+    Backend.estimate_of (Run.exec ~backend ~graph:g ~failures ~params ~b:25 ~f:0 ~seed:2 ())
+  in
+  let s = est Flow_updating.backend and a = est Flow_updating.avg_backend in
+  check_true "sum = n x avg" (Float.abs (s -. (float_of_int n *. a)) < 1e-6)
+
+(* --- campaigns over a non-default backend --- *)
+
+let test_campaign_backend_smoke () =
+  let config =
+    {
+      Campaign.default_config with
+      Campaign.trials = 3;
+      seed = 11;
+      max_n = 12;
+      log = ignore;
+      backend = "pushsum";
+    }
+  in
+  let o = Campaign.run config in
+  check_int "all trials ran" 3 o.Campaign.o_trials;
+  check_int "none rejected" 0 o.Campaign.o_rejected_trials
+
+let test_campaign_unknown_backend_rejected () =
+  let config =
+    { Campaign.default_config with Campaign.trials = 1; log = ignore; backend = "paxos" }
+  in
+  check_true "fails fast"
+    (match Campaign.run config with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* a planted cap fires identically through the campaign's backend path *)
+let test_campaign_backend_planted_cap () =
+  let config =
+    {
+      Campaign.default_config with
+      Campaign.trials = 2;
+      seed = 11;
+      max_n = 12;
+      bit_cap = Some 8;
+      log = ignore;
+      backend = "flowupdating";
+    }
+  in
+  let o = Campaign.run config in
+  check_true "planted cap caught" (o.Campaign.o_violating_trials > 0);
+  List.iter
+    (fun ((inc : Incident.t), _) ->
+      check_true "bit_budget invariant" (inc.Incident.violation.Engine.invariant = "bit_budget");
+      match inc.Incident.scenario.Incident.kind with
+      | Incident.Backend_run { backend; _ } -> check_true "backend kind" (backend = "flowupdating")
+      | _ -> Alcotest.fail "expected a Backend_run scenario")
+    o.Campaign.o_incidents
+
+(* --- Backend_run incidents roundtrip through JSON --- *)
+
+let test_incident_backend_roundtrip () =
+  let scenario =
+    {
+      Incident.family = Gen.Grid;
+      n = 9;
+      topo_seed = 3;
+      run_seed = 4;
+      c = 2;
+      t = 1;
+      inputs = Array.init 9 (fun i -> i);
+      schedule = [ (2, 5) ];
+      faults = Engine.no_faults;
+      kind = Incident.Backend_run { backend = "pushsum"; b = 7; f = 2 };
+      bit_cap = Some 12;
+    }
+  in
+  let inc =
+    {
+      Incident.adversary = "test";
+      scenario;
+      violation = { Engine.at_round = 5; invariant = "bit_budget"; detail = "x" };
+      shrink = None;
+    }
+  in
+  match Incident.of_json (Incident.to_json inc) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    check_true "kind survives"
+      (back.Incident.scenario.Incident.kind
+      = Incident.Backend_run { backend = "pushsum"; b = 7; f = 2 });
+    check_true "everything survives" (back = inc)
+
+let suite =
+  [
+    Alcotest.test_case "registry: names, lookup, exactness" `Quick test_registry;
+    Alcotest.test_case "exec == hand-driven run, every backend" `Quick test_exec_differential;
+    Alcotest.test_case "exec_chaos defaults == exec, every backend" `Quick
+      test_exec_chaos_defaults_match_exec;
+    Alcotest.test_case "planted bit cap fires, every backend" `Quick test_exec_chaos_bit_cap_fires;
+    Alcotest.test_case "gossip unified run == legacy record" `Quick test_gossip_legacy_pin;
+    Alcotest.test_case "flow updating converges failure-free" `Quick test_flow_updating_converges;
+    Alcotest.test_case "flow updating conserves mass at the fixed point" `Quick
+      test_flow_updating_mass_conservation;
+    Alcotest.test_case "flow updating recovers from crashes, push-sum cannot" `Quick
+      test_flow_updating_crash_recovery_beats_pushsum;
+    Alcotest.test_case "flow updating sum/avg modes consistent" `Quick
+      test_flow_updating_modes_consistent;
+    Alcotest.test_case "campaign runs a non-default backend" `Quick test_campaign_backend_smoke;
+    Alcotest.test_case "campaign rejects an unknown backend" `Quick
+      test_campaign_unknown_backend_rejected;
+    Alcotest.test_case "campaign catches a planted cap via Backend_run" `Quick
+      test_campaign_backend_planted_cap;
+    Alcotest.test_case "Backend_run incident JSON roundtrip" `Quick
+      test_incident_backend_roundtrip;
+  ]

@@ -297,6 +297,7 @@ let test_campaign_end_to_end () =
         log = ignore;
         obs = None;
         via = None;
+        backend = "agg";
       }
   in
   check_true "planted cap violates every trial" (outcome.Campaign.o_violating_trials = 6);

@@ -55,22 +55,32 @@ let test_trace_pp () =
 
 (* --- Gossip --- *)
 
+(* The unified runner answers with a [Backend.outcome]; these helpers
+   project the estimate fields the assertions care about. *)
+let gossip ~graph ~failures ~inputs ~rounds ~seed =
+  let params = Params.make ~graph ~inputs () in
+  Gossip.run ~graph ~failures ~params ~rounds ~seed ()
+
+let rel_err o =
+  match o.Backend.result with
+  | Backend.Estimate { relative_error; _ } -> relative_error
+  | Backend.Exact _ -> invalid_arg "rel_err"
+
 let test_gossip_converges_failure_free () =
   let n = 25 in
   let g = Gen.grid n in
   let inputs = Array.init n (fun i -> i + 1) in
-  let o = Gossip.run ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds:300 ~seed:1 in
+  let o = gossip ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds:300 ~seed:1 in
   check_true
-    (Printf.sprintf "estimate %.2f near %d" o.Gossip.estimate (total inputs))
-    (o.Gossip.relative_error < 0.01)
+    (Printf.sprintf "estimate %.2f near %d" (Backend.estimate_of o) (total inputs))
+    (rel_err o < 0.01)
 
 let test_gossip_more_rounds_more_accuracy () =
   let n = 25 in
   let g = Gen.grid n in
   let inputs = Array.init n (fun i -> i + 1) in
   let err rounds =
-    (Gossip.run ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds ~seed:1)
-      .Gossip.relative_error
+    rel_err (gossip ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds ~seed:1)
   in
   check_true "error shrinks with rounds" (err 200 <= err 20 +. 1e-9)
 
@@ -79,7 +89,8 @@ let test_gossip_cc_linear_in_rounds () =
   let g = Gen.grid n in
   let inputs = Array.make n 1 in
   let cc rounds =
-    (Gossip.run ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds ~seed:1).Gossip.cc
+    let o = gossip ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds ~seed:1 in
+    Metrics.cc o.Backend.common.Backend.metrics
   in
   check_int "exact metering" (50 * (5 + 64)) (cc 50)
 
@@ -90,10 +101,10 @@ let test_gossip_degrades_under_failures () =
   let g = Gen.grid n in
   let inputs = Array.make n 10 in
   let failures = Failure.kill_nodes ~n ~nodes:[ 5; 6; 7; 12 ] ~round:30 in
-  let o = Gossip.run ~graph:g ~failures ~inputs ~rounds:300 ~seed:2 in
+  let o = gossip ~graph:g ~failures ~inputs ~rounds:300 ~seed:2 in
   (* dead nodes took in-flight mass with them: the estimate is not exact
      and (generically) even below the survivors' total *)
-  check_true "estimate is only approximate" (o.Gossip.relative_error > 0.001)
+  check_true "estimate is only approximate" (rel_err o > 0.001)
 
 (* --- Synopsis diffusion --- *)
 
@@ -306,8 +317,8 @@ let test_approximate_baselines_across_families () =
       let n = Graph.n g in
       let inputs = Array.make n 5 in
       let d = match Path.diameter g with Some d -> d | None -> 1 in
-      let go = Gossip.run ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds:(20 * d) ~seed:1 in
-      check_true (name ^ ": gossip finite") (Float.is_finite go.Gossip.estimate);
+      let go = gossip ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds:(20 * d) ~seed:1 in
+      check_true (name ^ ": gossip finite") (Float.is_finite (Backend.estimate_of go));
       let sy = Synopsis.run_count ~graph:g ~failures:(Failure.none ~n) ~k:16 ~rounds:(d + 2) ~seed:1 in
       check_true (name ^ ": synopsis positive") (sy.Synopsis.estimate > 0.0))
     (Lazy.force sweep_graphs)
@@ -321,10 +332,9 @@ let qcheck_tests =
         let g = Topo.grid n in
         let inputs = Array.init n (fun i -> i) in
         let o =
-          Gossip.run ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds:250
-            ~seed
+          gossip ~graph:g ~failures:(Failure.none ~n) ~inputs ~rounds:250 ~seed
         in
-        o.Gossip.relative_error < 0.05);
+        rel_err o < 0.05);
     Test.make ~name:"synopsis count estimate within a small factor" ~count:20
       (pair (int_range 20 120) small_int)
       (fun (n, seed) ->
