@@ -1275,9 +1275,10 @@ let e18 () =
 let q4 x = Float.round (x *. 1e4) /. 1e4
 let q2 x = Float.round (x *. 1e2) /. 1e2
 
-(* BENCH_engine.json is shared by [perf] (the top-level engine fields)
-   and [e19] (the "service_throughput" member): each regenerates only its
-   own keys and preserves the other's. *)
+(* BENCH_engine.json is shared by [perf] (the top-level engine fields),
+   [e19] ("service_throughput"), [e20] ("cross_protocol") and [e21]
+   ("update_lag"): each regenerates only its own keys and preserves the
+   others'. *)
 let bench_engine_others keys =
   match Bench_io.read_file ~path:"BENCH_engine.json" with
   | Ok (Bench_io.Obj old) -> List.filter (fun (k, _) -> not (List.mem k keys)) old
@@ -1615,6 +1616,177 @@ let e20 () =
   Printf.printf "wrote BENCH_engine.json (cross_protocol)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E21 — update lag: client-observed latency through a live handoff    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sustained request load from a resilient client session while the
+   server hands off to a successor mid-stream, both legs of the
+   mechanism: fd-pass over a unix socket and unlink-and-rebind over TCP.
+   Everything runs in-process on one thread (the session's [pump] drives
+   the listeners' poll loops), so the percentiles measure the transport
+   and handoff machinery, not process scheduling.  The headline numbers
+   are the client-observed per-request latencies — the handoff shows up
+   as the tail (the request that rides retry/backoff across the gap) and
+   [failed_requests] must stay 0: zero downtime as the client sees it. *)
+let e21 () =
+  header
+    "E21 | update lag — client-observed latency through a live handoff\n\
+     sustained load, takeover mid-stream (fd-pass and rebind legs);\n\
+     per-request percentiles to BENCH_engine.json (update_lag)";
+  let module L = Transport.Listener in
+  let module C = Transport.Client in
+  let module H = Transport.Handoff in
+  let module Srv = Service.Server in
+  let settings =
+    {
+      Service.Reconfig.default with
+      Service.Reconfig.queue_capacity = 64;
+      cache_capacity = 128;
+      tick_batch = 8;
+      checkpoint_every = 0;
+    }
+  in
+  let mk_server ckpt =
+    Srv.create { Srv.settings; checkpoint_path = Some ckpt; name = "bench-e21" }
+  in
+  let submit seed =
+    Printf.sprintf
+      {|{"op":"submit","job":{"family":"grid","n":16,"seed":%d,"failures":"none"}}|} seed
+  in
+  let requests_per_leg = 300 in
+  let handoff_at = requests_per_leg / 3 in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (max 0 (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+  in
+  let fresh_path suffix =
+    let p = Filename.temp_file "ftagg-e21" suffix in
+    Sys.remove p;
+    p
+  in
+  let leg ~name ~address ~ctl ~mode =
+    let ckpt = fresh_path ".ckpt.json" in
+    let t1 =
+      match L.create (L.config ~ctl address) (mk_server ckpt) with
+      | Ok t -> t
+      | Error e -> failwith e
+    in
+    let live = ref [ t1 ] in
+    let pump () = List.iter (fun l -> ignore (L.poll l)) !live in
+    (* resolve an ephemeral TCP port to what the kernel assigned *)
+    let address =
+      match address with
+      | L.Tcp (h, 0) -> L.Tcp (h, Option.get (L.port t1))
+      | a -> a
+    in
+    let retry = C.retry ~attempts:12 ~backoff_ms:2 ~max_backoff_ms:16 ~timeout_ms:8000 () in
+    let s = C.session ~retry ~pump address in
+    let lat = Array.make requests_per_leg 0. in
+    let failed = ref 0 in
+    let handoff_wall = ref 0. in
+    let bounded msg pred =
+      let budget = ref 1_000_000 in
+      while not (pred ()) do
+        decr budget;
+        if !budget <= 0 then failwith ("e21: " ^ msg);
+        pump ()
+      done
+    in
+    let do_handoff () =
+      let (), wall =
+        Bench_io.timed (fun () ->
+            let tk =
+              match H.Takeover.start ~mode ~ctl () with Ok tk -> tk | Error e -> failwith e
+            in
+            let outcome = ref None in
+            bounded "takeover stuck" (fun () ->
+                match H.Takeover.step tk with
+                | `Ready o ->
+                  outcome := Some o;
+                  true
+                | `Failed msg -> failwith ("e21: takeover failed: " ^ msg)
+                | `Pending -> false);
+            let outcome = Option.get !outcome in
+            let t2 =
+              match
+                L.create ?adopted_fd:outcome.H.Takeover.fd (L.config ~ctl address)
+                  (mk_server ckpt)
+              with
+              | Ok t -> t
+              | Error e -> failwith e
+            in
+            live := [ t1; t2 ];
+            H.Takeover.confirm tk;
+            bounded "incumbent never saw the ack" (fun () -> L.handed_off t1);
+            L.drain t1;
+            live := [ t2 ])
+      in
+      handoff_wall := wall
+    in
+    for k = 0 to requests_per_leg - 1 do
+      if k = handoff_at then do_handoff ();
+      (* mostly submits (seeds recycle, so the warm cache matters), with
+         a periodic drain so the queue never backpressures the feed *)
+      let line = if k mod 10 = 9 then {|{"op":"drain"}|} else submit (k mod 40) in
+      let (), wall =
+        Bench_io.timed (fun () ->
+            match C.srequest s line with Ok _ -> () | Error _ -> incr failed)
+      in
+      lat.(k) <- wall *. 1000.
+    done;
+    let reconnects = C.reconnects s in
+    C.sclose s;
+    List.iter L.drain !live;
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ ckpt; ctl ];
+    (match address with
+    | L.Unix_sock p when Sys.file_exists p -> Sys.remove p
+    | _ -> ());
+    let sorted = Array.copy lat in
+    Array.sort compare sorted;
+    let p50 = percentile sorted 50.
+    and p95 = percentile sorted 95.
+    and p99 = percentile sorted 99.
+    and mx = sorted.(requests_per_leg - 1) in
+    Printf.printf
+      "%-12s  %d requests, %d failed, %d reconnect(s)  p50 %6.3f ms  p95 %6.3f ms  p99 %6.3f \
+       ms  max %7.3f ms  (handoff %.1f ms)\n"
+      name requests_per_leg !failed reconnects p50 p95 p99 mx (!handoff_wall *. 1000.);
+    Bench_io.(
+      Obj
+        [
+          ("leg", String name);
+          ("requests", Int requests_per_leg);
+          ("failed_requests", Int !failed);
+          ("reconnects", Int reconnects);
+          ("p50_ms", Float (q4 p50));
+          ("p95_ms", Float (q4 p95));
+          ("p99_ms", Float (q4 p99));
+          ("max_ms", Float (q4 mx));
+          ("handoff_ms", Float (q2 (!handoff_wall *. 1000.)));
+        ])
+  in
+  let sock = fresh_path ".sock" in
+  let legs =
+    [
+      leg ~name:"unix_fd_pass" ~address:(L.Unix_sock sock) ~ctl:(sock ^ ".ctl") ~mode:H.Fd_pass;
+      leg ~name:"tcp_rebind" ~address:(L.Tcp ("127.0.0.1", 0)) ~ctl:(fresh_path ".ctl")
+        ~mode:H.Rebind;
+    ]
+  in
+  let payload =
+    Bench_io.(
+      Obj
+        [
+          ("requests_per_leg", Int requests_per_leg);
+          ("handoff_at", Int handoff_at);
+          ("legs", List legs);
+        ])
+  in
+  Bench_io.write_file ~path:"BENCH_engine.json"
+    (Bench_io.Obj (bench_engine_others [ "update_lag" ] @ [ ("update_lag", payload) ]));
+  Printf.printf "wrote BENCH_engine.json (update_lag)\n"
+
+(* ------------------------------------------------------------------ *)
 (* guard — CI regression gate on the engine hot path                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1680,6 +1852,64 @@ let guard_cross_protocol () =
           crash_scenarios
       | _ -> fail "cross_protocol.rows missing"))
 
+(* The committed E21 update-lag table must exist, cover both handoff
+   legs, and keep the zero-downtime contract: no failed requests, sane
+   (ordered) percentiles, and at least one client reconnect per leg —
+   proof a handoff actually happened mid-stream.  Machine-dependent
+   absolute timings are deliberately not gated. *)
+let guard_update_lag () =
+  let fail msg =
+    Printf.eprintf "guard: update_lag — %s\n" msg;
+    exit 1
+  in
+  match Bench_io.read_file ~path:"BENCH_engine.json" with
+  | exception Sys_error e -> fail e
+  | Error e -> fail e
+  | Ok json -> (
+    match Bench_io.member "update_lag" json with
+    | None -> fail "no update_lag object in BENCH_engine.json (run bench e21)"
+    | Some sub -> (
+      match Bench_io.member "legs" sub with
+      | Some (Bench_io.List legs) ->
+        let get_int k j =
+          match Option.bind (Bench_io.member k j) Bench_io.to_int with
+          | Some i -> i
+          | None -> fail ("leg without integer " ^ k)
+        in
+        let get_float k j =
+          match Bench_io.member k j with
+          | Some (Bench_io.Float x) -> x
+          | Some (Bench_io.Int x) -> float_of_int x
+          | _ -> fail ("leg without number " ^ k)
+        in
+        let get_leg name =
+          match
+            List.find_opt (fun l -> Bench_io.member "leg" l = Some (Bench_io.String name)) legs
+          with
+          | Some l -> l
+          | None -> fail (Printf.sprintf "leg %S missing (run bench e21)" name)
+        in
+        List.iter
+          (fun name ->
+            let l = get_leg name in
+            if get_int "requests" l < 100 then fail (name ^ ": too few requests to mean anything");
+            if get_int "failed_requests" l <> 0 then
+              fail (name ^ ": failed requests through the handoff — downtime is visible");
+            if get_int "reconnects" l < 1 then
+              fail (name ^ ": no reconnect recorded — did the handoff happen?");
+            let p50 = get_float "p50_ms" l
+            and p95 = get_float "p95_ms" l
+            and p99 = get_float "p99_ms" l
+            and mx = get_float "max_ms" l in
+            if not (p50 <= p95 && p95 <= p99 && p99 <= mx) then
+              fail (name ^ ": percentiles out of order");
+            if get_float "handoff_ms" l <= 0. then fail (name ^ ": non-positive handoff wall time");
+            Printf.printf
+              "update_lag %-12s 0 failed, p50 %.3f <= p95 %.3f <= p99 %.3f <= max %.3f ms  OK\n"
+              name p50 p95 p99 mx)
+          [ "unix_fd_pass"; "tcp_rebind" ]
+      | _ -> fail "update_lag.legs missing"))
+
 (* Re-times the fast engine on [perf]'s exact config and compares
    rounds/sec against the committed BENCH_engine.json.  More than a 30%
    drop fails the process (exit 1) — the CI gate for accidental
@@ -1732,6 +1962,7 @@ let guard () =
     end
     else begin
       guard_cross_protocol ();
+      guard_update_lag ();
       Printf.printf "guard: OK\n"
     end
 
@@ -1740,7 +1971,8 @@ let all_experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("timing", timing); ("perf", perf);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
+    ("timing", timing); ("perf", perf);
   ]
 
 (* Runnable only by name — never part of the no-args "run everything"

@@ -780,49 +780,147 @@ let serve_cmd =
       & info [ "max-conns" ] ~docv:"N"
           ~doc:"Concurrent-connection limit; excess connections get server_busy and are closed.")
   in
+  let ctl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ctl" ] ~docv:"PATH"
+          ~doc:
+            "Unix control-socket path for zero-downtime handoff (default: $(i,LISTEN).ctl for a \
+             unix listener; none for TCP unless given).  A successor started with \
+             $(b,--takeover) on this path takes over the live listener without dropping \
+             requests.  SIGUSR2 arms the same drain without exiting.")
+  in
+  let takeover =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "takeover" ] ~docv:"CTL"
+          ~doc:
+            "Start as a handoff successor: request takeover on the incumbent's control socket, \
+             adopt its listening socket (or rebind its address), resume from its checkpoint, \
+             then serve.  --listen is not needed; the address comes from the incumbent.")
+  in
+  let takeover_mode =
+    Arg.(
+      value
+      & opt (enum [ ("fd", Transport.Handoff.Fd_pass); ("rebind", Transport.Handoff.Rebind) ])
+          Transport.Handoff.Fd_pass
+      & info [ "takeover-mode" ] ~docv:"fd|rebind"
+          ~doc:
+            "How the listener moves: $(b,fd) passes the live descriptor over SCM_RIGHTS \
+             (connects made during the handoff queue in the kernel, nothing is dropped); \
+             $(b,rebind) has the incumbent release the address first — the TCP-friendly \
+             fallback, clients ride the gap on retry.")
+  in
   let run (settings, checkpoint_path) prom jsonl listen auth_file idle_timeout max_line max_conns
-      =
-    let obs = Obs.create ~name:"ftagg-serve" () in
-    let config = { Service.Server.settings; checkpoint_path; name = "ftagg-serve" } in
-    let t = Service.Server.create ~obs config in
-    let restored = Service.Server.restored_backlog t in
-    if restored > 0 then Printf.eprintf "serve: restored %d pending job(s) from checkpoint\n%!" restored;
-    let code =
-      match listen with
-      | None -> Service.Server.serve t stdin stdout
-      | Some addr -> (
-        let fail msg =
-          Printf.eprintf "serve: %s\n" msg;
-          exit 3
+      ctl takeover takeover_mode =
+    let fail msg =
+      Printf.eprintf "serve: %s\n" msg;
+      exit 3
+    in
+    let load_auth () =
+      match auth_file with
+      | None -> Transport.Session.Open
+      | Some path -> (
+        match Transport.Auth.load ~path with
+        | Error e -> fail e
+        | Ok table -> Transport.Session.Tokens table)
+    in
+    let auth_banner = function
+      | Transport.Session.Open -> "open, hello optional"
+      | Transport.Session.Tokens table ->
+        Printf.sprintf "%d token(s), %d tenant(s)" (Transport.Auth.size table)
+          (List.length (Transport.Auth.tenants table))
+    in
+    let mk_server checkpoint_path =
+      let obs = Obs.create ~name:"ftagg-serve" () in
+      let config = { Service.Server.settings; checkpoint_path; name = "ftagg-serve" } in
+      (obs, Service.Server.create ~obs config)
+    in
+    let serve_listener obs t ?adopted_fd lcfg =
+      match Transport.Listener.create ?adopted_fd lcfg t with
+      | Error e -> Error e
+      | Ok listener ->
+        Ok
+          (fun () ->
+            let code = Transport.Listener.run listener in
+            export_telemetry ~prom ~jsonl obs;
+            code)
+    in
+    match takeover with
+    | Some ctl_path -> (
+      (* Successor: the incumbent tells us the address and checkpoint;
+         our own flags still control auth, limits and telemetry. *)
+      match Transport.Handoff.Takeover.run ~mode:takeover_mode ~ctl:ctl_path () with
+      | Error e -> fail (Printf.sprintf "--takeover %s: %s" ctl_path e)
+      | Ok (tk, outcome) -> (
+        let abort_with msg =
+          Transport.Handoff.Takeover.abort tk;
+          fail msg
         in
+        match Transport.Listener.address_of_string outcome.Transport.Handoff.Takeover.address with
+        | Error e ->
+          abort_with (Printf.sprintf "incumbent address %S: %s" outcome.Transport.Handoff.Takeover.address e)
+        | Ok address -> (
+          let checkpoint_path =
+            match checkpoint_path with
+            | Some _ -> checkpoint_path
+            | None -> outcome.Transport.Handoff.Takeover.checkpoint_path
+          in
+          let obs, t = mk_server checkpoint_path in
+          (match Service.Server.restore_error t with
+          | Some e ->
+            (* Adopting the traffic while silently dropping the state the
+               incumbent just checkpointed would be a lie; bail and let
+               the incumbent resume. *)
+            abort_with (Printf.sprintf "refusing takeover: %s" e)
+          | None -> ());
+          let auth = load_auth () in
+          let lcfg =
+            Transport.Listener.config ~auth ~max_line ~idle_timeout ~max_conns
+              ~ctl:(Option.value ctl ~default:ctl_path) address
+          in
+          match serve_listener obs t ?adopted_fd:outcome.Transport.Handoff.Takeover.fd lcfg with
+          | Error e -> abort_with e
+          | Ok go ->
+            Transport.Handoff.Takeover.confirm tk;
+            Printf.eprintf "serve: took over %s (%s mode, %d job(s) restored, %s)\n%!"
+              (Transport.Listener.address_to_string address)
+              (Transport.Handoff.mode_to_string takeover_mode)
+              (Service.Server.restored_backlog t) (auth_banner auth);
+            go ())))
+    | None -> (
+      let obs, t = mk_server checkpoint_path in
+      (match Service.Server.restore_error t with
+      | Some e -> Printf.eprintf "serve: WARNING: %s; starting empty\n%!" e
+      | None -> ());
+      let restored = Service.Server.restored_backlog t in
+      if restored > 0 then
+        Printf.eprintf "serve: restored %d pending job(s) from checkpoint\n%!" restored;
+      match listen with
+      | None ->
+        let code = Service.Server.serve t stdin stdout in
+        export_telemetry ~prom ~jsonl obs;
+        code
+      | Some addr -> (
         match Transport.Listener.address_of_string addr with
         | Error e -> fail (Printf.sprintf "--listen %s: %s" addr e)
         | Ok address -> (
-          let auth =
-            match auth_file with
-            | None -> Transport.Session.Open
-            | Some path -> (
-              match Transport.Auth.load ~path with
-              | Error e -> fail e
-              | Ok table -> Transport.Session.Tokens table)
-          in
+          let auth = load_auth () in
           let lcfg =
-            Transport.Listener.config ~auth ~max_line ~idle_timeout ~max_conns address
+            Transport.Listener.config ~auth ~max_line ~idle_timeout ~max_conns ?ctl address
           in
-          match Transport.Listener.create lcfg t with
+          match serve_listener obs t lcfg with
           | Error e -> fail e
-          | Ok listener ->
-            Printf.eprintf "serve: listening on %s (%s)\n%!"
+          | Ok go ->
+            Printf.eprintf "serve: listening on %s (%s%s)\n%!"
               (Transport.Listener.address_to_string address)
-              (match auth with
-              | Transport.Session.Open -> "open, hello optional"
-              | Transport.Session.Tokens table ->
-                Printf.sprintf "%d token(s), %d tenant(s)" (Transport.Auth.size table)
-                  (List.length (Transport.Auth.tenants table)));
-            Transport.Listener.run listener))
-    in
-    export_telemetry ~prom ~jsonl obs;
-    code
+              (auth_banner auth)
+              (match Transport.Listener.(lcfg.ctl) with
+              | Some c -> Printf.sprintf ", handoff ctl %s" c
+              | None -> "");
+            go ())))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -830,10 +928,11 @@ let serve_cmd =
          "Run the long-lived aggregation service: one JSON request per line, one response per \
           line (ops: submit, tick, drain, get, cancel, status, reconfig, checkpoint, metrics, \
           shutdown).  Default transport is stdin/stdout; --listen serves many concurrent \
-          clients over a Unix or TCP socket with per-connection tenants.")
+          clients over a Unix or TCP socket with per-connection tenants; --takeover replaces a \
+          running server with zero downtime (drain, checkpoint, fd pass, resume).")
     Term.(
       const run $ service_settings_term $ prom $ jsonl $ listen $ auth_file $ idle_timeout
-      $ max_line $ max_conns)
+      $ max_line $ max_conns $ ctl $ takeover $ takeover_mode)
 
 let client_cmd =
   let files =
@@ -870,12 +969,39 @@ let client_cmd =
       & info [ "tenant" ] ~docv:"NAME"
           ~doc:"Tenant to bind via hello on an open (no-auth) server.")
   in
-  let run (settings, checkpoint_path) files no_drain connect token tenant =
+  let retries =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts per request over --connect (including the first).  Lost connections and \
+             handoff goodbyes reconnect, re-run the handshake and resubmit — idempotent because \
+             job identity is the content digest.  1 disables retry.")
+  in
+  let retry_backoff =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "retry-backoff" ] ~docv:"MS"
+          ~doc:
+            "Base backoff before the first retry; doubles per attempt (capped at 40x) with \
+             deterministic jitter in [0.5d, d).")
+  in
+  let retry_seed =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:"Jitter PRNG seed — fixes the whole backoff schedule, for reproducible runs.")
+  in
+  let run (settings, checkpoint_path) files no_drain connect token tenant retries retry_backoff
+      retry_seed =
     (* The same protocol either way: exit 2 if any response carries
-       ok:false (the service refused or failed a request), 3 on an
-       unreadable script or a dead connection.  Without --connect the
-       server is in-process, driven through [handle] — scripting and CI
-       without process plumbing. *)
+       ok:false (the service refused or failed a request) or the retry
+       budget for a request is exhausted; 3 on an unreadable script or a
+       bad address.  Without --connect the server is in-process, driven
+       through [handle] — scripting and CI without process plumbing. *)
     let refused = ref false in
     let note_response response =
       print_endline response;
@@ -900,33 +1026,39 @@ let client_cmd =
         in
         match Transport.Listener.address_of_string addr with
         | Error e -> fail (Printf.sprintf "--connect %s: %s" addr e)
-        | Ok address -> (
-          match Transport.Client.connect address with
-          | Error e -> fail e
-          | Ok c ->
-            (* hello first when an identity was given; a refusal closes
-               the connection, so surface it and stop with exit 2. *)
-            (match (token, tenant) with
-            | None, None -> ()
-            | _ -> (
-              match Transport.Client.hello ?token ?tenant c with
-              | Error e -> fail e
-              | Ok response ->
-                note_response response;
-                if !refused then begin
-                  Transport.Client.close c;
-                  exit 2
-                end));
-            ( (fun line ->
-                match Transport.Client.request c line with
-                | Error e -> fail e
-                | Ok response -> note_response response),
-              fun () ->
-                (if not no_drain then
-                   match Transport.Client.request c {|{"op":"drain"}|} with
-                   | Error e -> fail e
-                   | Ok response -> note_response response);
-                Transport.Client.close c )))
+        | Ok address ->
+          let retry =
+            Transport.Client.retry ~attempts:retries ~backoff_ms:retry_backoff
+              ~max_backoff_ms:(retry_backoff * 40) ~seed:retry_seed ()
+          in
+          let s = Transport.Client.session ?token ?tenant ~retry address in
+          let on_result = function
+            | Ok response -> note_response response
+            | Error (Transport.Client.Refused response) ->
+              (* The handshake was refused: surface the structured line
+                 and stop — retrying a bad token cannot help. *)
+              note_response response;
+              Transport.Client.sclose s;
+              exit 2
+            | Error (Transport.Client.Exhausted _ as f) ->
+              Printf.eprintf "client: %s\n" (Transport.Client.failure_message f);
+              Transport.Client.sclose s;
+              exit 2
+          in
+          (* hello eagerly when an identity was given, so the handshake
+             response is printed before any request (as a lone blocking
+             hello used to) and a refusal stops before the first job. *)
+          (match (token, tenant) with
+          | None, None -> ()
+          | _ ->
+            on_result
+              (Result.map
+                 (fun r -> Option.value r ~default:"")
+                 (Transport.Client.shello s)));
+          ( (fun line -> on_result (Transport.Client.srequest s line)),
+            fun () ->
+              if not no_drain then on_result (Transport.Client.srequest s {|{"op":"drain"}|});
+              Transport.Client.sclose s ))
     in
     let submit_line line = if String.trim line <> "" then step line in
     let run_file path =
@@ -944,8 +1076,11 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:
          "Feed service request scripts to a server and print the responses: in-process by \
-          default, or a running serve --listen socket via --connect.")
-    Term.(const run $ service_settings_term $ files $ no_drain $ connect $ token $ tenant)
+          default, or a running serve --listen socket via --connect (with automatic \
+          retry/backoff across restarts and live handoffs).")
+    Term.(
+      const run $ service_settings_term $ files $ no_drain $ connect $ token $ tenant $ retries
+      $ retry_backoff $ retry_seed)
 
 let () =
   let doc = "fault-tolerant aggregation with near-optimal communication-time tradeoff" in

@@ -1,0 +1,111 @@
+(* Live handoff: replace a running server without dropping a client.
+
+   One process plays all three parts.  An *incumbent* `Transport.Listener`
+   serves a unix socket (with its control socket alongside); a resilient
+   `Transport.Client.session` submits a job and drains it; then a
+   *successor* runs the takeover conversation over the control socket —
+   the incumbent finishes in-flight work, writes its final checkpoint,
+   and passes the live listening descriptor over SCM_RIGHTS.  The same
+   client object then resubmits the same job against the successor: its
+   retry loop treats the incumbent's goodbye as transient, reconnects,
+   and the answer comes back as a cache hit off the restored checkpoint —
+   the resubmission was idempotent, and no request ever failed.
+
+   Everything is driven from this one thread: the session's [pump]
+   callback polls whichever listeners are currently alive.
+
+   Over a real deployment the same flow is:
+
+     ftagg serve --listen unix:/tmp/ftagg.sock --checkpoint state.json &
+     ...
+     ftagg serve --takeover /tmp/ftagg.sock.ctl     # the successor
+     # or, to drain-and-checkpoint without a successor yet:
+     kill -USR2 <incumbent-pid>
+*)
+
+open Ftagg
+module Listener = Transport.Listener
+module Client = Transport.Client
+module Handoff = Transport.Handoff
+
+let () =
+  Registry.set_enabled true;
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir (Printf.sprintf "ftagg-handoff-%d.sock" (Unix.getpid ())) in
+  let ctl = path ^ ".ctl" in
+  let ckpt = Filename.concat dir (Printf.sprintf "ftagg-handoff-%d.ckpt.json" (Unix.getpid ())) in
+
+  let mk_server () =
+    Service.Server.create
+      {
+        Service.Server.settings =
+          { Service.Reconfig.default with Service.Reconfig.tick_batch = 4; checkpoint_every = 0 };
+        checkpoint_path = Some ckpt;
+        name = "handoff-demo";
+      }
+  in
+  let incumbent =
+    Result.get_ok (Listener.create (Listener.config (Listener.Unix_sock path)) (mk_server ()))
+  in
+  Printf.printf "incumbent    : listening on unix:%s (ctl %s)\n" path ctl;
+
+  (* The listeners the pump currently drives; the handoff swaps this. *)
+  let live = ref [ incumbent ] in
+  let pump () = List.iter (fun l -> ignore (Listener.poll l)) !live in
+  let session =
+    Client.session
+      ~retry:(Client.retry ~attempts:10 ~backoff_ms:2 ~max_backoff_ms:20 ())
+      ~pump (Listener.Unix_sock path)
+  in
+  let say label = function
+    | Ok line -> Printf.printf "%-13s: %s\n" label line
+    | Error f -> failwith (Client.failure_message f)
+  in
+
+  Fun.protect
+    ~finally:(fun () ->
+      Client.sclose session;
+      List.iter Listener.drain !live;
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; ctl; ckpt ])
+    (fun () ->
+      let job = {|{"op":"submit","job":{"family":"grid","n":16,"seed":7,"failures":"none"}}|} in
+      say "submit" (Client.srequest session job);
+      say "drain" (Client.srequest session {|{"op":"drain"}|});
+
+      (* The successor's side of the control conversation: one call that
+         drains the incumbent, checkpoints, and hands us the live fd. *)
+      print_endline "\n-- takeover --";
+      let tk, outcome =
+        match Handoff.Takeover.run ~mode:Handoff.Fd_pass ~sleep:(fun _ -> pump ()) ~ctl () with
+        | Ok x -> x
+        | Error e -> failwith e
+      in
+      Printf.printf "successor    : adopting %s (checkpoint %s, fd %s)\n"
+        outcome.Handoff.Takeover.address
+        (Option.value outcome.Handoff.Takeover.checkpoint_path ~default:"-")
+        (match outcome.Handoff.Takeover.fd with Some _ -> "passed" | None -> "rebind");
+      let successor_server = mk_server () in
+      (match Service.Server.restore_error successor_server with
+      | Some e -> failwith ("refusing takeover: " ^ e)
+      | None -> ());
+      let successor =
+        Result.get_ok
+          (Listener.create ?adopted_fd:outcome.Handoff.Takeover.fd
+             (Listener.config (Listener.Unix_sock path))
+             successor_server)
+      in
+      live := [ incumbent; successor ];
+      Handoff.Takeover.confirm tk;
+      while not (Listener.handed_off incumbent) do
+        pump ()
+      done;
+      Listener.drain incumbent;
+      live := [ successor ];
+      print_endline "incumbent    : handed off, exited\n";
+
+      (* Same session object, same job: the goodbye was transient, the
+         reconnect landed on the successor, and the restored cache makes
+         the resubmission idempotent — note "cached": true below. *)
+      say "resubmit" (Client.srequest session job);
+      say "drain" (Client.srequest session {|{"op":"drain"}|});
+      Printf.printf "\nsession healed %d time(s); no request failed\n" (Client.reconnects session))

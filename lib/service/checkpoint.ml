@@ -119,9 +119,28 @@ let of_json json =
   in
   Ok { s_next_id; s_tick; s_pending; s_completed }
 
-let save ~path state = Bench_io.write_file ~path (to_json state)
+(* Atomic save: write the whole document to [path].tmp, fsync, then
+   rename over [path].  A crash at any point leaves either the previous
+   complete checkpoint or a stray .tmp — never a torn file at [path], so
+   [load] can treat a parse failure as corruption rather than bad luck. *)
+let save ~path state =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (Bench_io.to_string ~indent:true (to_json state));
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load ~path =
   match Bench_io.read_file ~path with
-  | Error e -> Error (Printf.sprintf "checkpoint: %s" e)
+  | Error e ->
+    Error
+      (Printf.sprintf
+         "checkpoint: %s is torn or corrupt (%s); refusing to resume from partial state" path e)
   | Ok json -> of_json json

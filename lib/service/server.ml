@@ -17,21 +17,27 @@ type t = {
   obs : Obs.t;
   mutable shutdown : bool;
   mutable restored : int;  (* pending jobs recovered from the checkpoint *)
+  restore_error : string option;  (* why the checkpoint was not restored *)
 }
 
 let scheduler t = t.scheduler
 let obs t = t.obs
 let shutdown_requested t = t.shutdown
+let checkpoint_path t = t.config.checkpoint_path
+let restore_error t = t.restore_error
 
 let create ?obs config =
   let obs = match obs with Some o -> o | None -> Obs.create ~name:config.name () in
-  let restored_state =
+  let restored_state, restore_error =
     match config.checkpoint_path with
     | Some path when Sys.file_exists path -> (
       match Checkpoint.load ~path with
-      | Ok state -> Some state
-      | Error _ -> None (* a corrupt checkpoint must not brick the server *))
-    | _ -> None
+      | Ok state -> (Some state, None)
+      (* A corrupt checkpoint must not brick the server: start empty, but
+         surface the reason so callers can warn (or, for a handoff
+         successor, refuse to adopt). *)
+      | Error e -> (None, Some e))
+    | _ -> (None, None)
   in
   let scheduler =
     match restored_state with
@@ -50,6 +56,7 @@ let create ?obs config =
       (match restored_state with
       | Some s -> List.length s.Checkpoint.s_pending
       | None -> 0);
+    restore_error;
   }
 
 let restored_backlog t = t.restored

@@ -69,6 +69,16 @@ val shutdown_requested : t -> bool
 val restored_backlog : t -> int
 (** Pending jobs recovered from the checkpoint at startup. *)
 
+val checkpoint_path : t -> string option
+(** The configured checkpoint path (what a handoff successor resumes
+    from). *)
+
+val restore_error : t -> string option
+(** Why the startup checkpoint was {e not} restored ([Some] iff a file
+    existed but was torn/corrupt/unreadable).  The server still starts —
+    empty — but callers that need the state (the CLI's warning banner,
+    [--takeover]) can refuse or report. *)
+
 val finish : t -> unit
 (** Write the final checkpoint (what {!serve} does on exit) — for
     embedders driving {!handle} themselves. *)

@@ -1,6 +1,7 @@
 module Server = Ftagg_service.Server
 module Scheduler = Ftagg_service.Scheduler
 module Obs = Ftagg_obs.Obs
+module Span = Ftagg_obs.Span
 module Registry = Ftagg_obs.Registry
 module Bench_io = Ftagg_runner.Bench_io
 
@@ -30,6 +31,10 @@ let address_to_string = function
   | Unix_sock path -> "unix:" ^ path
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
+let default_ctl_path = function
+  | Unix_sock path -> Some (path ^ ".ctl")
+  | Tcp _ -> None
+
 type config = {
   address : address;
   auth : Session.auth_mode;
@@ -37,11 +42,13 @@ type config = {
   idle_timeout : float;
   max_conns : int;
   now : unit -> float;
+  ctl : string option;
 }
 
 let config ?(auth = Session.Open) ?(max_line = 65536) ?(idle_timeout = 300.) ?(max_conns = 64)
-    ?(now = Unix.gettimeofday) address =
-  { address; auth; max_line; idle_timeout; max_conns; now }
+    ?(now = Unix.gettimeofday) ?ctl address =
+  let ctl = match ctl with Some _ as c -> c | None -> default_ctl_path address in
+  { address; auth; max_line; idle_timeout; max_conns; now; ctl }
 
 type conn = {
   fd : Unix.file_descr;
@@ -53,10 +60,26 @@ type conn = {
   mutable closing : bool;  (* close once [out] is flushed *)
 }
 
+(* A control-socket connection: no session/auth (the ctl socket is a
+   local, root-of-trust channel — filesystem permissions are the auth),
+   just line framing for the takeover protocol. *)
+type ctl_conn = { cfd : Unix.file_descr; cframe : Frame.t }
+
+type handoff_phase =
+  | H_idle
+  | H_awaiting_ack of { hconn : ctl_conn; hmode : Handoff.mode; h_started : float }
+
 type t = {
   cfg : config;
   server : Server.t;
-  listen_fd : Unix.file_descr;
+  mutable listen_fd : Unix.file_descr;
+  mutable listen_open : bool;  (* false once rebind-mode handoff closed it *)
+  ctl_fd : Unix.file_descr option;
+  mutable ctl_conns : ctl_conn list;
+  mutable handoff : handoff_phase;
+  mutable accept_paused : bool;  (* armed or handing off: connects queue *)
+  mutable handoff_armed : bool;  (* set from the SIGUSR2 handler *)
+  mutable handed_off : bool;  (* a successor adopted: exit hands-off *)
   registry : Registry.t;
   mutable conns : conn list;
   mutable stop_requested : bool;
@@ -70,50 +93,102 @@ let add t name k = Registry.incr t.registry name k
 let set_open_gauge t =
   Registry.set_gauge t.registry "transport_open_connections" (float_of_int (List.length t.conns))
 
-let create cfg server =
+let bind_listener address =
+  match address with
+  | Unix_sock path ->
+    if Sys.file_exists path then
+      if (Unix.stat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+      else Printf.ksprintf failwith "%s exists and is not a socket" path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    (fd, None)
+  | Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | exception Not_found -> Printf.ksprintf failwith "unknown host %S" host
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    let bound = match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> Some p | _ -> None in
+    (fd, bound)
+
+let create ?adopted_fd cfg server =
+  (* A client that disconnects mid-write must cost EPIPE on one
+     connection, never SIGPIPE on the process — for [run] and for anyone
+     driving [poll] by hand, so it is set here, not just in [run]. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let mk_listen () =
-    match cfg.address with
-    | Unix_sock path ->
+    match adopted_fd with
+    | Some fd ->
+      (* Handoff adoption: the descriptor is already bound and listening
+         (it shares the incumbent's open socket, accept backlog
+         included), so binding — let alone unlinking the path — would be
+         wrong.  Nonblocking status rides along on the shared open file
+         description, but set it anyway for self-containedness. *)
+      let bound =
+        match cfg.address with
+        | Tcp _ -> (
+          match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> Some p | _ -> None)
+        | Unix_sock _ -> None
+      in
+      (fd, bound)
+    | None ->
+      let fd, bound = bind_listener cfg.address in
+      Unix.listen fd 64;
+      (fd, bound)
+  in
+  let mk_ctl () =
+    match cfg.ctl with
+    | None -> None
+    | Some path ->
       if Sys.file_exists path then
         if (Unix.stat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
         else Printf.ksprintf failwith "%s exists and is not a socket" path;
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
-      (fd, None)
-    | Tcp (host, port) ->
-      let addr =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          match Unix.gethostbyname host with
-          | exception Not_found -> Printf.ksprintf failwith "unknown host %S" host
-          | h -> h.Unix.h_addr_list.(0))
-      in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (addr, port));
-      let bound =
-        match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> Some p | _ -> None
-      in
-      (fd, bound)
+      Unix.listen fd 8;
+      Unix.set_nonblock fd;
+      Some fd
   in
-  match mk_listen () with
+  match
+    let listen_fd, bound_port = mk_listen () in
+    Unix.set_nonblock listen_fd;
+    let ctl_fd = mk_ctl () in
+    (listen_fd, bound_port, ctl_fd)
+  with
   | exception Failure msg -> Error msg
   | exception Unix.Unix_error (e, fn, arg) ->
     Printf.ksprintf Result.error "%s: %s(%s): %s" (address_to_string cfg.address)
       (Unix.error_message e) fn arg
-  | listen_fd, bound_port ->
-    Unix.listen listen_fd 64;
-    Unix.set_nonblock listen_fd;
+  | listen_fd, bound_port, ctl_fd ->
     let registry = Obs.registry (Server.obs server) in
     Ok
       {
-        cfg; server; listen_fd; registry; conns = []; stop_requested = false; drained = false;
-        bound_port;
+        cfg; server; listen_fd; listen_open = true; ctl_fd; ctl_conns = []; handoff = H_idle;
+        accept_paused = false; handoff_armed = false; handed_off = false; registry; conns = [];
+        stop_requested = false; drained = false; bound_port;
       }
 
 let connections t = List.length t.conns
 let port t = t.bound_port
 let stop t = t.stop_requested <- true
+let handed_off t = t.handed_off
+let request_handoff t = t.handoff_armed <- true
+let ctl_path t = t.cfg.ctl
+
+let handoff_in_progress t =
+  match t.handoff with H_idle -> false | H_awaiting_ack _ -> true
+
+(* The address a successor should serve: the configured one, with an
+   ephemeral TCP port resolved to what the kernel actually assigned. *)
+let effective_address t =
+  match (t.cfg.address, t.bound_port) with
+  | Tcp (host, 0), Some p -> Tcp (host, p)
+  | a, _ -> a
 
 (* ---- per-connection plumbing ---- *)
 
@@ -156,7 +231,7 @@ let apply_reply conn (reply : Session.reply) =
   if reply.Session.close then conn.closing <- true
 
 let accepting t =
-  (not t.stop_requested) && not t.drained
+  (not t.stop_requested) && (not t.drained) && (not t.accept_paused) && t.listen_open
 
 let accept_ready t =
   match Unix.accept t.listen_fd with
@@ -255,9 +330,233 @@ let reap_closed t =
     (fun conn -> if conn.closing && Buffer.length conn.out - conn.out_off = 0 then close_conn t conn)
     t.conns
 
+(* ---- the handoff path ---- *)
+
+let ev t fields = Obs.event (Server.obs t.server) ~kind:"handoff" fields
+
+(* Small bounded write for control-socket lines: the peer is a local
+   cooperating process, so a couple of short retries cover any transient
+   EAGAIN without risking an unbounded spin. *)
+let write_all fd s =
+  let len = String.length s in
+  let rec go off tries =
+    if off >= len then true
+    else if tries <= 0 then false
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 0.05);
+        go off (tries - 1)
+      | exception Unix.Unix_error (_, _, _) -> false
+      | n -> go (off + n) tries
+  in
+  go 0 50
+
+let ctl_send cconn line = ignore (write_all cconn.cfd (line ^ "\n"))
+
+let close_ctl_conn t cconn =
+  (try Unix.close cconn.cfd with Unix.Unix_error (_, _, _) -> ());
+  t.ctl_conns <- List.filter (fun c -> c != cconn) t.ctl_conns
+
+(* Finish in-flight work and write the final checkpoint, under an
+   observable span.  Both the SIGUSR2 arm and an incoming takeover run
+   this; it is idempotent (draining an empty queue is free). *)
+let drain_for_handoff t =
+  let obs = Server.obs t.server in
+  Span.with_ambient (Obs.spans obs) (fun () ->
+      Span.enter ~node:(-1) "handoff/drain";
+      let finished = List.length (Scheduler.drain (Server.scheduler t.server)) in
+      Server.finish t.server;
+      Span.exit_named ~node:(-1) "handoff/drain";
+      finished)
+
+(* SIGUSR2 arrived (or [request_handoff] was called): stop accepting —
+   connects queue in the kernel backlog — finish the backlog and write
+   the checkpoint, but keep serving open connections while waiting for a
+   successor.  Distinct from SIGTERM, which drains {e and exits}. *)
+let arm t =
+  if (not t.accept_paused) && not t.drained then begin
+    t.accept_paused <- true;
+    bump t "transport_handoff_arms_total";
+    let finished = drain_for_handoff t in
+    ev t
+      [
+        ("phase", Bench_io.String "armed");
+        ("finished", Bench_io.Int finished);
+        ("connections", Bench_io.Int (List.length t.conns));
+      ]
+  end
+
+let goodbye_line =
+  Bench_io.to_string ~indent:false
+    (Bench_io.Obj
+       [
+         ("ok", Bench_io.Bool false); ("op", Bench_io.String "transport");
+         ("error", Bench_io.String "handing_off");
+         ("detail", Bench_io.String "server is handing off; reconnect");
+       ])
+
+let say_goodbye t conn =
+  enqueue conn goodbye_line;
+  conn.closing <- true;
+  let rec flush_retries k =
+    if k > 0 && not (flush_conn t conn) then begin
+      ignore (Unix.select [] [ conn.fd ] [] 0.05);
+      flush_retries (k - 1)
+    end
+  in
+  flush_retries 20;
+  close_conn t conn
+
+let begin_handoff t cconn mode =
+  let started = t.cfg.now () in
+  ev t [ ("phase", Bench_io.String "begin");
+         ("mode", Bench_io.String (Handoff.mode_to_string mode)) ];
+  t.accept_paused <- true;
+  (* Connected clients get a structured goodbye, not a silent reset:
+     their retry loop reconnects to the successor. *)
+  List.iter (fun conn -> say_goodbye t conn) t.conns;
+  let finished = drain_for_handoff t in
+  ev t [ ("phase", Bench_io.String "drained"); ("finished", Bench_io.Int finished) ];
+  let fd_follows = mode = Handoff.Fd_pass && Fd_passing.available && t.listen_open in
+  (match mode with
+  | Handoff.Fd_pass -> ()
+  | Handoff.Rebind ->
+    (* Release the address before the reply so the successor can bind
+       the moment it reads it.  Clients ride the gap on retry/backoff. *)
+    if t.listen_open then begin
+      (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+      t.listen_open <- false;
+      match t.cfg.address with
+      | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+      | Tcp _ -> ()
+    end);
+  let reply =
+    {
+      Handoff.r_address = address_to_string (effective_address t);
+      r_checkpoint = Server.checkpoint_path t.server;
+      r_fd_follows = fd_follows;
+    }
+  in
+  ctl_send cconn (Handoff.reply_line reply);
+  let sent =
+    if not fd_follows then true
+    else
+      match Fd_passing.send_fd ~sock:cconn.cfd ~fd:t.listen_fd with
+      | Ok () -> true
+      | Error e ->
+        ev t [ ("phase", Bench_io.String "fd_send_failed"); ("error", Bench_io.String e) ];
+        false
+  in
+  if sent then t.handoff <- H_awaiting_ack { hconn = cconn; hmode = mode; h_started = started }
+  else begin
+    (* Could not hand the fd over: close the control connection (the
+       successor sees EOF and gives up) and resume serving ourselves. *)
+    bump t "transport_handoff_aborts_total";
+    close_ctl_conn t cconn;
+    t.accept_paused <- false
+  end
+
+let complete_handoff t hconn hmode h_started =
+  t.handoff <- H_idle;
+  t.handed_off <- true;
+  t.stop_requested <- true;
+  bump t "transport_handoffs_total";
+  Registry.observe t.registry "transport_handoff_seconds" (t.cfg.now () -. h_started);
+  ev t
+    [
+      ("phase", Bench_io.String "adopted");
+      ("mode", Bench_io.String (Handoff.mode_to_string hmode));
+    ];
+  close_ctl_conn t hconn
+
+(* The successor died mid-takeover (control EOF before [adopted]): take
+   the listener back and resume.  In fd mode our descriptor never left;
+   in rebind mode the address was released, so re-bind it. *)
+let abort_handoff t hmode =
+  t.handoff <- H_idle;
+  bump t "transport_handoff_aborts_total";
+  let resumed =
+    match hmode with
+    | Handoff.Fd_pass -> true
+    | Handoff.Rebind -> (
+      match bind_listener (effective_address t) with
+      | exception Failure _ | exception Unix.Unix_error (_, _, _) -> false
+      | fd, _ ->
+        Unix.listen fd 64;
+        Unix.set_nonblock fd;
+        t.listen_fd <- fd;
+        t.listen_open <- true;
+        true)
+  in
+  if resumed then t.accept_paused <- false;
+  ev t
+    [
+      ("phase", Bench_io.String "aborted");
+      ("mode", Bench_io.String (Handoff.mode_to_string hmode));
+      ("resumed", Bench_io.Bool resumed);
+    ]
+
+let refuse t cconn ~error ~detail =
+  bump t "transport_handoff_refused_total";
+  ctl_send cconn (Handoff.refusal ~error ~detail);
+  close_ctl_conn t cconn
+
+let handle_ctl_line t cconn line =
+  if String.trim line = "" then ()
+  else
+    match t.handoff with
+    | H_awaiting_ack { hconn; hmode; h_started } when hconn == cconn ->
+      if Handoff.parse_adopted line then complete_handoff t hconn hmode h_started
+    | H_awaiting_ack _ ->
+      refuse t cconn ~error:"handoff_in_progress"
+        ~detail:"another successor is mid-takeover; only one at a time"
+    | H_idle -> (
+      bump t "transport_handoff_requests_total";
+      if t.stop_requested || t.drained then
+        refuse t cconn ~error:"shutting_down" ~detail:"server is already stopping"
+      else
+        match Handoff.parse_request line with
+        | Error (`Refuse (error, detail)) -> refuse t cconn ~error ~detail
+        | Ok mode -> begin_handoff t cconn mode)
+
+let ctl_accept_ready t ctl_fd =
+  match Unix.accept ctl_fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> false
+  | fd, _peer ->
+    Unix.set_nonblock fd;
+    t.ctl_conns <- { cfd = fd; cframe = Frame.create ~max_line:4096 } :: t.ctl_conns;
+    true
+
+let ctl_read_ready t cconn =
+  match Unix.read cconn.cfd read_buf 0 (Bytes.length read_buf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) | 0 ->
+    (match t.handoff with
+    | H_awaiting_ack { hconn; hmode; _ } when hconn == cconn ->
+      close_ctl_conn t cconn;
+      abort_handoff t hmode
+    | _ -> close_ctl_conn t cconn)
+  | n ->
+    let items = Frame.feed cconn.cframe read_buf ~off:0 ~len:n in
+    List.iter
+      (fun item ->
+        match item with
+        | Frame.Line l -> handle_ctl_line t cconn l
+        | Frame.Oversized _ ->
+          refuse t cconn ~error:"bad_request" ~detail:"oversized control line")
+      items
+
 let poll ?(timeout = 0.) t =
+  if t.handoff_armed then begin
+    t.handoff_armed <- false;
+    arm t
+  end;
+  let ctl_listen = match t.ctl_fd with Some fd -> [ fd ] | None -> [] in
   let read_fds =
     (if accepting t then [ t.listen_fd ] else [])
+    @ ctl_listen
+    @ List.map (fun c -> c.cfd) t.ctl_conns
     @ List.filter_map (fun c -> if c.closing then None else Some c.fd) t.conns
   in
   let write_fds =
@@ -267,12 +566,26 @@ let poll ?(timeout = 0.) t =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
   | readable, writable, _ ->
     let events = ref 0 in
-    if List.mem t.listen_fd readable then begin
+    if t.listen_open && accepting t && List.mem t.listen_fd readable then begin
       let more = ref true in
       while !more do
         if accept_ready t then incr events else more := false
       done
     end;
+    (match t.ctl_fd with
+    | Some fd when List.mem fd readable ->
+      let more = ref true in
+      while !more do
+        if ctl_accept_ready t fd then incr events else more := false
+      done
+    | _ -> ());
+    List.iter
+      (fun cconn ->
+        if List.mem cconn.cfd readable then begin
+          incr events;
+          ctl_read_ready t cconn
+        end)
+      t.ctl_conns;
     List.iter
       (fun conn ->
         if List.mem conn.fd readable then begin
@@ -293,38 +606,69 @@ let poll ?(timeout = 0.) t =
 
 (* ---- shutdown ---- *)
 
+let close_ctl t =
+  List.iter (fun c -> try Unix.close c.cfd with Unix.Unix_error (_, _, _) -> ()) t.ctl_conns;
+  t.ctl_conns <- [];
+  match t.ctl_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  | None -> ()
+
 let drain t =
   if not t.drained then begin
     t.drained <- true;
-    (* Best-effort flush of everything already queued, then hang up. *)
-    List.iter
-      (fun conn ->
-        let rec flush_retries k =
-          if k > 0 && not (flush_conn t conn) then begin
-            ignore (Unix.select [] [ conn.fd ] [] 0.05);
-            flush_retries (k - 1)
-          end
-        in
-        flush_retries 20)
-      t.conns;
-    List.iter (fun conn -> close_conn t conn) t.conns;
-    (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
-    (match t.cfg.address with
-    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
-    | Tcp _ -> ());
-    (* Finish the admitted backlog, then the final checkpoint: SIGTERM is
-       a graceful drain, not an abort. *)
-    ignore (Scheduler.drain (Server.scheduler t.server));
-    Server.finish t.server
+    if t.handed_off then begin
+      (* The successor owns everything now — the socket path (it may be
+         serving on our very descriptor), the control-socket path (it has
+         rebound it), and the checkpoint file (it resumed from it and
+         will write its own).  Close our descriptors and get out of the
+         way: no unlinks, no final checkpoint. *)
+      List.iter (fun conn -> close_conn t conn) t.conns;
+      if t.listen_open then begin
+        (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+        t.listen_open <- false
+      end;
+      close_ctl t
+    end
+    else begin
+      (* Best-effort flush of everything already queued, then hang up. *)
+      List.iter
+        (fun conn ->
+          let rec flush_retries k =
+            if k > 0 && not (flush_conn t conn) then begin
+              ignore (Unix.select [] [ conn.fd ] [] 0.05);
+              flush_retries (k - 1)
+            end
+          in
+          flush_retries 20)
+        t.conns;
+      List.iter (fun conn -> close_conn t conn) t.conns;
+      if t.listen_open then begin
+        (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+        t.listen_open <- false;
+        match t.cfg.address with
+        | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+        | Tcp _ -> ()
+      end;
+      close_ctl t;
+      (match t.cfg.ctl with
+      | Some path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+      | None -> ());
+      (* Finish the admitted backlog, then the final checkpoint: SIGTERM is
+         a graceful drain, not an abort. *)
+      ignore (Scheduler.drain (Server.scheduler t.server));
+      Server.finish t.server
+    end
   end
 
 let run t =
   let previous_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop t)) in
   let previous_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t)) in
+  let previous_usr2 = Sys.signal Sys.sigusr2 (Sys.Signal_handle (fun _ -> request_handoff t)) in
   let previous_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let restore () =
     Sys.set_signal Sys.sigterm previous_term;
     Sys.set_signal Sys.sigint previous_int;
+    Sys.set_signal Sys.sigusr2 previous_usr2;
     Sys.set_signal Sys.sigpipe previous_pipe
   in
   Fun.protect ~finally:restore (fun () ->

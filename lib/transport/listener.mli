@@ -18,12 +18,34 @@
     connection, finish the queued backlog ([Scheduler.drain]) and write
     the final checkpoint ([Server.finish]).
 
+    {b Zero-downtime handoff.}  Alongside the data listener the loop can
+    serve a unix {e control socket} ([config.ctl], defaulting to
+    [<path>.ctl] for unix addresses) speaking the versioned {!Handoff}
+    protocol.  A successor's takeover request makes the incumbent pause
+    accepting (connects queue in the kernel backlog), close clients with
+    a structured [handing_off] goodbye, finish the in-flight backlog,
+    write the final checkpoint, then either pass the live listening fd
+    over SCM_RIGHTS ([fd] mode) or release the address for the successor
+    to rebind ([rebind] mode — the TCP-friendly fallback).  Once the
+    successor acks with [adopted], {!run} exits {e without} unlinking the
+    socket paths or re-checkpointing — the successor owns them.  SIGUSR2
+    (or {!request_handoff}) {e arms} the same drain — stop accepting,
+    finish, checkpoint, keep serving open connections — without exiting,
+    distinct from SIGTERM's drain-and-exit.  A second takeover while one
+    is in flight is refused ([handoff_in_progress]); a successor that
+    dies before acking makes the incumbent resume (re-accepting on its
+    kept fd, or re-binding in rebind mode).
+
     Transport telemetry lands in the server's own registry (so the
     [metrics] op exposes it): [transport_connections_accepted_total],
     [transport_connections_refused_total], [transport_requests_total],
     [transport_malformed_lines_total], [transport_oversized_lines_total],
-    [transport_idle_timeouts_total], [transport_bytes_total{dir=in|out}]
-    and the [transport_open_connections] gauge. *)
+    [transport_idle_timeouts_total], [transport_bytes_total{dir=in|out}],
+    the [transport_open_connections] gauge, and for the handoff path
+    [transport_handoff_requests_total], [transport_handoff_refused_total],
+    [transport_handoff_arms_total], [transport_handoffs_total],
+    [transport_handoff_aborts_total] and the [transport_handoff_seconds]
+    histogram. *)
 
 type address =
   | Unix_sock of string  (** filesystem path *)
@@ -33,6 +55,11 @@ val address_of_string : string -> (address, string) result
 (** Parse [unix:PATH] or [tcp:HOST:PORT]. *)
 
 val address_to_string : address -> string
+
+val default_ctl_path : address -> string option
+(** The conventional control-socket path: [Some (path ^ ".ctl")] for a
+    unix address, [None] for TCP (pass [?ctl] explicitly to enable
+    handoff on a TCP listener). *)
 
 type config = {
   address : address;
@@ -44,37 +71,55 @@ type config = {
                         with a [server_busy] error and closed (default 64) *)
   now : unit -> float;  (** the idle-timeout clock (default
                             [Unix.gettimeofday]; tests inject a fake) *)
+  ctl : string option;  (** handoff control-socket path; [None] disables
+                            takeover (default {!default_ctl_path}) *)
 }
 
 val config : ?auth:Session.auth_mode -> ?max_line:int -> ?idle_timeout:float ->
-  ?max_conns:int -> ?now:(unit -> float) -> address -> config
+  ?max_conns:int -> ?now:(unit -> float) -> ?ctl:string -> address -> config
 
 type t
 
-val create : config -> Ftagg_service.Server.t -> (t, string) result
+val create : ?adopted_fd:Unix.file_descr -> config -> Ftagg_service.Server.t -> (t, string) result
 (** Bind and listen.  A stale Unix-socket file left by a dead server is
-    replaced; any other existing file at the path is an error. *)
+    replaced; any other existing file at the path is an error.  With
+    [adopted_fd] (a handoff successor) the descriptor — already bound and
+    listening, accept backlog intact — is used as-is and the address is
+    not touched.  Also ignores SIGPIPE process-wide, so a client gone
+    mid-write costs EPIPE on that connection, never the process — for
+    {!run} and bare-{!poll} drivers alike. *)
 
 val poll : ?timeout:float -> t -> int
 (** One event-loop iteration with the given select timeout (default
     [0.], i.e. non-blocking); returns the number of I/O events handled
     (accepts + readable/writable connections + timeouts), so callers can
-    loop until quiescent. *)
+    loop until quiescent.  Also drives the control socket: takeover
+    requests, the fd pass, and the successor's ack all happen inside
+    [poll]. *)
 
 val run : t -> int
 (** Poll until {!stop} is called from a signal context, SIGTERM or
-    SIGINT arrives, then drain gracefully and return the exit code (0).
-    Installs (and restores) the SIGTERM/SIGINT handlers and ignores
-    SIGPIPE for the duration. *)
+    SIGINT arrives, or a handoff completes; then drain gracefully and
+    return the exit code (0).  Installs (and restores) the
+    SIGTERM/SIGINT handlers, a SIGUSR2 handler that {!request_handoff}s,
+    and ignores SIGPIPE for the duration. *)
 
 val stop : t -> unit
 (** Ask {!run} to begin the graceful drain; safe from a signal handler. *)
+
+val request_handoff : t -> unit
+(** Arm the handoff drain (what SIGUSR2 does): the next {!poll} stops
+    accepting, finishes the backlog and writes the checkpoint, then
+    keeps serving open connections while awaiting a successor.  Safe
+    from a signal handler (it only sets a flag). *)
 
 val drain : t -> unit
 (** The shutdown path itself: stop accepting, flush and close every
     connection, run the queued backlog to completion and write the final
     checkpoint.  {!run} calls this; pollers driving the loop by hand can
-    call it directly.  Idempotent. *)
+    call it directly.  Idempotent.  After a completed handoff this only
+    closes descriptors — the socket paths and checkpoint now belong to
+    the successor. *)
 
 val connections : t -> int
 (** Currently open connections. *)
@@ -82,3 +127,19 @@ val connections : t -> int
 val port : t -> int option
 (** The bound TCP port (useful after binding port [0]); [None] for a
     Unix socket. *)
+
+val accepting : t -> bool
+(** Is the loop currently accepting new data connections?  [false] once
+    stopped, drained, armed for handoff, or mid-takeover. *)
+
+val handed_off : t -> bool
+(** Did a successor complete a takeover?  When [true], {!run} has
+    returned (or will) and the exit path touches nothing the successor
+    owns. *)
+
+val handoff_in_progress : t -> bool
+(** A takeover request has been served and the successor's [adopted] ack
+    is still pending. *)
+
+val ctl_path : t -> string option
+(** The control-socket path this listener serves takeovers on. *)

@@ -358,6 +358,58 @@ let test_checkpoint_codec () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown version must be rejected"
 
+let test_checkpoint_atomic_save () =
+  let path = Filename.temp_file "ftagg-atomic" ".ckpt.json" in
+  Checkpoint.save ~path { Checkpoint.empty with Checkpoint.s_next_id = 5 };
+  check_true "no tmp residue after a save" (not (Sys.file_exists (path ^ ".tmp")));
+  (match Checkpoint.load ~path with
+  | Ok s -> check_int "saved state loads back" 5 s.Checkpoint.s_next_id
+  | Error e -> Alcotest.fail e);
+  (* A stale [.tmp] left by a writer that crashed mid-write must neither
+     be loaded nor block the next save. *)
+  let oc = open_out (path ^ ".tmp") in
+  output_string oc "{ torn";
+  close_out oc;
+  Checkpoint.save ~path { Checkpoint.empty with Checkpoint.s_next_id = 6 };
+  check_true "stale tmp replaced, not kept" (not (Sys.file_exists (path ^ ".tmp")));
+  (match Checkpoint.load ~path with
+  | Ok s -> check_int "the newest complete state wins" 6 s.Checkpoint.s_next_id
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_checkpoint_torn_file_refused () =
+  let path = Filename.temp_file "ftagg-torn" ".ckpt.json" in
+  Checkpoint.save ~path { Checkpoint.empty with Checkpoint.s_next_id = 9 };
+  (* Simulate a crash mid-write of a non-atomic writer: truncate the
+     file to half its bytes. *)
+  let full =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  (match Checkpoint.load ~path with
+  | Ok _ -> Alcotest.fail "a torn checkpoint must not load"
+  | Error e ->
+    check_true "the error says torn/corrupt, naming the file"
+      (string_contains ~needle:"torn or corrupt" e && string_contains ~needle:path e));
+  (* The server must not brick on it: start empty, keep the reason. *)
+  let t =
+    Server.create { Server.settings = settings (); checkpoint_path = Some path; name = "test" }
+  in
+  (match Server.restore_error t with
+  | Some e -> check_true "restore error surfaced" (string_contains ~needle:"torn or corrupt" e)
+  | None -> Alcotest.fail "restore_error must be set for a torn checkpoint");
+  check_true "the server still answers"
+    (match Bench_io.of_string (Server.handle t {|{"op":"status"}|}) with
+    | Ok json -> Bench_io.member "ok" json = Some (Bench_io.Bool true)
+    | Error _ -> false);
+  Sys.remove path
+
 (* --- server protocol --- *)
 
 let server ?checkpoint_path ?(st = settings ()) () =
@@ -527,6 +579,9 @@ let suite =
     Alcotest.test_case "scheduler: live reconfig" `Quick test_scheduler_reconfig;
     Alcotest.test_case "scheduler: checkpoint + restore" `Quick test_scheduler_checkpoint_restore;
     Alcotest.test_case "checkpoint: codec + versioning" `Quick test_checkpoint_codec;
+    Alcotest.test_case "checkpoint: atomic save leaves no tmp" `Quick test_checkpoint_atomic_save;
+    Alcotest.test_case "checkpoint: torn file refused, server survives" `Quick
+      test_checkpoint_torn_file_refused;
     Alcotest.test_case "server: protocol surface" `Quick test_server_protocol;
     Alcotest.test_case "server: backpressure response" `Quick test_server_backpressure_response;
     Alcotest.test_case "server: obs-off byte identity" `Quick test_server_obs_off_identity;

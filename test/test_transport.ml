@@ -27,6 +27,8 @@ module Listener = Transport.Listener
 module Server = Service.Server
 module Reconfig = Service.Reconfig
 module Scheduler = Service.Scheduler
+module Client = Transport.Client
+module Handoff = Transport.Handoff
 
 let settings ?(queue = 8) ?(cache = 8) ?(batch = 4) () =
   {
@@ -450,6 +452,369 @@ let test_listener_tcp_ephemeral_port () =
       check_true "status over tcp" (ok_of (client_recv t c));
       client_close c)
 
+(* --- SIGPIPE is a per-connection event, not process death --- *)
+
+let test_sigpipe_ignored () =
+  with_listener (fun _t _server _path ->
+      (* [Listener.create] installed the ignore handler.  Writing to a
+         peer-closed socket must therefore raise EPIPE on that
+         descriptor — with SIGPIPE at its default disposition the write
+         below would kill the whole test runner instead. *)
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.close b;
+      (match Unix.write_substring a "x" 0 1 with
+      | _ -> Alcotest.fail "write to a closed peer must fail"
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ());
+      Unix.close a)
+
+(* --- retry/backoff policy --- *)
+
+let test_backoff_schedule_deterministic () =
+  let r = Client.retry ~attempts:6 ~backoff_ms:50 ~max_backoff_ms:400 ~seed:42 () in
+  let s1 = Client.backoff_schedule r in
+  let s2 = Client.backoff_schedule r in
+  check_int "attempts - 1 delays" 5 (List.length s1);
+  check_true "same seed, same schedule" (s1 = s2);
+  check_true "different seed, different jitter"
+    (s1 <> Client.backoff_schedule { r with Client.seed = 43 });
+  List.iteri
+    (fun k d ->
+      let base = Float.min 400. (50. *. (2. ** float_of_int k)) in
+      check_true "delay inside the jitter window [base/2, base]"
+        (d >= (0.5 *. base) -. 1e-9 && d <= base +. 1e-9))
+    s1;
+  (* the cap binds: the last delays stop growing *)
+  check_true "growth capped at max_backoff_ms" (List.nth s1 4 <= 400.);
+  (* clamping: a degenerate policy still yields a sane schedule *)
+  let tight = Client.retry ~attempts:0 ~backoff_ms:(-5) () in
+  check_int "attempts clamped to 1" 1 tight.Client.attempts;
+  check_true "no delays for a single attempt" (Client.backoff_schedule tight = [])
+
+(* --- the handoff wire protocol, socket-free --- *)
+
+let test_handoff_protocol_codec () =
+  check_true "request round-trips"
+    (Handoff.parse_request (Handoff.takeover_request Handoff.Rebind) = Ok Handoff.Rebind);
+  check_true "mode defaults to fd"
+    (Handoff.parse_request {|{"op":"takeover","version":1}|} = Ok Handoff.Fd_pass);
+  (match Handoff.parse_request {|{"op":"takeover","version":99,"mode":"fd"}|} with
+  | Error (`Refuse ("version_mismatch", _)) -> ()
+  | _ -> Alcotest.fail "future version must be refused, not guessed at");
+  (match Handoff.parse_request {|{"op":"takeover","version":1,"mode":"warp"}|} with
+  | Error (`Refuse ("bad_request", _)) -> ()
+  | _ -> Alcotest.fail "unknown mode must be refused");
+  (match Handoff.parse_request "{nope" with
+  | Error (`Refuse ("bad_request", _)) -> ()
+  | _ -> Alcotest.fail "unparseable control line must be refused");
+  let reply =
+    { Handoff.r_address = "unix:/tmp/x.sock"; r_checkpoint = Some "/tmp/x.ckpt"; r_fd_follows = true }
+  in
+  (match Handoff.parse_reply (Handoff.reply_line reply) with
+  | Ok r -> check_true "reply round-trips" (r = reply)
+  | Error e -> Alcotest.fail e);
+  (match Handoff.parse_reply (Handoff.reply_line { reply with Handoff.r_checkpoint = None }) with
+  | Ok r -> check_true "null checkpoint round-trips" (r.Handoff.r_checkpoint = None)
+  | Error e -> Alcotest.fail e);
+  (match Handoff.parse_reply (Handoff.refusal ~error:"handoff_in_progress" ~detail:"busy") with
+  | Error msg -> check_true "refusal names its error" (string_contains ~needle:"handoff_in_progress" msg)
+  | Ok _ -> Alcotest.fail "a refusal must not parse as success");
+  check_true "adopted ack recognised" (Handoff.parse_adopted Handoff.adopted_line);
+  check_true "other ops are not an ack"
+    (not (Handoff.parse_adopted {|{"op":"takeover","version":1}|}))
+
+(* --- SIGUSR2 arm: drain-for-handoff without exiting --- *)
+
+let test_handoff_arm_keeps_serving () =
+  let ckpt = Filename.temp_file "ftagg-arm" ".ckpt.json" in
+  Sys.remove ckpt;
+  with_listener ~checkpoint_path:ckpt (fun t server path ->
+      let a = client_connect path in
+      client_send a (submit_line ~seed:11 ());
+      check_true "queued" (ok_of (client_recv t a));
+      (* what the SIGUSR2 handler does *)
+      Listener.request_handoff t;
+      ignore (Listener.poll t);
+      check_true "stops accepting once armed" (not (Listener.accepting t));
+      check_true "checkpoint written on arm" (Sys.file_exists ckpt);
+      check_int "backlog finished on arm" 1 (Scheduler.completed_count (Server.scheduler server));
+      check_int "arm counted" 1
+        (Registry.counter (Obs.registry (Server.obs server)) "transport_handoff_arms_total");
+      check_true "no takeover in flight yet" (not (Listener.handoff_in_progress t));
+      check_true "not handed off" (not (Listener.handed_off t));
+      (* armed is not drained: the open connection keeps being served *)
+      client_send a {|{"op":"status"}|};
+      check_true "existing connection still served" (ok_of (client_recv t a));
+      client_close a);
+  if Sys.file_exists ckpt then Sys.remove ckpt
+
+(* --- live takeover, both ends driven from this one thread --- *)
+
+(* Step the successor's takeover conversation, pumping the incumbent's
+   poll loop between steps (bounded, so a protocol bug fails the test
+   rather than hanging it). *)
+let takeover_outcome ~pump tk =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "takeover did not complete within the retry budget"
+    else
+      match Handoff.Takeover.step tk with
+      | `Ready o -> o
+      | `Failed msg -> Alcotest.fail msg
+      | `Pending ->
+        pump ();
+        go (tries - 1)
+  in
+  go 500
+
+let takeover_failure ~pump tk =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "expected the takeover to fail"
+    else
+      match Handoff.Takeover.step tk with
+      | `Ready _ -> Alcotest.fail "takeover unexpectedly succeeded"
+      | `Failed msg -> msg
+      | `Pending ->
+        pump ();
+        go (tries - 1)
+  in
+  go 500
+
+let wait_for ~pump msg pred =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail msg
+    else if not (pred ()) then begin
+      pump ();
+      go (tries - 1)
+    end
+  in
+  go 500
+
+let test_handoff_fd_pass_end_to_end () =
+  Registry.set_enabled true;
+  let path = fresh_sock_path () in
+  let ctl = path ^ ".ctl" in
+  let ckpt = Filename.temp_file "ftagg-ho" ".ckpt.json" in
+  Sys.remove ckpt;
+  let auth () = Session.Tokens (tokens_table ()) in
+  let incumbent_server = make_server ~checkpoint_path:ckpt () in
+  let t1 =
+    Result.get_ok
+      (Listener.create (Listener.config ~auth:(auth ()) (Listener.Unix_sock path)) incumbent_server)
+  in
+  let live = ref [ t1 ] in
+  let pump () = List.iter (fun l -> ignore (Listener.poll l)) !live in
+  let retry = Client.retry ~attempts:10 ~backoff_ms:1 ~max_backoff_ms:8 ~timeout_ms:4000 () in
+  let s = Client.session ~token:"alpha-sekrit" ~retry ~pump (Listener.Unix_sock path) in
+  let cleanup () =
+    Client.sclose s;
+    List.iter Listener.drain !live;
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; ctl; ckpt ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      check_true "ctl path defaults to <sock>.ctl" (Listener.ctl_path t1 = Some ctl);
+      (* Seed the cache: one executed job before the handoff, spoofing a
+         tenant the token handshake must override. *)
+      (match Client.srequest s (submit_line ~tenant:"mallory" ~seed:21 ()) with
+      | Ok r -> check_true "pre-handoff submit" (ok_of r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      (match Client.srequest s {|{"op":"drain"}|} with
+      | Ok r ->
+        check_true "executed, not cached" (string_contains ~needle:{|"cached": false|} r);
+        check_true "token tenant stamped" (string_contains ~needle:{|"tenant": "alpha"|} r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      (* The successor's side of the ctl conversation. *)
+      let tk = Result.get_ok (Handoff.Takeover.start ~mode:Handoff.Fd_pass ~ctl ()) in
+      let outcome = takeover_outcome ~pump tk in
+      check_true "incumbent awaits the ack" (Listener.handoff_in_progress t1);
+      check_true "address echoed" (outcome.Handoff.Takeover.address = "unix:" ^ path);
+      check_true "checkpoint advertised" (outcome.Handoff.Takeover.checkpoint_path = Some ckpt);
+      check_true "listening fd passed" (outcome.Handoff.Takeover.fd <> None);
+      check_true "final checkpoint on disk" (Sys.file_exists ckpt);
+      (* Bring the successor up on the passed descriptor, resuming from
+         the advertised checkpoint. *)
+      let successor_server = make_server ~checkpoint_path:ckpt () in
+      check_true "checkpoint restored cleanly" (Server.restore_error successor_server = None);
+      let t2 =
+        Result.get_ok
+          (Listener.create ?adopted_fd:outcome.Handoff.Takeover.fd
+             (Listener.config ~auth:(auth ()) (Listener.Unix_sock path))
+             successor_server)
+      in
+      live := [ t1; t2 ];
+      Handoff.Takeover.confirm tk;
+      wait_for ~pump "incumbent never saw the adopted ack" (fun () -> Listener.handed_off t1);
+      (* The incumbent's exit path must leave the successor's files alone. *)
+      Listener.drain t1;
+      live := [ t2 ];
+      check_true "socket file survives the incumbent's exit" (Sys.file_exists path);
+      check_true "checkpoint survives the incumbent's exit" (Sys.file_exists ckpt);
+      (* The same session object rides over: the goodbye/EPIPE is
+         transient, the reconnect replays the token hello against the
+         successor, and the resubmitted job is a cache hit off the
+         restored checkpoint — resubmission is idempotent. *)
+      (match Client.srequest s (submit_line ~tenant:"mallory" ~seed:21 ()) with
+      | Ok r -> check_true "post-handoff submit" (ok_of r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      (match Client.srequest s {|{"op":"drain"}|} with
+      | Ok r ->
+        check_true "served from the restored cache" (string_contains ~needle:{|"cached": true|} r);
+        check_true "token tenant stamped post-handoff"
+          (string_contains ~needle:{|"tenant": "alpha"|} r);
+        check_true "spoofed tenant never sticks" (not (string_contains ~needle:"mallory" r))
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      check_true "session healed at least once" (Client.reconnects s >= 1);
+      check_int "one completed handoff counted" 1
+        (Registry.counter (Obs.registry (Server.obs incumbent_server)) "transport_handoffs_total"))
+
+let test_handoff_rebind_tcp () =
+  Registry.set_enabled true;
+  let ctl = fresh_sock_path () in
+  let ckpt = Filename.temp_file "ftagg-rebind" ".ckpt.json" in
+  Sys.remove ckpt;
+  let t1 =
+    Result.get_ok
+      (Listener.create
+         (Listener.config ~ctl (Listener.Tcp ("127.0.0.1", 0)))
+         (make_server ~checkpoint_path:ckpt ()))
+  in
+  let live = ref [ t1 ] in
+  let pump () = List.iter (fun l -> ignore (Listener.poll l)) !live in
+  let port = Option.get (Listener.port t1) in
+  let retry = Client.retry ~attempts:10 ~backoff_ms:1 ~max_backoff_ms:8 ~timeout_ms:4000 () in
+  let s = Client.session ~retry ~pump (Listener.Tcp ("127.0.0.1", port)) in
+  let cleanup () =
+    Client.sclose s;
+    List.iter Listener.drain !live;
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ ctl; ckpt ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      (match Client.srequest s (submit_line ~seed:33 ()) with
+      | Ok r -> check_true "pre-handoff submit" (ok_of r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      (match Client.srequest s {|{"op":"drain"}|} with
+      | Ok r -> check_true "executed, not cached" (string_contains ~needle:{|"cached": false|} r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      let tk = Result.get_ok (Handoff.Takeover.start ~mode:Handoff.Rebind ~ctl ()) in
+      let outcome = takeover_outcome ~pump tk in
+      check_true "no fd rides a rebind" (outcome.Handoff.Takeover.fd = None);
+      (* The reply resolved the ephemeral port for the successor. *)
+      check_true "ephemeral port resolved in the address"
+        (outcome.Handoff.Takeover.address = Printf.sprintf "tcp:127.0.0.1:%d" port);
+      (* The incumbent released the address before replying: the
+         successor binds it fresh. *)
+      let address = Result.get_ok (Listener.address_of_string outcome.Handoff.Takeover.address) in
+      let t2 =
+        Result.get_ok
+          (Listener.create (Listener.config ~ctl address) (make_server ~checkpoint_path:ckpt ()))
+      in
+      live := [ t1; t2 ];
+      Handoff.Takeover.confirm tk;
+      wait_for ~pump "incumbent never saw the adopted ack" (fun () -> Listener.handed_off t1);
+      Listener.drain t1;
+      live := [ t2 ];
+      (* The session rides the unbind/rebind gap on its retry policy. *)
+      (match Client.srequest s (submit_line ~seed:33 ()) with
+      | Ok r -> check_true "post-handoff submit" (ok_of r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      match Client.srequest s {|{"op":"drain"}|} with
+      | Ok r -> check_true "cache warm across the rebind" (string_contains ~needle:{|"cached": true|} r)
+      | Error f -> Alcotest.fail (Client.failure_message f))
+
+let test_handoff_double_refused_and_crash_resumes () =
+  Registry.set_enabled true;
+  let path = fresh_sock_path () in
+  let ctl = path ^ ".ctl" in
+  let server = make_server () in
+  let t1 = Result.get_ok (Listener.create (Listener.config (Listener.Unix_sock path)) server) in
+  let pump () = ignore (Listener.poll t1) in
+  let cleanup () =
+    Listener.drain t1;
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; ctl ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let tk_a = Result.get_ok (Handoff.Takeover.start ~mode:Handoff.Fd_pass ~ctl ()) in
+      let outcome_a = takeover_outcome ~pump tk_a in
+      check_true "first takeover got the fd" (outcome_a.Handoff.Takeover.fd <> None);
+      check_true "incumbent mid-takeover" (Listener.handoff_in_progress t1);
+      (* A second successor while the first is mid-takeover: refused. *)
+      let tk_b = Result.get_ok (Handoff.Takeover.start ~ctl ()) in
+      let msg = takeover_failure ~pump tk_b in
+      check_true "second takeover refused with handoff_in_progress"
+        (string_contains ~needle:"handoff_in_progress" msg);
+      Handoff.Takeover.abort tk_b;
+      check_int "refusal counted" 1
+        (Registry.counter (Obs.registry (Server.obs server)) "transport_handoff_refused_total");
+      (* The first successor crashes before acking (its ctl connection
+         closes, its copy of the fd with it): the incumbent aborts the
+         handoff and resumes accepting on its own descriptor. *)
+      Handoff.Takeover.abort tk_a;
+      wait_for ~pump "incumbent never aborted the takeover" (fun () ->
+          not (Listener.handoff_in_progress t1));
+      check_true "incumbent accepting again" (Listener.accepting t1);
+      check_true "abort counted"
+        (Registry.counter (Obs.registry (Server.obs server)) "transport_handoff_aborts_total" >= 1);
+      (* And it actually serves: a fresh client gets answered. *)
+      let c = client_connect path in
+      client_send c {|{"op":"status"}|};
+      check_true "resumed incumbent serves new connections" (ok_of (client_recv t1 c));
+      client_close c;
+      check_true "still not handed off" (not (Listener.handed_off t1)))
+
+(* The session's retry loop against a full server restart (stop, vanish,
+   come back) — the non-handoff way a connection dies. *)
+let test_session_rides_server_restart () =
+  Registry.set_enabled true;
+  let path = fresh_sock_path () in
+  let mk () =
+    Result.get_ok
+      (Listener.create
+         (Listener.config ~auth:(Session.Tokens (tokens_table ())) (Listener.Unix_sock path))
+         (make_server ()))
+  in
+  let t1 = mk () in
+  let live = ref [ t1 ] in
+  let pump () = List.iter (fun l -> ignore (Listener.poll l)) !live in
+  let retry = Client.retry ~attempts:12 ~backoff_ms:1 ~max_backoff_ms:8 ~timeout_ms:4000 () in
+  let s = Client.session ~token:"beta-sekrit" ~retry ~pump (Listener.Unix_sock path) in
+  let cleanup () =
+    Client.sclose s;
+    List.iter Listener.drain !live;
+    if Sys.file_exists path then Sys.remove path;
+    if Sys.file_exists (path ^ ".ctl") then Sys.remove (path ^ ".ctl")
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      (match Client.srequest s {|{"op":"status"}|} with
+      | Ok r -> check_true "first request served" (ok_of r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      (* Hard restart: the listener goes away entirely, then a new one
+         binds the same path.  The session must reconnect, re-hello, and
+         keep its token-derived identity. *)
+      Listener.drain t1;
+      let t2 = mk () in
+      live := [ t2 ];
+      (match Client.srequest s (submit_line ~tenant:"mallory" ~seed:44 ()) with
+      | Ok r -> check_true "resubmitted after the restart" (ok_of r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      (match Client.srequest s {|{"op":"drain"}|} with
+      | Ok r ->
+        check_true "token tenant survives the restart"
+          (string_contains ~needle:{|"tenant": "beta"|} r)
+      | Error f -> Alcotest.fail (Client.failure_message f));
+      check_true "the session counted its reconnect" (Client.reconnects s >= 1);
+      check_true "attempts were spent riding the gap" (Client.attempts_used s >= 3);
+      (* a wrong token is permanent: no retry storm, an immediate refusal *)
+      let bad =
+        Client.session ~token:"nope"
+          ~retry:(Client.retry ~attempts:5 ~backoff_ms:1 ~timeout_ms:4000 ())
+          ~pump (Listener.Unix_sock path)
+      in
+      (match Client.srequest bad {|{"op":"status"}|} with
+      | Error (Client.Refused line) ->
+        check_true "refusal carries the server's line" (field "error" line = Some "bad_token")
+      | Error (Client.Exhausted _) -> Alcotest.fail "bad token must not be retried"
+      | Ok _ -> Alcotest.fail "bad token must not be accepted");
+      check_int "exactly one attempt for a refusal" 1 (Client.attempts_used bad);
+      Client.sclose bad)
+
 let test_address_parsing () =
   check_true "unix ok"
     (Listener.address_of_string "unix:/tmp/x.sock" = Ok (Listener.Unix_sock "/tmp/x.sock"));
@@ -505,4 +870,18 @@ let suite =
     Alcotest.test_case "listener: tcp on an ephemeral port" `Quick
       test_listener_tcp_ephemeral_port;
     Alcotest.test_case "address parsing" `Quick test_address_parsing;
+    Alcotest.test_case "sigpipe: peer loss is EPIPE, not process death" `Quick
+      test_sigpipe_ignored;
+    Alcotest.test_case "client: backoff schedule is seeded and capped" `Quick
+      test_backoff_schedule_deterministic;
+    Alcotest.test_case "handoff: wire protocol codec" `Quick test_handoff_protocol_codec;
+    Alcotest.test_case "handoff: USR2 arm drains without exiting" `Quick
+      test_handoff_arm_keeps_serving;
+    Alcotest.test_case "handoff: fd-pass takeover end to end" `Quick
+      test_handoff_fd_pass_end_to_end;
+    Alcotest.test_case "handoff: rebind takeover over tcp" `Quick test_handoff_rebind_tcp;
+    Alcotest.test_case "handoff: double takeover refused, successor crash resumes" `Quick
+      test_handoff_double_refused_and_crash_resumes;
+    Alcotest.test_case "client: session rides a server restart" `Quick
+      test_session_rides_server_restart;
   ]
