@@ -1647,7 +1647,7 @@ let e21 () =
     }
   in
   let mk_server ckpt =
-    Srv.create { Srv.settings; checkpoint_path = Some ckpt; name = "bench-e21" }
+    Srv.create { Srv.settings; checkpoint_path = Some ckpt; store_dir = None; name = "bench-e21" }
   in
   let submit seed =
     Printf.sprintf
@@ -1787,6 +1787,142 @@ let e21 () =
   Printf.printf "wrote BENCH_engine.json (update_lag)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E22 — fleet scaling: jobs/sec vs server process count, cold vs      *)
+(* warm, over real forked servers sharing one on-disk outcome store    *)
+(* ------------------------------------------------------------------ *)
+
+let e22 () =
+  header
+    "E22 | fleet scaling — jobs/sec vs process count, cold vs warm\n\
+     forked server processes on unix sockets sharing one outcome store,\n\
+     driven by the consistent-hash fan-out client; JSON to BENCH_engine.json (fleet)";
+  let module L = Transport.Listener in
+  let module C = Transport.Client in
+  let module Srv = Service.Server in
+  let n_jobs = 96 in
+  let jobs =
+    List.init n_jobs (fun i ->
+        match
+          Bench_io.of_string
+            (Printf.sprintf
+               {|{"family":"grid","n":100,"seed":%d,"tenant":"bench","failures":"none"}|}
+               (1000 + i))
+        with
+        | Ok j -> j
+        | Error e -> failwith ("e22: bad job json: " ^ e))
+  in
+  let settings =
+    {
+      Service.Reconfig.default with
+      Service.Reconfig.queue_capacity = 256;
+      cache_capacity = 256;
+      tick_batch = 16;
+      checkpoint_every = 0;
+      domains = 1;
+    }
+  in
+  let fresh_path suffix =
+    let p = Filename.temp_file "ftagg-e22" suffix in
+    Sys.remove p;
+    p
+  in
+  let rm_rf d =
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Unix.rmdir d
+    end
+  in
+  (* one forked server process: serve on [path] until SIGTERM, then
+     drain and exit.  The child prints nothing and leaves through
+     [_exit] so the parent's buffered output is not flushed twice. *)
+  let spawn_member ~store_dir path =
+    match Unix.fork () with
+    | 0 ->
+      let code =
+        let server =
+          Srv.create
+            { Srv.settings; checkpoint_path = None; store_dir = Some store_dir; name = "bench-e22" }
+        in
+        match L.create (L.config (L.Unix_sock path)) server with
+        | Ok l -> L.run l
+        | Error _ -> 1
+      in
+      Unix._exit code
+    | pid -> pid
+  in
+  (* [Unix.fork] is illegal once any domain has been spawned, and
+     [Fleet.run] drives each endpoint from its own domain — so every
+     fleet (one per process count, each with its own store) is forked
+     up front, before the first drive.  Undriven fleets just idle. *)
+  let setup processes =
+    let store_dir = fresh_path ".store" in
+    let socks = List.init processes (fun _ -> fresh_path ".sock") in
+    let pids = List.map (spawn_member ~store_dir) socks in
+    (processes, store_dir, socks, pids)
+  in
+  let fleets = List.map setup [ 1; 2; 4 ] in
+  List.iter
+    (fun (_, _, socks, _) ->
+      List.iter
+        (fun p ->
+          let budget = ref 2000 in
+          while not (C.probe (L.Unix_sock p)) do
+            decr budget;
+            if !budget <= 0 then failwith "e22: a fleet member never came up";
+            Unix.sleepf 0.005
+          done)
+        socks)
+    fleets;
+  let row (processes, store_dir, socks, pids) =
+    let endpoints = List.map (fun p -> "unix:" ^ p) socks in
+    let drive label =
+      let result = ref None in
+      let (), wall =
+        Bench_io.timed (fun () -> result := Some (Fleet.run ~endpoints ~jobs ()))
+      in
+      match !result with
+      | Some (Ok report) ->
+        if report.Fleet.r_failed > 0 then
+          failwith (Printf.sprintf "e22: %s pass lost %d job(s)" label report.Fleet.r_failed);
+        (report, wall)
+      | Some (Error e) -> failwith ("e22: " ^ e)
+      | None -> assert false
+    in
+    let cold, cold_wall = drive "cold" in
+    let warm, warm_wall = drive "warm" in
+    List.iter (fun pid -> Unix.kill pid Sys.sigterm) pids;
+    List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) socks;
+    rm_rf store_dir;
+    let cold_jps = float_of_int n_jobs /. cold_wall in
+    let warm_jps = float_of_int n_jobs /. warm_wall in
+    Printf.printf
+      "%d process(es)  cold %7.3f s (%6.1f jobs/s)  warm %7.3f s (%6.1f jobs/s)  warm cached \
+       %d/%d\n\
+       %!"
+      processes cold_wall cold_jps warm_wall warm_jps warm.Fleet.r_cached n_jobs;
+    Bench_io.(
+      Obj
+        [
+          ("processes", Int processes);
+          ("cold_wall_s", Float (q4 cold_wall));
+          ("cold_jobs_per_sec", Float (q2 cold_jps));
+          ("warm_wall_s", Float (q4 warm_wall));
+          ("warm_jobs_per_sec", Float (q2 warm_jps));
+          ("cold_failed", Int cold.Fleet.r_failed);
+          ("warm_failed", Int warm.Fleet.r_failed);
+          ("warm_cached", Int warm.Fleet.r_cached);
+        ])
+  in
+  let rows = List.map row fleets in
+  let payload =
+    Bench_io.(Obj [ ("jobs", Int n_jobs); ("distinct", Int n_jobs); ("rows", List rows) ])
+  in
+  Bench_io.write_file ~path:"BENCH_engine.json"
+    (Bench_io.Obj (bench_engine_others [ "fleet" ] @ [ ("fleet", payload) ]));
+  Printf.printf "wrote BENCH_engine.json (fleet)\n"
+
+(* ------------------------------------------------------------------ *)
 (* guard — CI regression gate on the engine hot path                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1910,6 +2046,69 @@ let guard_update_lag () =
           [ "unix_fd_pass"; "tcp_rebind" ]
       | _ -> fail "update_lag.legs missing"))
 
+let guard_fleet () =
+  let fail msg =
+    Printf.eprintf "guard: fleet — %s\n" msg;
+    exit 1
+  in
+  match Bench_io.read_file ~path:"BENCH_engine.json" with
+  | exception Sys_error e -> fail e
+  | Error e -> fail e
+  | Ok json -> (
+    match Bench_io.member "fleet" json with
+    | None -> fail "no fleet object in BENCH_engine.json (run bench e22)"
+    | Some sub -> (
+      let jobs =
+        match Option.bind (Bench_io.member "jobs" sub) Bench_io.to_int with
+        | Some j -> j
+        | None -> fail "fleet.jobs missing"
+      in
+      match Bench_io.member "rows" sub with
+      | Some (Bench_io.List rows) ->
+        let get_int k j =
+          match Option.bind (Bench_io.member k j) Bench_io.to_int with
+          | Some i -> i
+          | None -> fail ("row without integer " ^ k)
+        in
+        let get_float k j =
+          match Bench_io.member k j with
+          | Some (Bench_io.Float x) -> x
+          | Some (Bench_io.Int x) -> float_of_int x
+          | _ -> fail ("row without number " ^ k)
+        in
+        let get_row p =
+          match List.find_opt (fun r -> get_int "processes" r = p) rows with
+          | Some r -> r
+          | None -> fail (Printf.sprintf "no row for %d process(es) (run bench e22)" p)
+        in
+        let prev_cold = ref 0. in
+        List.iter
+          (fun p ->
+            let r = get_row p in
+            if get_int "cold_failed" r <> 0 || get_int "warm_failed" r <> 0 then
+              fail (Printf.sprintf "%d process(es): failed jobs recorded" p);
+            if get_int "warm_cached" r <> jobs then
+              fail (Printf.sprintf "%d process(es): warm pass was not fully cache-served" p);
+            let cold = get_float "cold_jobs_per_sec" r in
+            if cold <= !prev_cold then
+              fail
+                (Printf.sprintf
+                   "cold jobs/sec does not increase with process count (%d procs: %.2f <= %.2f)" p
+                   cold !prev_cold);
+            prev_cold := cold)
+          [ 1; 2; 4 ];
+        let warm1 = get_float "warm_jobs_per_sec" (get_row 1) in
+        let warm4 = get_float "warm_jobs_per_sec" (get_row 4) in
+        if warm4 < 1.5 *. warm1 then
+          fail
+            (Printf.sprintf "warm fleet %.2f jobs/s is not >= 1.5x warm single-process %.2f" warm4
+               warm1);
+        Printf.printf
+          "fleet        cold scales with process count, warm 4-proc %.0f >= 1.5x single %.0f \
+           jobs/s  OK\n"
+          warm4 warm1
+      | _ -> fail "fleet.rows missing"))
+
 (* Re-times the fast engine on [perf]'s exact config and compares
    rounds/sec against the committed BENCH_engine.json.  More than a 30%
    drop fails the process (exit 1) — the CI gate for accidental
@@ -1963,6 +2162,7 @@ let guard () =
     else begin
       guard_cross_protocol ();
       guard_update_lag ();
+      guard_fleet ();
       Printf.printf "guard: OK\n"
     end
 
@@ -1972,7 +2172,7 @@ let all_experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("timing", timing); ("perf", perf);
+    ("e22", e22); ("timing", timing); ("perf", perf);
   ]
 
 (* Runnable only by name — never part of the no-args "run everything"

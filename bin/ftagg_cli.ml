@@ -757,6 +757,17 @@ let serve_cmd =
              open with {\"op\":\"hello\",\"token\":...} (refused otherwise) and the resolved \
              tenant is stamped onto every submit.  Socket mode only.")
   in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Shared on-disk outcome store: a directory of append-only CRC-checked segments \
+             sitting behind the in-memory cache.  Several servers may point at the same \
+             directory — each appends its fresh executions and reads the others', so a fleet \
+             shares one warm cache across processes and restarts.")
+  in
   let idle_timeout =
     Arg.(
       value
@@ -813,8 +824,8 @@ let serve_cmd =
              $(b,rebind) has the incumbent release the address first — the TCP-friendly \
              fallback, clients ride the gap on retry.")
   in
-  let run (settings, checkpoint_path) prom jsonl listen auth_file idle_timeout max_line max_conns
-      ctl takeover takeover_mode =
+  let run (settings, checkpoint_path) prom jsonl listen auth_file store_dir idle_timeout max_line
+      max_conns ctl takeover takeover_mode =
     let fail msg =
       Printf.eprintf "serve: %s\n" msg;
       exit 3
@@ -835,8 +846,12 @@ let serve_cmd =
     in
     let mk_server checkpoint_path =
       let obs = Obs.create ~name:"ftagg-serve" () in
-      let config = { Service.Server.settings; checkpoint_path; name = "ftagg-serve" } in
-      (obs, Service.Server.create ~obs config)
+      let config = { Service.Server.settings; checkpoint_path; store_dir; name = "ftagg-serve" } in
+      let t = Service.Server.create ~obs config in
+      (match Service.Server.store_error t with
+      | Some e -> Printf.eprintf "serve: WARNING: %s; running without the shared store\n%!" e
+      | None -> ());
+      (obs, t)
     in
     let serve_listener obs t ?adopted_fd lcfg =
       match Transport.Listener.create ?adopted_fd lcfg t with
@@ -931,7 +946,7 @@ let serve_cmd =
           clients over a Unix or TCP socket with per-connection tenants; --takeover replaces a \
           running server with zero downtime (drain, checkpoint, fd pass, resume).")
     Term.(
-      const run $ service_settings_term $ prom $ jsonl $ listen $ auth_file $ idle_timeout
+      const run $ service_settings_term $ prom $ jsonl $ listen $ auth_file $ store $ idle_timeout
       $ max_line $ max_conns $ ctl $ takeover $ takeover_mode)
 
 let client_cmd =
@@ -954,6 +969,20 @@ let client_cmd =
           ~doc:
             "Drive a running $(b,ftagg serve --listen) server at $(b,unix:PATH) or \
              $(b,tcp:HOST:PORT) instead of an in-process one.")
+  in
+  let fleet =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fleet" ] ~docv:"EP1,EP2,..."
+          ~doc:
+            "Fan the workload over a comma-separated fleet of $(b,serve --listen) endpoints: \
+             each submit is routed by its content digest on a consistent-hash ring (every \
+             client computes the same placement), endpoints that die mid-run are failed over \
+             to their ring successors, and a fleet of servers sharing a $(b,--store) directory \
+             reuses each other's executions.  Submit lines from the scripts become the \
+             workload (other ops are skipped); prints each completion in input order, then one \
+             merged report line.  Mutually exclusive with $(b,--connect).")
   in
   let token =
     Arg.(
@@ -995,13 +1024,61 @@ let client_cmd =
       & info [ "retry-seed" ] ~docv:"SEED"
           ~doc:"Jitter PRNG seed — fixes the whole backoff schedule, for reproducible runs.")
   in
-  let run (settings, checkpoint_path) files no_drain connect token tenant retries retry_backoff
-      retry_seed =
+  let run (settings, checkpoint_path) files no_drain connect fleet token tenant retries
+      retry_backoff retry_seed =
     (* The same protocol either way: exit 2 if any response carries
        ok:false (the service refused or failed a request) or the retry
        budget for a request is exhausted; 3 on an unreadable script or a
        bad address.  Without --connect the server is in-process, driven
        through [handle] — scripting and CI without process plumbing. *)
+    let fail msg =
+      Printf.eprintf "client: %s\n" msg;
+      exit 3
+    in
+    let read_script path =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error e -> fail e
+      | contents -> String.split_on_char '\n' contents
+    in
+    let mk_retry () =
+      Transport.Client.retry ~attempts:retries ~backoff_ms:retry_backoff
+        ~max_backoff_ms:(retry_backoff * 40) ~seed:retry_seed ()
+    in
+    match fleet with
+    | Some endpoints_csv ->
+      if connect <> None then fail "--fleet and --connect are mutually exclusive";
+      let endpoints =
+        List.filter
+          (fun s -> s <> "")
+          (List.map String.trim (String.split_on_char ',' endpoints_csv))
+      in
+      if endpoints = [] then fail "--fleet needs at least one endpoint";
+      (* The workload is the scripts' submit payloads; placement happens
+         client-side by digest, so non-submit ops have no single target
+         and are skipped (with a note) rather than broadcast. *)
+      let jobs = ref [] and skipped = ref 0 in
+      let take_line line =
+        if String.trim line <> "" then
+          match Bench_io.of_string line with
+          | Ok json when Bench_io.member "op" json = Some (Bench_io.String "submit") -> (
+            match Bench_io.member "job" json with
+            | Some job -> jobs := job :: !jobs
+            | None -> incr skipped)
+          | Ok _ | Error _ -> incr skipped
+      in
+      List.iter (fun path -> List.iter take_line (read_script path)) files;
+      let jobs = List.rev !jobs in
+      if !skipped > 0 then
+        Printf.eprintf "client: --fleet skipped %d non-submit line(s)\n%!" !skipped;
+      (match Fleet.run ?token ?tenant ~retry:(mk_retry ()) ~endpoints ~jobs () with
+      | Error e -> fail e
+      | Ok report ->
+        List.iter
+          (fun (_, c) -> print_endline (Bench_io.to_string ~indent:false c))
+          report.Fleet.r_completions;
+        print_endline (Bench_io.to_string ~indent:false (Fleet.report_to_json report));
+        if report.Fleet.r_failed > 0 || report.Fleet.r_errors > 0 then 2 else 0)
+    | None ->
     let refused = ref false in
     let note_response response =
       print_endline response;
@@ -1012,7 +1089,9 @@ let client_cmd =
     let step, finish =
       match connect with
       | None ->
-        let config = { Service.Server.settings; checkpoint_path; name = "ftagg-client" } in
+        let config =
+          { Service.Server.settings; checkpoint_path; store_dir = None; name = "ftagg-client" }
+        in
         let t = Service.Server.create config in
         ( (fun line -> note_response (Service.Server.handle t line)),
           fun () ->
@@ -1027,11 +1106,7 @@ let client_cmd =
         match Transport.Listener.address_of_string addr with
         | Error e -> fail (Printf.sprintf "--connect %s: %s" addr e)
         | Ok address ->
-          let retry =
-            Transport.Client.retry ~attempts:retries ~backoff_ms:retry_backoff
-              ~max_backoff_ms:(retry_backoff * 40) ~seed:retry_seed ()
-          in
-          let s = Transport.Client.session ?token ?tenant ~retry address in
+          let s = Transport.Client.session ?token ?tenant ~retry:(mk_retry ()) address in
           let on_result = function
             | Ok response -> note_response response
             | Error (Transport.Client.Refused response) ->
@@ -1079,8 +1154,8 @@ let client_cmd =
           default, or a running serve --listen socket via --connect (with automatic \
           retry/backoff across restarts and live handoffs).")
     Term.(
-      const run $ service_settings_term $ files $ no_drain $ connect $ token $ tenant $ retries
-      $ retry_backoff $ retry_seed)
+      const run $ service_settings_term $ files $ no_drain $ connect $ fleet $ token $ tenant
+      $ retries $ retry_backoff $ retry_seed)
 
 let () =
   let doc = "fault-tolerant aggregation with near-optimal communication-time tradeoff" in

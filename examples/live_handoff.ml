@@ -41,6 +41,7 @@ let () =
         Service.Server.settings =
           { Service.Reconfig.default with Service.Reconfig.tick_batch = 4; checkpoint_every = 0 };
         checkpoint_path = Some ckpt;
+        store_dir = None;
         name = "handoff-demo";
       }
   in

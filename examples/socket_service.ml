@@ -77,6 +77,7 @@ let () =
         Service.Server.settings =
           { Service.Reconfig.default with Service.Reconfig.tick_batch = 4; checkpoint_every = 0 };
         checkpoint_path = None;
+        store_dir = None;
         name = "socket-demo";
       }
   in

@@ -84,6 +84,17 @@ module Service = Ftagg_service
 
 module Transport = Ftagg_transport
 
+(** {1 Shared on-disk outcome store (append-only segments, CRC records)} *)
+
+module Store = Ftagg_store.Store
+module Segment = Ftagg_store.Segment
+
+(** {1 Sharded fleet (consistent-hash ring, routing, fan-out client)} *)
+
+module Ring = Ftagg_fleet.Ring
+module Router = Ftagg_fleet.Router
+module Fleet = Ftagg_fleet.Fleet
+
 (** {1 Derived queries} *)
 
 module Selection = Ftagg_select.Selection

@@ -1,0 +1,24 @@
+(** A seeded, deterministic consistent-hash ring with virtual nodes.
+
+    The same (endpoints, vnodes, seed) triple builds the same ring in
+    every process — placement needs no coordination.  Keys are hashed
+    with FNV-1a 64 (the job-digest construction), so the ring is stable
+    across OCaml versions and heterogeneous fleet members. *)
+
+type t
+
+val create : ?vnodes:int -> ?seed:int -> string list -> t
+(** [create endpoints] builds the ring ([vnodes] defaults to 64 points
+    per endpoint; duplicates are dropped, first-occurrence order kept).
+    @raise Invalid_argument on an empty endpoint list or [vnodes <= 0]. *)
+
+val owner : t -> string -> string
+(** The endpoint owning [key]: first ring point clockwise of its hash. *)
+
+val successors : t -> string -> int -> string list
+(** [successors t key k]: up to [k] distinct endpoints in ring order
+    starting at the owner — the failover preference list for [key]. *)
+
+val members : t -> string list
+val vnodes : t -> int
+val seed : t -> int

@@ -1,0 +1,38 @@
+(* Digest → endpoint routing over the consistent-hash ring, with health
+   marks.  [route] returns the full preference list (owner first, then
+   ring successors) with endpoints currently marked down moved to the
+   back — they still appear, because "down" is a client-side judgment
+   that a later round may revise, but nothing is ever routed to them
+   while an up endpoint remains. *)
+
+type t = {
+  ring : Ring.t;
+  down : (string, unit) Hashtbl.t;
+  mutable failovers : int;
+}
+
+let create ring = { ring; down = Hashtbl.create 4; failovers = 0 }
+
+let ring t = t.ring
+let endpoints t = Ring.members t.ring
+let up t e = not (Hashtbl.mem t.down e)
+let up_endpoints t = List.filter (up t) (endpoints t)
+
+let mark_down t e =
+  if not (Hashtbl.mem t.down e) then begin
+    Hashtbl.replace t.down e ();
+    t.failovers <- t.failovers + 1
+  end
+
+let mark_up t e = Hashtbl.remove t.down e
+let failovers t = t.failovers
+
+let route t digest =
+  let prefs = Ring.successors t.ring digest (List.length (endpoints t)) in
+  let alive, dead = List.partition (up t) prefs in
+  alive @ dead
+
+let route_up t digest =
+  match List.filter (up t) (route t digest) with
+  | [] -> None
+  | e :: _ -> Some e

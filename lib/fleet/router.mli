@@ -1,0 +1,25 @@
+(** Digest→endpoint routing over a {!Ring} with client-side health
+    marks: the owner first, ring successors as failover, down endpoints
+    pushed to the back of the preference list. *)
+
+type t
+
+val create : Ring.t -> t
+val ring : t -> Ring.t
+val endpoints : t -> string list
+
+val route : t -> string -> string list
+(** Full preference list for a digest: owner, then successors; endpoints
+    marked down are moved to the back (never dropped — a later round may
+    mark them back up). *)
+
+val route_up : t -> string -> string option
+(** First endpoint of {!route} that is marked up, if any. *)
+
+val mark_down : t -> string -> unit
+val mark_up : t -> string -> unit
+val up : t -> string -> bool
+val up_endpoints : t -> string list
+
+val failovers : t -> int
+(** How many endpoints have ever been marked down. *)

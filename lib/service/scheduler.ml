@@ -13,6 +13,7 @@ module Obs = Ftagg_obs.Obs
 module Sweep = Ftagg_runner.Sweep
 module Bench_io = Ftagg_runner.Bench_io
 module Campaign = Ftagg_chaos.Campaign
+module Store = Ftagg_store.Store
 
 type queued = { q_id : string; q_spec : Job.spec; q_enqueued : int }
 
@@ -35,6 +36,7 @@ type t = {
   mutable tick_count : int;
   mutable since_checkpoint : int;
   checkpoint_path : string option;
+  store : Store.t option;  (* shared on-disk L2 behind the LRU cache *)
   obs : Obs.t option;
   registry : Registry.t;
 }
@@ -50,7 +52,7 @@ let tick_count t = t.tick_count
 let count t ?labels name k = Registry.incr t.registry ?labels name k
 let set_depth_gauge t = Registry.set_gauge t.registry "service_queue_depth" (float_of_int (depth t))
 
-let create ?obs ?checkpoint_path ~settings () =
+let create ?obs ?checkpoint_path ?store ~settings () =
   let registry =
     match obs with Some o -> Obs.registry o | None -> Registry.create ()
   in
@@ -64,9 +66,37 @@ let create ?obs ?checkpoint_path ~settings () =
     tick_count = 0;
     since_checkpoint = 0;
     checkpoint_path;
+    store;
     obs;
     registry;
   }
+
+let store t = t.store
+let store_stats t = Option.map Store.stats t.store
+
+(* L2 lookup: a digest another process (or a previous life) already
+   resolved is served from the shared store and promoted into the LRU,
+   so repeats stay off the disk. *)
+let store_find t digest =
+  match t.store with
+  | None -> None
+  | Some store -> (
+    match Store.find store digest with
+    | None -> None
+    | Some json -> (
+      match Job.outcome_of_json json with
+      | Error _ -> None
+      | Ok outcome ->
+        let executed = { Job.outcome; report = None } in
+        Cache.add t.cache digest executed;
+        Some executed))
+
+(* Completions flow into the store as they happen, making them visible
+   to every other fleet member.  [Store.add] dedupes on digest. *)
+let store_put t digest (executed : Job.executed) =
+  match t.store with
+  | None -> ()
+  | Some store -> Store.add store digest (Job.outcome_to_json executed.Job.outcome)
 
 let fresh_id t =
   let id = Printf.sprintf "j%d" t.next_id in
@@ -156,12 +186,16 @@ let maybe_checkpoint t =
   let every = t.settings.Reconfig.checkpoint_every in
   if every > 0 && t.since_checkpoint >= every then ignore (checkpoint_now t)
 
-let restore ?obs ?checkpoint_path ~settings (state : Checkpoint.state) =
-  let t = create ?obs ?checkpoint_path ~settings () in
+let restore ?obs ?checkpoint_path ?store ~settings (state : Checkpoint.state) =
+  let t = create ?obs ?checkpoint_path ?store ~settings () in
   t.next_id <- state.Checkpoint.s_next_id;
   t.tick_count <- state.Checkpoint.s_tick;
-  (* Completed results re-seed both the results table and the cache, so a
-     post-restart duplicate is still served without re-simulation. *)
+  (* Completed results re-seed the results table.  Without a store they
+     also re-seed the cache; with one, re-seeding is deduplicated against
+     it — a digest the store already holds is served from L2 on demand,
+     and only genuinely new outcomes (completed after the store's last
+     sight of this scheduler) are appended.  Either way no cache hit or
+     miss counter moves: restore is bookkeeping, not lookups. *)
   List.iter
     (fun (d : Checkpoint.done_entry) ->
       let completion =
@@ -177,7 +211,14 @@ let restore ?obs ?checkpoint_path ~settings (state : Checkpoint.state) =
       Hashtbl.replace t.results completion.id completion;
       t.completed_order <- completion.id :: t.completed_order;
       match d.Checkpoint.d_outcome with
-      | Ok o -> Cache.add t.cache d.Checkpoint.d_digest { Job.outcome = o; report = None }
+      | Ok o -> (
+        let executed = { Job.outcome = o; report = None } in
+        match t.store with
+        | Some s when Store.mem s d.Checkpoint.d_digest -> ()
+        | Some s ->
+          Store.add s d.Checkpoint.d_digest (Job.outcome_to_json o);
+          Cache.add t.cache d.Checkpoint.d_digest executed
+        | None -> Cache.add t.cache d.Checkpoint.d_digest executed)
       | Error _ -> ())
     state.Checkpoint.s_completed;
   (* Re-admit the backlog in checkpoint (= pop) order.  Admission was
@@ -238,7 +279,12 @@ let tick ?max t () =
           take (completion :: acc) misses (k - 1)
         end
         else
-          match Cache.find t.cache digest with
+          let hit =
+            match Cache.find t.cache digest with
+            | Some _ as h -> h
+            | None -> store_find t digest
+          in
+          match hit with
           | Some (executed : Job.executed) ->
             let completion =
               {
@@ -282,7 +328,11 @@ let tick ?max t () =
     (fun (q, digest) result ->
       Hashtbl.replace own q.q_id result;
       Hashtbl.replace by_digest digest result;
-      match result with Ok e -> Cache.add t.cache digest e | Error _ -> ())
+      match result with
+      | Ok e ->
+        Cache.add t.cache digest e;
+        store_put t digest e
+      | Error _ -> ())
     unique executed;
   let miss_completions =
     List.map

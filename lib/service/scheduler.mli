@@ -30,6 +30,7 @@ type t
 val create :
   ?obs:Ftagg_obs.Obs.t ->
   ?checkpoint_path:string ->
+  ?store:Ftagg_store.Store.t ->
   settings:Reconfig.settings ->
   unit ->
   t
@@ -38,18 +39,30 @@ val create :
     histogram, [service_jobs_*_total] and [service_cache_*_total]
     counters) and its event stream one [job_completed] event per
     completion.  [checkpoint_path] enables auto-checkpointing every
-    [settings.checkpoint_every] completions and {!checkpoint_now}. *)
+    [settings.checkpoint_every] completions and {!checkpoint_now}.
+    [store] plugs in the shared on-disk outcome store as an L2 behind
+    the LRU cache: a cache miss consults it (and promotes a hit into the
+    LRU, completing as [cached = true]) and every fresh execution is
+    appended to it, visible to all other fleet members sharing the
+    directory. *)
 
 val restore :
   ?obs:Ftagg_obs.Obs.t ->
   ?checkpoint_path:string ->
+  ?store:Ftagg_store.Store.t ->
   settings:Reconfig.settings ->
   Checkpoint.state ->
   t
 (** Resume from a checkpoint: the backlog is re-admitted in order
     (bypassing the capacity gate — admission was already granted in the
     previous life) and completed results re-seed the cache, so
-    post-restart duplicates still hit. *)
+    post-restart duplicates still hit.  With a [store], re-seeding
+    dedupes against it instead: digests the store already holds are
+    served from L2 on demand (no duplicate entries are appended, and no
+    hit/miss counter moves during restore). *)
+
+val store : t -> Ftagg_store.Store.t option
+val store_stats : t -> Ftagg_store.Store.stats option
 
 val submit : t -> Job.spec -> (string, Queue.reject) result
 (** Admit a job; returns its fresh id, or the backpressure reason when

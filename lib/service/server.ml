@@ -6,10 +6,12 @@ module Registry = Ftagg_obs.Registry
 type config = {
   settings : Reconfig.settings;
   checkpoint_path : string option;
+  store_dir : string option;  (* shared on-disk outcome store (L2 cache) *)
   name : string;
 }
 
-let default_config = { settings = Reconfig.default; checkpoint_path = None; name = "ftagg-serve" }
+let default_config =
+  { settings = Reconfig.default; checkpoint_path = None; store_dir = None; name = "ftagg-serve" }
 
 type t = {
   scheduler : Scheduler.t;
@@ -18,6 +20,7 @@ type t = {
   mutable shutdown : bool;
   mutable restored : int;  (* pending jobs recovered from the checkpoint *)
   restore_error : string option;  (* why the checkpoint was not restored *)
+  store_error : string option;  (* why the store was not opened *)
 }
 
 let scheduler t = t.scheduler
@@ -25,6 +28,8 @@ let obs t = t.obs
 let shutdown_requested t = t.shutdown
 let checkpoint_path t = t.config.checkpoint_path
 let restore_error t = t.restore_error
+let store_error t = t.store_error
+let store t = Scheduler.store t.scheduler
 
 let create ?obs config =
   let obs = match obs with Some o -> o | None -> Obs.create ~name:config.name () in
@@ -39,13 +44,24 @@ let create ?obs config =
       | Error e -> (None, Some e))
     | _ -> (None, None)
   in
+  let store, store_error =
+    match config.store_dir with
+    | None -> (None, None)
+    | Some dir -> (
+      match Ftagg_store.Store.open_ ~registry:(Obs.registry obs) ~dir () with
+      | Ok s -> (Some s, None)
+      (* Same stance as a corrupt checkpoint: an unopenable store must
+         not brick the server — run without the L2 and surface why. *)
+      | Error e -> (None, Some e))
+  in
   let scheduler =
     match restored_state with
     | Some state ->
-      Scheduler.restore ~obs ?checkpoint_path:config.checkpoint_path ~settings:config.settings
-        state
+      Scheduler.restore ~obs ?checkpoint_path:config.checkpoint_path ?store
+        ~settings:config.settings state
     | None ->
-      Scheduler.create ~obs ?checkpoint_path:config.checkpoint_path ~settings:config.settings ()
+      Scheduler.create ~obs ?checkpoint_path:config.checkpoint_path ?store
+        ~settings:config.settings ()
   in
   {
     scheduler;
@@ -57,6 +73,7 @@ let create ?obs config =
       | Some s -> List.length s.Checkpoint.s_pending
       | None -> 0);
     restore_error;
+    store_error;
   }
 
 let restored_backlog t = t.restored
@@ -158,18 +175,35 @@ let handle_cancel t json =
     ok "cancel" [ ("id", Bench_io.String id); ("cancelled", Bench_io.Bool (Scheduler.cancel t.scheduler id)); depth_field t ]
   | _ -> err ~op:"cancel" "bad_request" [ ("detail", Bench_io.String "missing string id") ]
 
+let store_json t =
+  match Scheduler.store_stats t.scheduler with
+  | None -> []
+  | Some s ->
+    [
+      ( "store",
+        Bench_io.Obj
+          [
+            ("hits", Bench_io.Int s.Ftagg_store.Store.s_hits);
+            ("misses", Bench_io.Int s.Ftagg_store.Store.s_misses);
+            ("appends", Bench_io.Int s.Ftagg_store.Store.s_appends);
+            ("entries", Bench_io.Int s.Ftagg_store.Store.s_entries);
+            ("segments", Bench_io.Int s.Ftagg_store.Store.s_segments);
+          ] );
+    ]
+
 let handle_status t =
   ok "status"
-    [
-      depth_field t;
-      ( "tenants",
-        Bench_io.List (List.map (fun s -> Bench_io.String s) (Scheduler.tenants t.scheduler)) );
-      ("completed", Bench_io.Int (Scheduler.completed_count t.scheduler));
-      ("tick", Bench_io.Int (Scheduler.tick_count t.scheduler));
-      ("restored", Bench_io.Int t.restored);
-      ("cache", cache_json t);
-      ("settings", Reconfig.settings_to_json (Scheduler.settings t.scheduler));
-    ]
+    ([
+       depth_field t;
+       ( "tenants",
+         Bench_io.List (List.map (fun s -> Bench_io.String s) (Scheduler.tenants t.scheduler)) );
+       ("completed", Bench_io.Int (Scheduler.completed_count t.scheduler));
+       ("tick", Bench_io.Int (Scheduler.tick_count t.scheduler));
+       ("restored", Bench_io.Int t.restored);
+       ("cache", cache_json t);
+     ]
+    @ store_json t
+    @ [ ("settings", Reconfig.settings_to_json (Scheduler.settings t.scheduler)) ])
 
 let handle_reconfig t json =
   match Bench_io.member "set" json with

@@ -33,6 +33,10 @@ type config = {
       (** enables resume-on-start (loaded when the file exists), periodic
           auto-checkpoints, the [checkpoint] op, and a final snapshot on
           exit *)
+  store_dir : string option;
+      (** directory of the shared on-disk outcome store; when set, the
+          scheduler gains it as an L2 behind the LRU cache and every
+          fresh execution is appended for other fleet members to reuse *)
   name : string;  (** labels the telemetry sink *)
 }
 
@@ -78,6 +82,13 @@ val restore_error : t -> string option
     existed but was torn/corrupt/unreadable).  The server still starts —
     empty — but callers that need the state (the CLI's warning banner,
     [--takeover]) can refuse or report. *)
+
+val store : t -> Ftagg_store.Store.t option
+(** The shared outcome store, when [config.store_dir] was set and opened. *)
+
+val store_error : t -> string option
+(** Why the store was {e not} opened ([Some] iff [store_dir] was set but
+    unopenable); the server runs without the L2 rather than bricking. *)
 
 val finish : t -> unit
 (** Write the final checkpoint (what {!serve} does on exit) — for

@@ -1,0 +1,90 @@
+(* The on-disk record format shared by every segment file: a fixed
+   8-byte magic header, then length-prefixed CRC-checked records.
+
+       +--------+--------+----------------+
+       | len u32| crc u32| payload (len B)|
+       +--------+--------+----------------+
+       (both integers little-endian; crc is CRC-32/IEEE of the payload)
+
+   The codec is deliberately dumb: it knows nothing about digests or
+   outcomes, only how to frame a payload so that a reader can tell a
+   complete record from a torn one.  [scan] is the whole safety story —
+   it consumes valid records and stops at the first byte that cannot be
+   part of one, so a reader never surfaces a corrupt or half-written
+   payload no matter where a crashed writer stopped. *)
+
+let magic = "FTAGSEG1"
+let header_len = String.length magic
+
+(* A length prefix beyond this is treated as corruption, not a record:
+   it bounds how much a reader will ever try to buffer for one entry. *)
+let max_payload = 1 lsl 26
+
+(* ---- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+(* ---- framing ---- *)
+
+let put_u32le b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let encode payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Segment.encode: payload too large";
+  let b = Bytes.create (8 + len) in
+  put_u32le b 0 len;
+  put_u32le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b 8 len;
+  Bytes.unsafe_to_string b
+
+(* Parse as many complete, CRC-valid records as [chunk] holds, starting
+   at [off].  Returns the payloads in order and the offset just past the
+   last valid record — anything beyond it is a torn tail (a crashed or
+   still-writing writer) and is left untouched for a later read to
+   complete or a writer-open to truncate. *)
+let scan ?(off = 0) chunk =
+  let n = String.length chunk in
+  let payloads = ref [] in
+  let p = ref off in
+  let stop = ref false in
+  while not !stop do
+    if !p + 8 > n then stop := true
+    else begin
+      let len = get_u32le chunk !p in
+      let crc = get_u32le chunk (!p + 4) in
+      if len > max_payload || !p + 8 + len > n then stop := true
+      else
+        let payload = String.sub chunk (!p + 8) len in
+        if crc32 payload <> crc then stop := true
+        else begin
+          payloads := payload :: !payloads;
+          p := !p + 8 + len
+        end
+    end
+  done;
+  (List.rev !payloads, !p)

@@ -1,0 +1,27 @@
+(** The append-only segment record format: a fixed magic header followed
+    by length-prefixed CRC-32-checked records.  {!scan} is the torn-write
+    guarantee — it yields only complete records whose checksum matches,
+    so a reader can never observe a corrupt or half-written payload. *)
+
+val magic : string
+(** First bytes of every segment file ("FTAGSEG1" — the version is part
+    of the magic, so a format change is a different file kind, not a
+    parse ambiguity). *)
+
+val header_len : int
+
+val max_payload : int
+(** Length prefixes above this are treated as corruption. *)
+
+val crc32 : string -> int
+(** CRC-32/IEEE of a string, as a non-negative int in [0, 2^32). *)
+
+val encode : string -> string
+(** [encode payload] frames one record: length, checksum, payload.
+    @raise Invalid_argument if the payload exceeds {!max_payload}. *)
+
+val scan : ?off:int -> string -> string list * int
+(** [scan ?off chunk] parses complete valid records from [chunk] starting
+    at [off] and returns them with the offset just past the last one.
+    Trailing bytes that do not form a complete valid record — a torn
+    write, an in-flight append, or garbage — are not consumed. *)

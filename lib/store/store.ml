@@ -1,0 +1,416 @@
+(* A shared on-disk digest→outcome store: one directory of append-only
+   segment files, usable by many server processes at once.
+
+   Writers serialize appends through an advisory [Unix.lockf] lock on a
+   dedicated lock file; each append is a single [write] to the active
+   segment opened with O_APPEND, so a record is laid down contiguously.
+   Readers take no lock at all: they remember, per segment, the offset
+   just past the last valid record they consumed and re-scan only the
+   tail on [refresh].  A record that is mid-write when a reader looks is
+   simply not consumed yet (length/CRC cannot both check out), so the
+   reader picks it up whole on a later refresh — that is the
+   "tolerate a concurrently-growing tail" contract.
+
+   Crash recovery: [open_] walks every segment under the writer lock and
+   truncates any torn tail back to the last valid record.  Only invalid
+   bytes are ever cut, and no reader has consumed past a valid record,
+   so repair never moves a segment below any reader's position.
+
+   Rotation starts a fresh segment once the active one crosses
+   [rotate_bytes]; compaction rewrites the live (latest-wins) entries
+   into a single new higher-numbered segment and unlinks the old files.
+   Readers that still remember an unlinked segment drop it on the next
+   refresh — every entry it held is also in the compacted segment. *)
+
+module Bench_io = Ftagg_runner.Bench_io
+module Registry = Ftagg_obs.Registry
+
+type seg = {
+  seg_idx : int;
+  seg_path : string;
+  mutable seg_off : int;  (* just past the last valid record consumed *)
+  mutable seg_bad : bool;  (* wrong magic: never read again *)
+}
+
+type t = {
+  dir : string;
+  rotate_bytes : int;
+  lock_fd : Unix.file_descr;
+  index : (string, Bench_io.json) Hashtbl.t;
+  mutable segs : seg list;  (* ascending seg_idx *)
+  registry : Registry.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable appends : int;
+  mutable rotations : int;
+  mutable compactions : int;
+  mutable truncations : int;
+}
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_appends : int;
+  s_rotations : int;
+  s_compactions : int;
+  s_truncations : int;
+  s_entries : int;
+  s_segments : int;
+}
+
+let count t name k =
+  match t.registry with None -> () | Some r -> Registry.incr r name k
+
+let set_entries_gauge t =
+  match t.registry with
+  | None -> ()
+  | Some r -> Registry.set_gauge r "store_entries" (float_of_int (Hashtbl.length t.index))
+
+(* ---- paths ---- *)
+
+let seg_name idx = Printf.sprintf "seg-%06d.log" idx
+let seg_path dir idx = Filename.concat dir (seg_name idx)
+
+let seg_idx_of_name name =
+  if String.length name = 14 && String.sub name 0 4 = "seg-" && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 6)
+  else None
+
+let list_seg_indices dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names |> List.filter_map seg_idx_of_name |> List.sort_uniq compare
+
+(* ---- low-level file helpers ---- *)
+
+let read_from path off =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      (fun () ->
+        match Unix.lseek fd off Unix.SEEK_SET with
+        | exception Unix.Unix_error (_, _, _) -> None
+        | _ ->
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 65536 in
+          let rec go () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error (_, _, _) -> None
+            | 0 -> Some (Buffer.contents buf)
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          in
+          go ())
+
+let append_bytes path data =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      let len = String.length data in
+      let rec go off =
+        if off < len then go (off + Unix.write_substring fd data off (len - off))
+      in
+      go 0)
+
+let file_size path = match Unix.stat path with
+  | exception Unix.Unix_error (_, _, _) -> None
+  | st -> Some st.Unix.st_size
+
+(* ---- the advisory writer lock ---- *)
+
+let with_lock t f =
+  ignore (Unix.lseek t.lock_fd 0 Unix.SEEK_SET);
+  Unix.lockf t.lock_fd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.lseek t.lock_fd 0 Unix.SEEK_SET);
+      try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error (_, _, _) -> ())
+    f
+
+(* ---- payload codec: one record = one {digest, outcome} object ---- *)
+
+let payload_of digest json =
+  Bench_io.to_string ~indent:false
+    (Bench_io.Obj [ ("digest", Bench_io.String digest); ("outcome", json) ])
+
+let decode_payload payload =
+  match Bench_io.of_string payload with
+  | Error _ -> None
+  | Ok json -> (
+    match (Bench_io.member "digest" json, Bench_io.member "outcome" json) with
+    | Some (Bench_io.String d), Some o -> Some (d, o)
+    | _ -> None)
+
+(* ---- lock-free reading ---- *)
+
+(* Consume whatever new valid records grew past [seg.seg_off].  A magic
+   mismatch poisons the segment (it is not ours); a file that vanished
+   (compaction elsewhere) drops it from the reader's view. *)
+let ingest t seg =
+  if not seg.seg_bad then
+    match read_from seg.seg_path seg.seg_off with
+    | None -> t.segs <- List.filter (fun s -> s != seg) t.segs
+    | Some chunk ->
+      let chunk, base =
+        if seg.seg_off = 0 then
+          if String.length chunk < Segment.header_len then ("", 0)
+          else if String.sub chunk 0 Segment.header_len <> Segment.magic then begin
+            seg.seg_bad <- true;
+            ("", 0)
+          end
+          else (chunk, Segment.header_len)
+        else (chunk, 0)
+      in
+      if chunk <> "" then begin
+        let payloads, consumed = Segment.scan ~off:base chunk in
+        List.iter
+          (fun p ->
+            match decode_payload p with
+            | Some (digest, outcome) -> Hashtbl.replace t.index digest outcome
+            | None -> ())
+          payloads;
+        seg.seg_off <- seg.seg_off + consumed
+      end
+
+let refresh t =
+  let known = List.map (fun s -> s.seg_idx) t.segs in
+  let fresh =
+    List.filter_map
+      (fun idx ->
+        if List.mem idx known then None
+        else Some { seg_idx = idx; seg_path = seg_path t.dir idx; seg_off = 0; seg_bad = false })
+      (list_seg_indices t.dir)
+  in
+  t.segs <- List.sort (fun a b -> compare a.seg_idx b.seg_idx) (t.segs @ fresh);
+  List.iter (ingest t) t.segs;
+  set_entries_gauge t
+
+let find_opt_no_stats t digest =
+  match Hashtbl.find_opt t.index digest with
+  | Some _ as v -> v
+  | None ->
+    refresh t;
+    Hashtbl.find_opt t.index digest
+
+let find t digest =
+  match find_opt_no_stats t digest with
+  | Some _ as v ->
+    t.hits <- t.hits + 1;
+    count t "store_hits_total" 1;
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    count t "store_misses_total" 1;
+    None
+
+let mem t digest = find_opt_no_stats t digest <> None
+let entries t = Hashtbl.length t.index
+let fold f t acc = Hashtbl.fold f t.index acc
+let dir t = t.dir
+let segments t = List.length (List.filter (fun s -> not s.seg_bad) t.segs)
+
+(* ---- writing ---- *)
+
+let create_segment t idx =
+  let path = seg_path t.dir idx in
+  append_bytes path Segment.magic;
+  let seg = { seg_idx = idx; seg_path = path; seg_off = Segment.header_len; seg_bad = false } in
+  t.segs <- t.segs @ [ seg ];
+  seg
+
+(* The segment the next record goes to, rotating first when the current
+   one has crossed the threshold.  Caller holds the lock: sizes cannot
+   move under us, and two writers cannot both create the same file. *)
+let active_segment t =
+  let indices = list_seg_indices t.dir in
+  match List.rev indices with
+  | [] ->
+    if t.segs <> [] then t.segs <- [];  (* all unlinked behind our back *)
+    create_segment t 1
+  | last :: _ -> (
+    let size = Option.value (file_size (seg_path t.dir last)) ~default:0 in
+    if size >= t.rotate_bytes then begin
+      t.rotations <- t.rotations + 1;
+      count t "store_rotations_total" 1;
+      create_segment t (last + 1)
+    end
+    else
+      match List.find_opt (fun s -> s.seg_idx = last) t.segs with
+      | Some seg -> seg
+      | None ->
+        let seg =
+          { seg_idx = last; seg_path = seg_path t.dir last; seg_off = 0; seg_bad = false }
+        in
+        t.segs <- List.sort (fun a b -> compare a.seg_idx b.seg_idx) (seg :: t.segs);
+        seg)
+
+let add t digest json =
+  if not (mem t digest) then begin
+    let record = Segment.encode (payload_of digest json) in
+    with_lock t (fun () ->
+        let seg = active_segment t in
+        append_bytes seg.seg_path record);
+    Hashtbl.replace t.index digest json;
+    t.appends <- t.appends + 1;
+    count t "store_appends_total" 1;
+    set_entries_gauge t
+  end
+
+(* ---- open-time repair ---- *)
+
+(* Truncate every segment's torn tail back to its last valid record.
+   Runs under the writer lock, so an in-flight append either completed
+   before we looked (its record is valid and kept) or has not started. *)
+let repair t =
+  with_lock t (fun () ->
+      List.iter
+        (fun idx ->
+          let path = seg_path t.dir idx in
+          match read_from path 0 with
+          | None -> ()
+          | Some contents ->
+            let size = String.length contents in
+            if size < Segment.header_len
+               || String.sub contents 0 Segment.header_len <> Segment.magic
+            then ()  (* not ours (or an empty mid-creation file): leave it *)
+            else
+              let _, valid_end = Segment.scan ~off:Segment.header_len contents in
+              if valid_end < size then begin
+                let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+                Fun.protect
+                  ~finally:(fun () ->
+                    try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+                  (fun () -> Unix.ftruncate fd valid_end);
+                t.truncations <- t.truncations + 1;
+                count t "store_truncations_total" 1
+              end)
+        (list_seg_indices t.dir))
+
+(* ---- compaction ---- *)
+
+let compact t =
+  with_lock t (fun () ->
+      (* Full fresh scan (not the cached index): compaction must observe
+         exactly what is on disk at this instant. *)
+      let live = Hashtbl.create 64 in
+      let order = ref [] in
+      let total = ref 0 in
+      let indices = list_seg_indices t.dir in
+      List.iter
+        (fun idx ->
+          match read_from (seg_path t.dir idx) 0 with
+          | None -> ()
+          | Some contents ->
+            if String.length contents >= Segment.header_len
+               && String.sub contents 0 Segment.header_len = Segment.magic
+            then
+              let payloads, _ = Segment.scan ~off:Segment.header_len contents in
+              List.iter
+                (fun p ->
+                  match decode_payload p with
+                  | None -> ()
+                  | Some (digest, outcome) ->
+                    incr total;
+                    if not (Hashtbl.mem live digest) then order := digest :: !order;
+                    Hashtbl.replace live digest outcome)
+                payloads)
+        indices;
+      let kept = Hashtbl.length live in
+      let dropped = !total - kept in
+      let next = (match List.rev indices with [] -> 0 | last :: _ -> last) + 1 in
+      let final = seg_path t.dir next in
+      let tmp = final ^ ".tmp" in
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf Segment.magic;
+      List.iter
+        (fun digest ->
+          Buffer.add_string buf
+            (Segment.encode (payload_of digest (Hashtbl.find live digest))))
+        (List.rev !order);
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          let data = Buffer.contents buf in
+          let len = String.length data in
+          let rec go off =
+            if off < len then go (off + Unix.write_substring fd data off (len - off))
+          in
+          go 0;
+          Unix.fsync fd);
+      Sys.rename tmp final;
+      (* The new segment holds every live entry: the old files are now
+         redundant for any reader, current or future. *)
+      List.iter
+        (fun idx -> try Sys.remove (seg_path t.dir idx) with Sys_error _ -> ())
+        indices;
+      t.segs <-
+        [ { seg_idx = next; seg_path = final; seg_off = Segment.header_len; seg_bad = false } ];
+      Hashtbl.reset t.index;
+      Hashtbl.iter (fun d o -> Hashtbl.replace t.index d o) live;
+      (match List.hd t.segs with
+      | seg -> (
+        match file_size final with Some sz -> seg.seg_off <- sz | None -> ()));
+      t.compactions <- t.compactions + 1;
+      count t "store_compactions_total" 1;
+      set_entries_gauge t;
+      (kept, dropped))
+
+(* ---- lifecycle ---- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?registry ?(rotate_bytes = 4 * 1024 * 1024) ~dir () =
+  match
+    mkdir_p dir;
+    if not (Sys.is_directory dir) then failwith (dir ^ " exists and is not a directory");
+    Unix.openfile (Filename.concat dir "lock") [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  with
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.ksprintf Result.error "store %s: %s(%s): %s" dir (Unix.error_message e) fn arg
+  | exception Failure msg -> Error msg
+  | exception Sys_error msg -> Error msg
+  | lock_fd ->
+    let t =
+      {
+        dir;
+        rotate_bytes = max 1024 rotate_bytes;
+        lock_fd;
+        index = Hashtbl.create 256;
+        segs = [];
+        registry;
+        hits = 0;
+        misses = 0;
+        appends = 0;
+        rotations = 0;
+        compactions = 0;
+        truncations = 0;
+      }
+    in
+    repair t;
+    refresh t;
+    Ok t
+
+let close t = try Unix.close t.lock_fd with Unix.Unix_error (_, _, _) -> ()
+
+let stats t =
+  {
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_appends = t.appends;
+    s_rotations = t.rotations;
+    s_compactions = t.compactions;
+    s_truncations = t.truncations;
+    s_entries = Hashtbl.length t.index;
+    s_segments = segments t;
+  }

@@ -1,0 +1,70 @@
+(** A shared on-disk digest→outcome store over append-only segment
+    files, safe for many processes on one directory.
+
+    Appends serialize through an advisory [Unix.lockf] writer lock and
+    land as one contiguous record in the active segment; readers take no
+    lock and tolerate a concurrently-growing tail ({!refresh} consumes
+    only complete CRC-valid records — see {!Segment}).  {!open_} repairs
+    torn tails left by crashed writers by truncating to the last valid
+    record; rotation caps segment size; {!compact} rewrites the
+    latest-wins live set into a single fresh segment.
+
+    Values are {!Ftagg_runner.Bench_io.json} documents keyed by the job
+    content digest: because digests are content-addressed, concurrent
+    writers can only ever disagree about a key by writing identical
+    outcomes, so last-wins merging is sound by construction. *)
+
+type t
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_appends : int;
+  s_rotations : int;
+  s_compactions : int;
+  s_truncations : int;  (** torn tails cut at {!open_} *)
+  s_entries : int;
+  s_segments : int;
+}
+
+val open_ :
+  ?registry:Ftagg_obs.Registry.t ->
+  ?rotate_bytes:int ->
+  dir:string ->
+  unit ->
+  (t, string) result
+(** Open (creating the directory if needed), repair torn tails under the
+    writer lock, and load the index.  [rotate_bytes] (default 4 MiB,
+    floor 1 KiB) is the segment size past which the next append starts a
+    fresh segment.  [registry] mirrors the plain counters as
+    [store_*_total] metrics plus a [store_entries] gauge. *)
+
+val add : t -> string -> Ftagg_runner.Bench_io.json -> unit
+(** [add t digest outcome] appends one record under the writer lock.
+    A digest already present (here or on disk) is a no-op — entries are
+    content-addressed, so re-appending could only duplicate. *)
+
+val find : t -> string -> Ftagg_runner.Bench_io.json option
+(** Lock-free lookup; on an index miss the segment tails are re-scanned
+    once ({!refresh}) before answering, so records appended by other
+    processes are found without any coordination. *)
+
+val mem : t -> string -> bool
+(** {!find} without touching the hit/miss counters. *)
+
+val refresh : t -> unit
+(** Consume any records other processes appended since the last look
+    (and discover rotated or compacted segments). *)
+
+val compact : t -> int * int
+(** Rewrite the live entries into one fresh segment, drop superseded
+    records and unlink the old files; returns [(kept, dropped)].  Runs
+    under the writer lock; concurrent readers keep working throughout
+    (they drop vanished segments on their next refresh). *)
+
+val entries : t -> int
+val fold : (string -> Ftagg_runner.Bench_io.json -> 'a -> 'a) -> t -> 'a -> 'a
+val segments : t -> int
+val dir : t -> string
+val stats : t -> stats
+val close : t -> unit

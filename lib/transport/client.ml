@@ -27,6 +27,16 @@ let connect_fd address =
       (Unix.error_message e)
   | fd -> Ok fd
 
+(* A health check is one connect and an immediate close: the listener
+   accepts before any protocol exchange, so reachability alone answers
+   "is something serving this address?" without burning a request. *)
+let probe address =
+  match connect_fd address with
+  | Error _ -> false
+  | Ok fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    true
+
 (* ------------------------------------------------------------------ *)
 (* The plain blocking client (one connection, no retry)                *)
 (* ------------------------------------------------------------------ *)

@@ -27,6 +27,13 @@
 
 type t
 
+val probe : Listener.address -> bool
+(** Cheap liveness check: can a connection be opened to [address] right
+    now?  Connects and immediately closes — no handshake, no request —
+    so it is safe against authenticated listeners and costs the server
+    one accept.  What the fleet client uses to skip known-dead endpoints
+    without spending a retry budget on them. *)
+
 val connect : Listener.address -> (t, string) result
 
 val hello : ?token:string -> ?tenant:string -> t -> (string, string) result

@@ -23,4 +23,6 @@ let () =
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
       ("transport", Test_transport.suite);
+      ("store", Test_store.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -273,6 +273,47 @@ let test_chrome_trace_parses () =
           [ "pid"; "tid"; "ts"; "dur"; "name"; "cat" ])
       complete
 
+(* Hostile label values: backslashes, quotes and newlines must come out
+   escaped per the exposition format, and a raw newline must never split
+   a metric line (it would corrupt every series after it). *)
+let test_prometheus_hostile_labels () =
+  Registry.set_enabled true;
+  let r = Registry.create () in
+  Registry.incr r ~labels:[ ("path", "C:\\temp\"dir\nnext") ] "requests" 1;
+  let text = Export.prometheus r in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  (* pinned byte-exact: backslash doubles, the quote and the newline
+     each become a two-byte escape *)
+  check_true "hostile value escaped exactly"
+    (has "requests{path=\"C:\\\\temp\\\"dir\\nnext\"} 1");
+  let metric_lines =
+    List.filter
+      (fun l -> String.length l >= 9 && String.sub l 0 9 = "requests{")
+      (String.split_on_char '\n' text)
+  in
+  (match metric_lines with
+  | [ l ] ->
+    check_true "the series survives as one whole line"
+      (String.sub l (String.length l - 2) 2 = " 1")
+  | ls -> Alcotest.fail (Printf.sprintf "expected 1 metric line, got %d" (List.length ls)));
+  (* a benign value passes through untouched *)
+  Registry.incr r ~labels:[ ("t", "plain-value_1") ] "benign" 2;
+  let text = Export.prometheus r in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_true "benign value unescaped" (has "benign{t=\"plain-value_1\"} 2")
+
 let test_prometheus_dump () =
   let r = Registry.create () in
   Registry.incr r ~labels:[ ("phase", "agg/tree") ] "bits" 12;
@@ -366,5 +407,6 @@ let suite =
       ("export: jsonl parses line by line", test_jsonl_parses);
       ("export: chrome trace parses, >=3 phases", test_chrome_trace_parses);
       ("export: prometheus text", test_prometheus_dump);
+      ("export: hostile label values escaped", test_prometheus_hostile_labels);
     ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -399,7 +399,7 @@ let test_checkpoint_torn_file_refused () =
       (string_contains ~needle:"torn or corrupt" e && string_contains ~needle:path e));
   (* The server must not brick on it: start empty, keep the reason. *)
   let t =
-    Server.create { Server.settings = settings (); checkpoint_path = Some path; name = "test" }
+    Server.create { Server.settings = settings (); checkpoint_path = Some path; store_dir = None; name = "test" }
   in
   (match Server.restore_error t with
   | Some e -> check_true "restore error surfaced" (string_contains ~needle:"torn or corrupt" e)
@@ -412,8 +412,8 @@ let test_checkpoint_torn_file_refused () =
 
 (* --- server protocol --- *)
 
-let server ?checkpoint_path ?(st = settings ()) () =
-  Server.create { Server.settings = st; checkpoint_path; name = "test" }
+let server ?checkpoint_path ?store_dir ?(st = settings ()) () =
+  Server.create { Server.settings = st; checkpoint_path; store_dir; name = "test" }
 
 let test_server_protocol () =
   let t = server () in
@@ -563,6 +563,125 @@ let test_campaign_via_service_cancellation () =
   check_int "every second trial cancelled" 3 outcome.Campaign.o_rejected_trials;
   check_int "the rest still violate" 3 outcome.Campaign.o_violating_trials
 
+(* --- golden digest vectors ---
+
+   The digest is the cross-process cache key: the store files, the
+   fleet's ring placement and the client's idempotent resubmit all
+   assume every build of every fleet member hashes a job to the same
+   hex string.  These vectors pin the digest byte-exact, so any change
+   to the canonical serialization (field order, separators, the FNV
+   constants) fails loudly instead of silently splitting the fleet's
+   caches. *)
+
+let test_job_digest_golden () =
+  let vectors =
+    [
+      (spec (), "711832b693b6182d");
+      (spec ~n:25 ~seed:3 (), "6b57e64ed4fe9fa5");
+      ({ (spec ()) with Job.caaf = "max"; protocol = Job.Brute }, "d88d0e3b6b1a7869");
+      ( { (spec ~n:9 ()) with Job.failures = Job.Explicit [ (1, 4); (2, 0) ] },
+        "364c1ad699197b83" );
+    ]
+  in
+  List.iteri
+    (fun i (s, expect) ->
+      Alcotest.(check string)
+        (Printf.sprintf "vector %d pinned" (i + 1))
+        expect (Job.digest s))
+    vectors
+
+(* --- the shared store as an L2 behind the LRU --- *)
+
+let store_dir_counter = ref 0
+
+let with_store_dir f =
+  incr store_dir_counter;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftagg-svc-store-%d-%d" (Unix.getpid ()) !store_dir_counter)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists d then begin
+        Array.iter (fun x -> Sys.remove (Filename.concat d x)) (Sys.readdir d);
+        Unix.rmdir d
+      end)
+    (fun () -> f d)
+
+let open_store d = Result.get_ok (Store.open_ ~dir:d ())
+
+let test_scheduler_store_l2 () =
+  with_store_dir @@ fun d ->
+  let store_a = open_store d in
+  let a = Scheduler.create ~store:store_a ~settings:(settings ~batch:1 ()) () in
+  ignore (Result.get_ok (Scheduler.submit a (spec ())));
+  (match Scheduler.tick a () with
+  | [ c ] -> check_true "first execution is not cached" (not c.Scheduler.cached)
+  | _ -> Alcotest.fail "expected one completion");
+  check_int "execution appended to the store" 1 (Store.entries store_a);
+  (* a second scheduler — fresh (empty) L1, same directory: the same job
+     completes from the store, no re-simulation *)
+  let store_b = open_store d in
+  let b = Scheduler.create ~store:store_b ~settings:(settings ~batch:1 ()) () in
+  ignore (Result.get_ok (Scheduler.submit b (spec ())));
+  (match Scheduler.tick b () with
+  | [ c ] ->
+    check_true "L2 hit completes as cached" c.Scheduler.cached;
+    check_true "outcome intact across the disk round-trip"
+      (match c.Scheduler.outcome with Ok o -> o.Job.correct | Error _ -> false)
+  | _ -> Alcotest.fail "expected one completion");
+  let st = Option.get (Scheduler.store_stats b) in
+  check_true "store hit counted" (st.Store.s_hits >= 1);
+  check_int "no duplicate append from the L2 hit" 1 (Store.entries store_b);
+  (* the hit was promoted into L1: another duplicate stays off the store *)
+  ignore (Result.get_ok (Scheduler.submit b (spec ~tenant:"other" ())));
+  (match Scheduler.tick b () with
+  | [ c ] -> check_true "promoted hit serves from L1" c.Scheduler.cached
+  | _ -> Alcotest.fail "expected one completion");
+  check_int "L1 hit does not touch the store again" st.Store.s_hits
+    (Option.get (Scheduler.store_stats b)).Store.s_hits;
+  Store.close store_a;
+  Store.close store_b
+
+(* Satellite: resuming from a checkpoint against an already-populated
+   store must not duplicate store entries and must not move any cache or
+   store counter — restore is bookkeeping, not traffic. *)
+let test_restore_with_populated_store () =
+  with_store_dir @@ fun d ->
+  let ckpt = Filename.temp_file "ftagg-store-resume" ".ckpt.json" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt) @@ fun () ->
+  let store_a = open_store d in
+  let a =
+    Scheduler.create ~checkpoint_path:ckpt ~store:store_a ~settings:(settings ~batch:2 ()) ()
+  in
+  ignore (Result.get_ok (Scheduler.submit a (spec ())));
+  ignore (Result.get_ok (Scheduler.submit a (spec ~seed:8 ())));
+  ignore (Scheduler.drain a);
+  ignore (Scheduler.checkpoint_now a);
+  check_int "both executions on disk" 2 (Store.entries store_a);
+  (* resume against the populated store *)
+  let state = Result.get_ok (Checkpoint.load ~path:ckpt) in
+  let store_b = open_store d in
+  let b =
+    Scheduler.restore ~checkpoint_path:ckpt ~store:store_b
+      ~settings:(settings ~batch:2 ()) state
+  in
+  let st = Option.get (Scheduler.store_stats b) in
+  check_int "restore appends nothing" 0 st.Store.s_appends;
+  check_int "restore reads count no hits" 0 st.Store.s_hits;
+  check_int "restore reads count no misses" 0 st.Store.s_misses;
+  check_int "no duplicate entries" 2 (Store.entries store_b);
+  let cs = Scheduler.cache_stats b in
+  check_int "restore flips no cache hits" 0 cs.Cache.hits;
+  check_int "restore flips no cache misses" 0 cs.Cache.misses;
+  (* the restored digests still answer as cached on resubmission *)
+  ignore (Result.get_ok (Scheduler.submit b (spec ())));
+  (match Scheduler.tick b () with
+  | [ c ] -> check_true "resubmission after resume is cached" c.Scheduler.cached
+  | _ -> Alcotest.fail "expected one completion");
+  Store.close store_a;
+  Store.close store_b
+
 let suite =
   [
     Alcotest.test_case "queue: per-tenant fairness" `Quick test_queue_fairness;
@@ -574,6 +693,10 @@ let suite =
     Alcotest.test_case "job: digest soundness" `Quick test_job_digest;
     Alcotest.test_case "job: wire round-trip" `Quick test_job_json_roundtrip;
     Alcotest.test_case "job: defaults and validation" `Quick test_job_of_json_defaults_and_errors;
+    Alcotest.test_case "job: golden digest vectors" `Quick test_job_digest_golden;
+    Alcotest.test_case "scheduler: store is an L2 behind the LRU" `Quick test_scheduler_store_l2;
+    Alcotest.test_case "scheduler: resume against a populated store" `Quick
+      test_restore_with_populated_store;
     Alcotest.test_case "scheduler: duplicate = cache hit" `Quick test_scheduler_cache_hit;
     Alcotest.test_case "scheduler: cancel + deadline" `Quick test_scheduler_cancel_and_deadline;
     Alcotest.test_case "scheduler: live reconfig" `Quick test_scheduler_reconfig;

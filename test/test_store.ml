@@ -1,0 +1,283 @@
+(* Tests for lib/store: the shared on-disk outcome store.
+
+   The load-bearing properties:
+
+   - the record format is torn-write safe: [Segment.scan] yields only
+     complete CRC-valid records, so a reader can never observe a
+     half-written or corrupt payload, no matter where a writer (or the
+     machine) died;
+   - open-time repair truncates exactly the invalid tail — every valid
+     record survives a crashed writer;
+   - two handles on one directory behave like one store: appends by one
+     are found by the other without any coordination (refresh-on-miss),
+     and an in-flight append is simply invisible until it completes;
+   - rotation and compaction preserve the live entry set, and duplicate
+     (superseded) records are dropped latest-wins. *)
+
+open Ftagg
+open Helpers
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftagg-store-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (* a stale directory from a killed earlier run must not leak state in *)
+  if Sys.file_exists d then
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+  else Unix.mkdir d 0o755;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+let with_store ?rotate_bytes f =
+  let d = fresh_dir () in
+  let t = Result.get_ok (Store.open_ ?rotate_bytes ~dir:d ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.close t;
+      rm_rf d)
+    (fun () -> f d t)
+
+let outcome i =
+  Bench_io.Obj [ ("value", Bench_io.Int i); ("tag", Bench_io.String "test") ]
+
+let digest i = Printf.sprintf "%016x" (0xabc000 + i)
+
+let append_raw dir idx bytes =
+  let path = Filename.concat dir (Printf.sprintf "seg-%06d.log" idx) in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let rec go off =
+    if off < String.length bytes then
+      go (off + Unix.write_substring fd bytes off (String.length bytes - off))
+  in
+  go 0;
+  Unix.close fd
+
+let payload_of d o =
+  Bench_io.to_string ~indent:false
+    (Bench_io.Obj [ ("digest", Bench_io.String d); ("outcome", o) ])
+
+(* --- the segment codec --- *)
+
+let test_segment_scan_roundtrip () =
+  let records = [ "alpha"; ""; String.make 300 'z'; "{\"k\": 1}" ] in
+  let chunk = String.concat "" (List.map Segment.encode records) in
+  let got, consumed = Segment.scan chunk in
+  check_true "all records recovered" (got = records);
+  check_int "everything consumed" (String.length chunk) consumed
+
+let test_segment_scan_stops_at_torn_tail () =
+  let whole = Segment.encode "first" ^ Segment.encode "second" in
+  (* every strict prefix must yield only complete records and never a
+     mangled payload *)
+  for cut = 0 to String.length whole - 1 do
+    let got, consumed = Segment.scan (String.sub whole 0 cut) in
+    check_true "consumed stays on record boundaries"
+      (consumed = 0 || consumed = String.length (Segment.encode "first"));
+    List.iter (fun p -> check_true "payload is intact" (p = "first" || p = "second")) got
+  done;
+  let got, _ = Segment.scan whole in
+  check_true "the full chunk yields both" (got = [ "first"; "second" ])
+
+let test_segment_scan_rejects_corruption () =
+  let good = Segment.encode "payload" in
+  (* flip one payload byte: the CRC no longer matches, nothing is consumed *)
+  let bad = Bytes.of_string good in
+  Bytes.set bad (Segment.header_len + 2) 'X';
+  let got, consumed = Segment.scan (Bytes.to_string bad) in
+  check_true "corrupt record is not yielded" (got = []);
+  check_int "corrupt record is not consumed" 0 consumed;
+  (* an absurd length prefix is corruption, not a huge pending record *)
+  let huge = Bytes.make 8 '\xff' in
+  let got, consumed = Segment.scan (Bytes.to_string huge ^ good) in
+  check_true "absurd length yields nothing" (got = []);
+  check_int "absurd length consumes nothing" 0 consumed
+
+(* --- store basics --- *)
+
+let test_store_roundtrip_and_reopen () =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () ->
+  let t = Result.get_ok (Store.open_ ~dir:d ()) in
+  for i = 1 to 5 do
+    Store.add t (digest i) (outcome i)
+  done;
+  check_int "five entries" 5 (Store.entries t);
+  check_true "lookup answers" (Store.find t (digest 3) = Some (outcome 3));
+  check_true "missing digest misses" (Store.find t "ffffffffffffffff" = None);
+  Store.add t (digest 3) (outcome 99);
+  check_int "re-adding a digest is a no-op" 5 (Store.entries t);
+  check_true "original outcome kept" (Store.find t (digest 3) = Some (outcome 3));
+  let s = Store.stats t in
+  check_int "appends counted" 5 s.Store.s_appends;
+  check_int "hits counted" 2 s.Store.s_hits;
+  check_int "misses counted" 1 s.Store.s_misses;
+  Store.close t;
+  (* a fresh handle finds everything on disk *)
+  let t2 = Result.get_ok (Store.open_ ~dir:d ()) in
+  check_int "reopen sees all entries" 5 (Store.entries t2);
+  check_true "reopen finds" (Store.find t2 (digest 5) = Some (outcome 5));
+  check_int "reopen repaired nothing" 0 (Store.stats t2).Store.s_truncations;
+  Store.close t2
+
+let test_store_two_handles_share () =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () ->
+  let a = Result.get_ok (Store.open_ ~dir:d ()) in
+  let b = Result.get_ok (Store.open_ ~dir:d ()) in
+  Store.add a (digest 1) (outcome 1);
+  (* b's index is stale; the miss path refreshes and finds the record *)
+  check_true "the other handle sees the append" (Store.find b (digest 1) = Some (outcome 1));
+  Store.add b (digest 2) (outcome 2);
+  check_true "and symmetrically" (Store.find a (digest 2) = Some (outcome 2));
+  check_true "add dedupes across handles" (Store.mem a (digest 1));
+  Store.add b (digest 1) (outcome 1);
+  check_int "no duplicate append" 1 (Store.stats a).Store.s_appends;
+  Store.close a;
+  Store.close b
+
+(* --- crash safety --- *)
+
+let test_store_torn_tail_repaired_on_open () =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () ->
+  let t = Result.get_ok (Store.open_ ~dir:d ()) in
+  Store.add t (digest 1) (outcome 1);
+  Store.add t (digest 2) (outcome 2);
+  Store.close t;
+  (* a writer died mid-append: half a record sits at the tail *)
+  let torn = Segment.encode (payload_of (digest 3) (outcome 3)) in
+  append_raw d 1 (String.sub torn 0 (String.length torn - 4));
+  let t2 = Result.get_ok (Store.open_ ~dir:d ()) in
+  check_int "torn tail cut" 1 (Store.stats t2).Store.s_truncations;
+  check_int "valid records all survive" 2 (Store.entries t2);
+  check_true "torn record is gone" (Store.find t2 (digest 3) = None);
+  (* the truncated segment accepts appends again *)
+  Store.add t2 (digest 3) (outcome 3);
+  check_true "store is writable after repair" (Store.find t2 (digest 3) = Some (outcome 3));
+  Store.close t2
+
+let test_reader_never_sees_partial_append () =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () ->
+  let writer = Result.get_ok (Store.open_ ~dir:d ()) in
+  Store.add writer (digest 1) (outcome 1);
+  let reader = Result.get_ok (Store.open_ ~dir:d ()) in
+  check_int "reader starts in sync" 1 (Store.entries reader);
+  (* another process is mid-append: its record is half on disk.  The
+     reader must not consume it — at any split point. *)
+  let record = Segment.encode (payload_of (digest 2) (outcome 2)) in
+  let half = String.length record / 2 in
+  append_raw d 1 (String.sub record 0 half);
+  Store.refresh reader;
+  check_int "half a record is invisible" 1 (Store.entries reader);
+  check_true "and not findable" (Store.find reader (digest 2) = None);
+  (* every entry the reader does hold decodes to what was written *)
+  Store.fold
+    (fun dg o () -> check_true "no corrupt entry surfaced" (dg = digest 1 && o = outcome 1))
+    reader ();
+  (* the append completes: the reader picks the record up whole *)
+  append_raw d 1 (String.sub record half (String.length record - half));
+  Store.refresh reader;
+  check_int "completed record is visible" 2 (Store.entries reader);
+  check_true "with the right payload" (Store.find reader (digest 2) = Some (outcome 2));
+  Store.close writer;
+  Store.close reader
+
+let test_store_foreign_file_poisons_nothing () =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () ->
+  let t = Result.get_ok (Store.open_ ~dir:d ()) in
+  Store.add t (digest 1) (outcome 1);
+  Store.close t;
+  (* a file with the segment naming convention but alien content: it is
+     ignored (wrong magic), not parsed and not truncated *)
+  append_raw d 7 "this is not a segment file at all\n";
+  let t2 = Result.get_ok (Store.open_ ~dir:d ()) in
+  check_int "real entries still load" 1 (Store.entries t2);
+  check_int "alien bytes untouched by repair" 34
+    (Option.value
+       (match Unix.stat (Filename.concat d "seg-000007.log") with
+       | exception Unix.Unix_error _ -> None
+       | st -> Some st.Unix.st_size)
+       ~default:0);
+  Store.close t2
+
+(* --- rotation and compaction --- *)
+
+let test_store_rotation () =
+  with_store ~rotate_bytes:1024 @@ fun _d t ->
+  (* fat outcomes push the active segment over the 1 KiB floor fast *)
+  let fat i =
+    Bench_io.Obj [ ("value", Bench_io.Int i); ("pad", Bench_io.String (String.make 200 'p')) ]
+  in
+  for i = 1 to 20 do
+    Store.add t (digest i) (fat i)
+  done;
+  check_true "rotation produced several segments" (Store.segments t > 1);
+  check_true "rotations counted" ((Store.stats t).Store.s_rotations > 0);
+  for i = 1 to 20 do
+    check_true "every entry readable across segments" (Store.find t (digest i) = Some (fat i))
+  done
+
+let test_store_compaction_drops_superseded () =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) @@ fun () ->
+  (* craft a segment holding superseded duplicates — what two racing
+     writers (each passing its [mem] check before the other's append
+     landed) leave behind *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf Segment.magic;
+  Buffer.add_string buf (Segment.encode (payload_of (digest 1) (outcome 1)));
+  Buffer.add_string buf (Segment.encode (payload_of (digest 2) (outcome 2)));
+  Buffer.add_string buf (Segment.encode (payload_of (digest 1) (outcome 10)));
+  append_raw d 1 (Buffer.contents buf);
+  let t = Result.get_ok (Store.open_ ~dir:d ()) in
+  let reader = Result.get_ok (Store.open_ ~dir:d ()) in
+  check_int "two live entries" 2 (Store.entries t);
+  let kept, dropped = Store.compact t in
+  check_int "live set kept" 2 kept;
+  check_int "superseded record dropped" 1 dropped;
+  check_int "one segment remains" 1 (Store.segments t);
+  check_true "latest wins" (Store.find t (digest 1) = Some (outcome 10));
+  check_true "the other entry survives" (Store.find t (digest 2) = Some (outcome 2));
+  (* a reader holding the pre-compaction view keeps working: its old
+     segment vanished, the compacted one holds every live entry *)
+  Store.refresh reader;
+  check_int "reader survives compaction" 2 (Store.entries reader);
+  check_true "reader sees the live set" (Store.find reader (digest 2) = Some (outcome 2));
+  (* appends continue after compaction *)
+  Store.add t (digest 3) (outcome 3);
+  check_true "writable after compaction" (Store.find t (digest 3) = Some (outcome 3));
+  Store.close t;
+  Store.close reader
+
+let suite =
+  [
+    Alcotest.test_case "segment: encode/scan roundtrip" `Quick test_segment_scan_roundtrip;
+    Alcotest.test_case "segment: scan stops at a torn tail (every cut)" `Quick
+      test_segment_scan_stops_at_torn_tail;
+    Alcotest.test_case "segment: corrupt records are not consumed" `Quick
+      test_segment_scan_rejects_corruption;
+    Alcotest.test_case "store: roundtrip, dedupe, reopen" `Quick test_store_roundtrip_and_reopen;
+    Alcotest.test_case "store: two handles share one directory" `Quick
+      test_store_two_handles_share;
+    Alcotest.test_case "store: torn tail repaired on open" `Quick
+      test_store_torn_tail_repaired_on_open;
+    Alcotest.test_case "store: reader never sees a partial append" `Quick
+      test_reader_never_sees_partial_append;
+    Alcotest.test_case "store: foreign file is ignored, not parsed" `Quick
+      test_store_foreign_file_poisons_nothing;
+    Alcotest.test_case "store: rotation spreads entries over segments" `Quick
+      test_store_rotation;
+    Alcotest.test_case "store: compaction drops superseded records" `Quick
+      test_store_compaction_drops_superseded;
+  ]

@@ -40,7 +40,7 @@ let settings ?(queue = 8) ?(cache = 8) ?(batch = 4) () =
   }
 
 let make_server ?checkpoint_path ?(name = "transport-test") () =
-  Server.create { Server.settings = settings (); checkpoint_path; name }
+  Server.create { Server.settings = settings (); checkpoint_path; store_dir = None; name }
 
 let submit_line ?(tenant = "spoof") ~seed () =
   Printf.sprintf
@@ -94,6 +94,43 @@ let test_frame_exact_bound () =
   match Frame.feed_string f "12345678\n123456789\n" with
   | [ Frame.Line "12345678"; Frame.Oversized 9 ] -> ()
   | _ -> Alcotest.fail "bound is inclusive on the payload"
+
+(* Property: framing is split-invariant.  However a byte stream is
+   chunked — mid-line, mid-CRLF-delimiter, mid-oversized-discard — the
+   reassembled item sequence and the leftover state equal the one-shot
+   parse.  [max_line] is kept tiny (8) so random streams regularly cross
+   the oversized path, and the alphabet is newline-heavy so delimiters
+   land inside chunks often. *)
+let qcheck_tests =
+  let open QCheck in
+  let raw_stream =
+    string_gen_of_size Gen.(0 -- 60) Gen.(oneofl [ '\n'; '\n'; '\r'; 'a'; 'b'; 'x' ])
+  in
+  let split_at cuts raw =
+    let n = String.length raw in
+    let cuts =
+      List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) (List.map (fun c -> if n = 0 then 0 else c mod n) cuts))
+    in
+    if n = 0 then []
+    else
+      let rec go start = function
+        | [] -> [ String.sub raw start (n - start) ]
+        | c :: rest -> String.sub raw start (c - start) :: go c rest
+      in
+      go 0 cuts
+  in
+  [
+    Test.make ~name:"frame: chunked feed equals one-shot feed" ~count:1000
+      (pair (set_print String.escaped raw_stream) (small_list small_nat))
+      (fun (raw, cuts) ->
+        let one_f = Frame.create ~max_line:8 in
+        let one = Frame.feed_string one_f raw in
+        let many_f = Frame.create ~max_line:8 in
+        let many = List.concat_map (Frame.feed_string many_f) (split_at cuts raw) in
+        one = many
+        && Frame.pending one_f = Frame.pending many_f
+        && Frame.discarding one_f = Frame.discarding many_f);
+  ]
 
 (* --- auth table --- *)
 
@@ -885,3 +922,4 @@ let suite =
     Alcotest.test_case "client: session rides a server restart" `Quick
       test_session_rides_server_restart;
   ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
