@@ -1276,9 +1276,9 @@ let q4 x = Float.round (x *. 1e4) /. 1e4
 let q2 x = Float.round (x *. 1e2) /. 1e2
 
 (* BENCH_engine.json is shared by [perf] (the top-level engine fields),
-   [e19] ("service_throughput"), [e20] ("cross_protocol") and [e21]
-   ("update_lag"): each regenerates only its own keys and preserves the
-   others'. *)
+   [e19] ("service_throughput"), [e20] ("cross_protocol"), [e21]
+   ("update_lag"), [e22] ("fleet") and [e23] ("scale"): each regenerates
+   only its own keys and preserves the others'. *)
 let bench_engine_others keys =
   match Bench_io.read_file ~path:"BENCH_engine.json" with
   | Ok (Bench_io.Obj old) -> List.filter (fun (k, _) -> not (List.mem k keys)) old
@@ -1923,6 +1923,140 @@ let e22 () =
   Printf.printf "wrote BENCH_engine.json (fleet)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E23 — N-scaling: AGG through the massive-scale executor             *)
+(* ------------------------------------------------------------------ *)
+
+(* AGG on streamed random-regular(4) CSR graphs at N = 1k..1M through
+   lib/scale: rounds/sec, live bytes/node and peak RSS per size, a
+   domain sweep at the largest mid-size N, and a differential pin at
+   N = 1k (byte-identical to Engine.run).  FTAGG_E23_MAX_N caps the
+   sweep for constrained environments (CI smoke).  JSON under the
+   "scale" key of BENCH_engine.json; [guard_scale] re-checks it. *)
+let e23 () =
+  header
+    "E23 | N-scaling — AGG on streamed graphs through the scale executor\n\
+     random-regular(4) at N = 1k / 10k / 100k / 1M, rounds/sec and\n\
+     bytes/node per size; domain sweep at 100k; pin at 1k; JSON to\n\
+     BENCH_engine.json";
+  let seed = 7 in
+  let max_n =
+    match Option.bind (Sys.getenv_opt "FTAGG_E23_MAX_N") int_of_string_opt with
+    | Some cap -> cap
+    | None -> 1_000_000
+  in
+  let ns = List.filter (fun n -> n <= max_n) [ 1_000; 10_000; 100_000; 1_000_000 ] in
+  if List.length ns < 4 then
+    Printf.printf "NOTE: FTAGG_E23_MAX_N=%d drops %d of 4 sizes from the sweep\n" max_n
+      (4 - List.length ns);
+  let spec = Bigraph.Random_regular 4 in
+  let exec ?(domains = 1) bg params =
+    let n = Ftagg.Params.(params.n) in
+    let registry = Registry.create () in
+    let meter = Scale_mem.create ~registry ~n () in
+    let o, wall =
+      Bench_io.timed (fun () ->
+          Scale_run.agg ~domains ~meter ~registry ~graph:bg ~failures:(Failure.none ~n) ~params
+            ~seed ())
+    in
+    (o, wall, registry)
+  in
+  let row n =
+    let bg, build_s = Bench_io.timed (fun () -> Bigraph.build spec ~n ~seed) in
+    (match Bigraph.validate ~spec bg with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "e23: generated graph invalid at n=%d: %s" n e));
+    (* Unit inputs keep the message width flat across sizes, so the sweep
+       measures the executor, not int-width growth. *)
+    let params = Scale_run.params ~graph:bg ~inputs:(Array.make n 1) () in
+    let o, wall, registry = exec bg params in
+    let correct = o.Scale_run.result = Agg.Value (Scale_run.expected_sum params) in
+    if not correct then failwith (Printf.sprintf "e23: wrong AGG result at n=%d" n);
+    let gauge name = Option.value (Registry.gauge registry name) ~default:0.0 in
+    let rps = float_of_int o.Scale_run.rounds /. Float.max wall 1e-9 in
+    let bytes_per_node = gauge "scale_bytes_per_node" in
+    let peak_rss_kb = int_of_float (gauge "scale_peak_rss_kb") in
+    Printf.printf
+      "N=%-9d d=%-3d build %6.2f s  %4d rounds in %7.2f s (%8.1f rounds/s)  %8.1f bytes/node  \
+       RSS %6.1f MiB\n\
+       %!"
+      n Ftagg.Params.(params.d) build_s o.Scale_run.rounds wall rps bytes_per_node
+      (float_of_int peak_rss_kb /. 1024.0);
+    ( (n, rps),
+      Bench_io.(
+        Obj
+          [
+            ("n", Int n);
+            ("pseudo_diameter", Int Ftagg.Params.(params.d));
+            ("build_s", Float (q4 build_s));
+            ("rounds", Int o.Scale_run.rounds);
+            ("wall_s", Float (q4 wall));
+            ("rounds_per_sec", Float (q2 rps));
+            ("bytes_per_node", Float (q2 bytes_per_node));
+            ("peak_live_mib", Float (q2 (gauge "scale_peak_live_bytes" /. (1024.0 *. 1024.0))));
+            ("peak_rss_kb", Int peak_rss_kb);
+            ("correct", Bool correct);
+          ]) )
+  in
+  let rows = List.map row ns in
+  (* Domain sweep at the largest size <= 100k in the sweep. *)
+  let sweep_n = List.fold_left (fun acc n -> if n <= 100_000 then n else acc) (List.hd ns) ns in
+  let bg = Bigraph.build spec ~n:sweep_n ~seed in
+  let params = Scale_run.params ~graph:bg ~inputs:(Array.make sweep_n 1) () in
+  let base_rps = ref 0.0 in
+  let sweep_rows =
+    List.map
+      (fun domains ->
+        let o, wall, _ = exec ~domains bg params in
+        let rps = float_of_int o.Scale_run.rounds /. Float.max wall 1e-9 in
+        if domains = 1 then base_rps := rps;
+        let speedup = rps /. Float.max !base_rps 1e-9 in
+        Printf.printf "domains=%d at N=%d: %8.1f rounds/s (%.2fx vs 1 domain)\n%!" domains sweep_n
+          rps speedup;
+        Bench_io.(
+          Obj
+            [
+              ("domains", Int domains);
+              ("rounds_per_sec", Float (q2 rps));
+              ("speedup", Float (q2 speedup));
+            ]))
+      [ 1; 2; 4 ]
+  in
+  (* Differential pin at N = 1k: materialise the same topology and compare
+     against the reference engine, bit for bit. *)
+  let pin_n = 1_000 in
+  let pin_bg = Bigraph.build spec ~n:pin_n ~seed in
+  let pin_params = Scale_run.params ~graph:pin_bg ~inputs:(Array.make pin_n 1) () in
+  let pin_o, _, _ = exec pin_bg pin_params in
+  let ref_o =
+    Run.agg ~graph:(Bigraph.to_graph pin_bg) ~failures:(Failure.none ~n:pin_n) ~params:pin_params
+      ~seed ()
+  in
+  let pin_ok =
+    ref_o.Run.result = pin_o.Scale_run.result
+    && ref_o.Run.common.Run.rounds = pin_o.Scale_run.rounds
+    && Metrics.cc ref_o.Run.common.Run.metrics = Metrics.cc pin_o.Scale_run.metrics
+    && Metrics.total_bits ref_o.Run.common.Run.metrics = Metrics.total_bits pin_o.Scale_run.metrics
+  in
+  if not pin_ok then failwith "e23: executor diverged from Engine.run at N=1000";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "pin at N=%d: OK (byte-identical to Engine.run); %d core(s) available\n" pin_n cores;
+  let payload =
+    Bench_io.(
+      Obj
+        [
+          ("graph", String (Bigraph.spec_name spec));
+          ("cores", Int cores);
+          ("pin_ok", Bool pin_ok);
+          ("sweep_n", Int sweep_n);
+          ("rows", List (List.map snd rows));
+          ("domain_sweep", List sweep_rows);
+        ])
+  in
+  Bench_io.write_file ~path:"BENCH_engine.json"
+    (Bench_io.Obj (bench_engine_others [ "scale" ] @ [ ("scale", payload) ]));
+  Printf.printf "wrote BENCH_engine.json (scale)\n"
+
+(* ------------------------------------------------------------------ *)
 (* guard — CI regression gate on the engine hot path                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -2109,6 +2243,89 @@ let guard_fleet () =
           warm4 warm1
       | _ -> fail "fleet.rows missing"))
 
+(* Re-checks the committed E23 scale matrix: every size present and
+   correct, rounds/sec strictly decreasing with N (bigger graphs must
+   not mysteriously get faster — that means the sweep was truncated or
+   the workload changed), the 1M footprint under the 4 GiB ceiling, the
+   1k differential pin green, and — only when the committed run had >= 4
+   cores — the 4-domain sweep at least 2x the single-domain rate. *)
+let guard_scale () =
+  let fail msg =
+    Printf.eprintf "guard: scale — %s\n" msg;
+    exit 1
+  in
+  match Bench_io.read_file ~path:"BENCH_engine.json" with
+  | exception Sys_error e -> fail e
+  | Error e -> fail e
+  | Ok json -> (
+    match Bench_io.member "scale" json with
+    | None -> fail "no scale object in BENCH_engine.json (run bench e23)"
+    | Some sub -> (
+      let get_int k j =
+        match Option.bind (Bench_io.member k j) Bench_io.to_int with
+        | Some i -> i
+        | None -> fail ("missing integer " ^ k)
+      in
+      let get_float k j =
+        match Bench_io.member k j with
+        | Some (Bench_io.Float x) -> x
+        | Some (Bench_io.Int x) -> float_of_int x
+        | _ -> fail ("missing number " ^ k)
+      in
+      (match Bench_io.member "pin_ok" sub with
+      | Some (Bench_io.Bool true) -> ()
+      | _ -> fail "pin_ok is not true (executor diverged from Engine.run)");
+      match Bench_io.member "rows" sub with
+      | Some (Bench_io.List rows) ->
+        let row_for n =
+          match List.find_opt (fun r -> get_int "n" r = n) rows with
+          | Some r -> r
+          | None -> fail (Printf.sprintf "no row for N=%d (run bench e23 uncapped)" n)
+        in
+        let prev_rps = ref infinity in
+        List.iter
+          (fun n ->
+            let r = row_for n in
+            (match Bench_io.member "correct" r with
+            | Some (Bench_io.Bool true) -> ()
+            | _ -> fail (Printf.sprintf "N=%d: AGG result not correct" n));
+            let rps = get_float "rounds_per_sec" r in
+            if rps >= !prev_rps then
+              fail
+                (Printf.sprintf "rounds/sec does not decrease with N (N=%d: %.1f >= %.1f)" n rps
+                   !prev_rps);
+            prev_rps := rps)
+          [ 1_000; 10_000; 100_000; 1_000_000 ];
+        let m = row_for 1_000_000 in
+        let footprint_mib =
+          Float.max
+            (get_float "bytes_per_node" m *. 1e6 /. (1024.0 *. 1024.0))
+            (float_of_int (get_int "peak_rss_kb" m) /. 1024.0)
+        in
+        if footprint_mib >= 4096.0 then
+          fail (Printf.sprintf "1M-node footprint %.0f MiB breaches the 4 GiB ceiling" footprint_mib);
+        let cores = get_int "cores" sub in
+        (match Bench_io.member "domain_sweep" sub with
+        | Some (Bench_io.List sweep) when cores >= 4 ->
+          let rps_at d =
+            match List.find_opt (fun r -> get_int "domains" r = d) sweep with
+            | Some r -> get_float "rounds_per_sec" r
+            | None -> fail (Printf.sprintf "domain sweep has no row for %d domains" d)
+          in
+          let r1 = rps_at 1 and r4 = rps_at 4 in
+          if r4 < 2.0 *. r1 then
+            fail
+              (Printf.sprintf "4 domains %.1f rounds/s is not >= 2x single-domain %.1f (%d cores)"
+                 r4 r1 cores)
+        | Some (Bench_io.List _) ->
+          Printf.printf
+            "scale        domain-speedup gate skipped (baseline committed with %d core(s))\n" cores
+        | _ -> fail "scale.domain_sweep missing");
+        Printf.printf
+          "scale        rounds/sec monotone over 1k..1M, 1M footprint %.0f MiB < 4 GiB, pin OK\n"
+          footprint_mib
+      | _ -> fail "scale.rows missing"))
+
 (* Re-times the fast engine on [perf]'s exact config and compares
    rounds/sec against the committed BENCH_engine.json.  More than a 30%
    drop fails the process (exit 1) — the CI gate for accidental
@@ -2163,6 +2380,7 @@ let guard () =
       guard_cross_protocol ();
       guard_update_lag ();
       guard_fleet ();
+      guard_scale ();
       Printf.printf "guard: OK\n"
     end
 
@@ -2172,7 +2390,7 @@ let all_experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("timing", timing); ("perf", perf);
+    ("e22", e22); ("e23", e23); ("timing", timing); ("perf", perf);
   ]
 
 (* Runnable only by name — never part of the no-args "run everything"

@@ -126,6 +126,106 @@ let exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed =
     Printf.eprintf "ftagg: unknown protocol %S\n" other;
     exit 3
 
+(* The massive-scale data path: a streamed Bigraph CSR through the
+   partitioned executor (lib/scale), never materialising the adjacency
+   sets.  Supports the streaming topology specs (grid, torus, regular)
+   and the failure modes that need no materialised graph (none, chain).
+   Returns the process exit code. *)
+let run_scale ~topology ~n ~seed ~tol ~fmode ~budget ~max_input ~domains ~mem_limit ~pin =
+  match Bigraph.spec_of_family topology with
+  | None ->
+    Printf.eprintf "ftagg: --scale supports grid, torus and regular topologies (got %s)\n"
+      (Gen.family_name topology);
+    3
+  | Some spec -> (
+    let build0 = Unix.gettimeofday () in
+    let bg = Bigraph.build spec ~n ~seed in
+    let build_s = Unix.gettimeofday () -. build0 in
+    (match Bigraph.validate ~spec bg with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "ftagg: generated %s graph fails validation: %s\n" (Bigraph.spec_name spec) e;
+      exit 3);
+    let rng = Prng.create (seed + 17) in
+    let inputs = Params.random_inputs ~rng ~n ~max_input in
+    let params = Scale_run.params ~t:(Option.value tol ~default:1) ~graph:bg ~inputs () in
+    let duration = Agg.duration params in
+    let failures =
+      match String.lowercase_ascii fmode with
+      | "none" -> Failure.none ~n
+      | "random" ->
+        (* The global default adversary samples over a materialised graph;
+           at scale fall back to the failure-free run rather than refuse
+           a bare [ftagg run --scale]. *)
+        Printf.eprintf "ftagg: --scale has no %S adversary; running failure-free\n" fmode;
+        Failure.none ~n
+      | "chain" -> Failure.chain ~n ~first:1 ~len:(min budget (n - 2)) ~round:(max 1 (duration / 3))
+      | other ->
+        Printf.eprintf "ftagg: --scale supports failure modes none and chain (got %S)\n" other;
+        exit 3
+    in
+    let registry = Registry.create () in
+    let meter =
+      Scale_mem.create ~registry
+        ?limit_bytes:(Option.map (fun mb -> mb * 1024 * 1024) mem_limit)
+        ~n ()
+    in
+    let t0 = Unix.gettimeofday () in
+    match Scale_run.agg ~domains ~meter ~registry ~graph:bg ~failures ~params ~seed () with
+    | exception Scale_mem.Ceiling_exceeded { limit_bytes; live_bytes; round } ->
+      Printf.eprintf "ftagg: memory ceiling exceeded at round %d (%d MiB live > %d MiB limit)\n"
+        round
+        (live_bytes / (1024 * 1024))
+        (limit_bytes / (1024 * 1024));
+      2
+    | o ->
+      let wall = Unix.gettimeofday () -. t0 in
+      let failure_free = Failure.crashed_nodes failures = [] in
+      let v, code =
+        match o.Scale_run.result with
+        | Agg.Value v -> (string_of_int v, 0)
+        | Agg.Aborted -> ("<aborted>", 2)
+      in
+      let gauge name = Option.value (Registry.gauge registry name) ~default:0.0 in
+      Printf.printf "%-10s %s = %s\n" "AGG(scale)" params.Params.caaf.Caaf.name v;
+      if failure_free then
+        Printf.printf "correct    : %b (expected %d)\n"
+          (o.Scale_run.result = Agg.Value (Scale_run.expected_sum params))
+          (Scale_run.expected_sum params);
+      Printf.printf "graph      : %s, %d nodes, %d edges, pseudo-diameter %d (built in %.2fs)\n"
+        (Bigraph.spec_name spec) n (Bigraph.num_edges bg) params.Params.d build_s;
+      Printf.printf "CC         : %d bits (busiest node)\n" (Metrics.cc o.Scale_run.metrics);
+      Printf.printf "TC         : %d rounds (duration cap %d) in %.2fs = %.1f rounds/s\n"
+        o.Scale_run.rounds duration wall
+        (float_of_int o.Scale_run.rounds /. Float.max wall 1e-9);
+      Printf.printf "domains    : %d (%d frontier edges)\n" domains
+        (int_of_float (gauge "scale_frontier_edges"));
+      Printf.printf "memory     : %.1f bytes/node live, %.1f MiB peak live, %.1f MiB peak RSS\n"
+        (gauge "scale_bytes_per_node")
+        (gauge "scale_peak_live_bytes" /. (1024.0 *. 1024.0))
+        (gauge "scale_peak_rss_kb" /. 1024.0);
+      Printf.printf "pool       : %d acquires, high water %d, %d in use at exit\n"
+        (Registry.counter registry ~labels:[ ("pool", "executor") ] "scale_pool_acquires_total")
+        (int_of_float (Registry.gauge registry ~labels:[ ("pool", "executor") ] "scale_pool_high_water" |> Option.value ~default:0.0))
+        (int_of_float (Registry.gauge registry ~labels:[ ("pool", "executor") ] "scale_pool_in_use" |> Option.value ~default:0.0));
+      if not pin then code
+      else begin
+        (* Differential pin: materialise the same topology and replay the
+           identical run through Engine.run.  Meant for small n (the
+           reference engine allocates adjacency sets). *)
+        let g = Bigraph.to_graph bg in
+        let r = Run.agg ~graph:g ~failures ~params ~seed () in
+        let ok =
+          r.Run.result = o.Scale_run.result
+          && r.Run.common.Run.rounds = o.Scale_run.rounds
+          && Metrics.cc r.Run.common.Run.metrics = Metrics.cc o.Scale_run.metrics
+          && Metrics.total_bits r.Run.common.Run.metrics = Metrics.total_bits o.Scale_run.metrics
+        in
+        Printf.printf "pin        : %s\n"
+          (if ok then "OK (byte-identical to Engine.run)" else "MISMATCH vs Engine.run");
+        if ok then code else 1
+      end)
+
 let run_cmd =
   let protocol = protocol_arg in
   let caaf = Arg.(value & opt caaf_conv Instances.sum & info [ "aggregate" ] ~doc:"CAAF.") in
@@ -150,7 +250,43 @@ let run_cmd =
              flowupdating-avg) through the unified Run.exec harness instead of $(b,--protocol). \
              Exact and approximate backends print the same outcome shape.")
   in
-  let run protocol topology n seed caaf b f tol fmode budget max_input backend_opt =
+  let scale =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Run AGG on the massive-scale data path: a streamed CSR graph (never materialised) \
+             through the multi-domain partitioned executor, with memory metering.  Supports \
+             grid, torus and regular topologies and the none/chain failure modes; \
+             $(b,--protocol), $(b,--backend) and $(b,--aggregate) are ignored (AGG over SUM).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~doc:"Executor partitions, one OCaml domain each (with --scale).")
+  in
+  let mem_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-limit" ] ~docv:"MIB"
+          ~doc:"Abort cleanly (exit 2) if live heap exceeds this many MiB (with --scale).")
+  in
+  let pin =
+    Arg.(
+      value & flag
+      & info [ "pin" ]
+          ~doc:
+            "After the scale run, materialise the same topology, replay through the reference \
+             Engine.run and compare results, rounds, CC and total bits; exit 1 on mismatch.  \
+             Small n only — the reference engine allocates the full adjacency structure.")
+  in
+  let run protocol topology n seed caaf b f tol fmode budget max_input backend_opt scale domains
+      mem_limit pin =
+    if scale then
+      run_scale ~topology ~n ~seed ~tol ~fmode ~budget:(Option.value budget ~default:f)
+        ~max_input ~domains ~mem_limit ~pin
+    else begin
     let graph = Gen.build topology ~n ~seed in
     let rng = Prng.create (seed + 17) in
     let inputs = Params.random_inputs ~rng ~n ~max_input in
@@ -254,12 +390,13 @@ let run_cmd =
     | other ->
       Printf.eprintf "ftagg: unknown protocol %S\n" other;
       3)
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated topology under an adversary.")
     Term.(
       const run $ protocol $ topology $ nodes $ seed $ caaf $ b $ f $ tol $ fmode $ budget
-      $ max_input $ backend)
+      $ max_input $ backend $ scale $ domains $ mem_limit $ pin)
 
 let graph_cmd =
   let run topology n seed =
@@ -488,17 +625,61 @@ let stats_cmd =
   let prom =
     Arg.(value & flag & info [ "prom" ] ~doc:"Print a Prometheus-style text dump instead.")
   in
-  let run protocol topology n seed b f tol fmode prom =
-    let graph = Gen.build topology ~n ~seed in
-    let rng = Prng.create (seed + 17) in
-    let inputs = Params.random_inputs ~rng ~n ~max_input:50 in
-    let t = Option.value tol ~default:(max 1 (2 * f)) in
-    let params = Params.make ~c:2 ~t ~graph ~inputs () in
-    let window = b * params.Params.d in
-    let failures = make_failures graph ~mode:fmode ~budget:f ~seed:(seed + 3) ~window in
-    let obs = Obs.create ~name:protocol () in
-    let value, code, common = exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed in
-    let registry = Obs.registry obs in
+  let scale =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Run AGG through the massive-scale executor instead and print its registry: the \
+             scale_* series (rounds, domains, frontier edges, live bytes, bytes/node, pool \
+             occupancy, minor words/round, peak RSS).  Grid/torus/regular topologies, no \
+             failures; $(b,--protocol) is ignored.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~doc:"Executor partitions, one OCaml domain each (with --scale).")
+  in
+  let run protocol topology n seed b f tol fmode prom scale domains =
+    let protocol, value, code, cc, rounds, registry =
+      if scale then begin
+        match Bigraph.spec_of_family topology with
+        | None ->
+          Printf.eprintf "ftagg: --scale supports grid, torus and regular topologies (got %s)\n"
+            (Gen.family_name topology);
+          exit 3
+        | Some spec ->
+          let bg = Bigraph.build spec ~n ~seed in
+          let rng = Prng.create (seed + 17) in
+          let inputs = Params.random_inputs ~rng ~n ~max_input:50 in
+          let params = Scale_run.params ~t:(Option.value tol ~default:1) ~graph:bg ~inputs () in
+          let registry = Registry.create () in
+          let meter = Scale_mem.create ~registry ~n () in
+          let o =
+            Scale_run.agg ~domains ~meter ~registry ~graph:bg ~failures:(Failure.none ~n) ~params
+              ~seed ()
+          in
+          let value, code =
+            match o.Scale_run.result with
+            | Agg.Value v -> (string_of_int v, 0)
+            | Agg.Aborted -> ("<aborted>", 2)
+          in
+          ("agg(scale)", value, code, Metrics.cc o.Scale_run.metrics, o.Scale_run.rounds, registry)
+      end
+      else begin
+        let graph = Gen.build topology ~n ~seed in
+        let rng = Prng.create (seed + 17) in
+        let inputs = Params.random_inputs ~rng ~n ~max_input:50 in
+        let t = Option.value tol ~default:(max 1 (2 * f)) in
+        let params = Params.make ~c:2 ~t ~graph ~inputs () in
+        let window = b * params.Params.d in
+        let failures = make_failures graph ~mode:fmode ~budget:f ~seed:(seed + 3) ~window in
+        let obs = Obs.create ~name:protocol () in
+        let value, code, common = exec_traced ~protocol ~obs ~graph ~failures ~params ~b ~f ~seed in
+        ( protocol, value, code, Metrics.cc common.Run.metrics, common.Run.rounds,
+          Obs.registry obs )
+      end
+    in
     if prom then print_string (Export.prometheus registry)
     else begin
       let render_labels = function
@@ -508,7 +689,7 @@ let stats_cmd =
       in
       let table =
         Table.create
-          ~title:(Printf.sprintf "%s (N=%d): %s = %s" protocol n params.Params.caaf.Caaf.name value)
+          ~title:(Printf.sprintf "%s (N=%d): result = %s" protocol n value)
           [ ("metric", Table.Left); ("labels", Table.Left); ("value", Table.Right) ]
       in
       List.iter
@@ -525,17 +706,23 @@ let stats_cmd =
           Table.add_row table [ name; render_labels labels; rendered ])
         (Registry.series registry);
       Table.add_rule table;
+      Table.add_row table [ "(run) cc_bits"; ""; string_of_int cc ];
+      Table.add_row table [ "(run) rounds"; ""; string_of_int rounds ];
       Table.add_row table
-        [ "(run) cc_bits"; ""; string_of_int (Metrics.cc common.Run.metrics) ];
-      Table.add_row table [ "(run) rounds"; ""; string_of_int common.Run.rounds ];
+        [ "(run) peak_rss_kb"; "";
+          (match Scale_mem.peak_rss_kb () with Some kb -> string_of_int kb | None -> "n/a") ];
       Table.print table
     end;
     code
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Run a protocol with telemetry attached and print the metric registry.")
-    Term.(const run $ protocol_arg $ topology $ nodes $ seed $ b $ f $ tol $ fmode $ prom)
+       ~doc:
+         "Run a protocol with telemetry attached and print the metric registry (add --scale for \
+          the massive-scale executor's scale_* series).")
+    Term.(
+      const run $ protocol_arg $ topology $ nodes $ seed $ b $ f $ tol $ fmode $ prom $ scale
+      $ domains)
 
 let rank_cmd =
   let q = Arg.(value & opt int 7 & info [ "q" ] ~doc:"Alphabet size (>= 2).") in

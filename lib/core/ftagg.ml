@@ -95,6 +95,14 @@ module Ring = Ftagg_fleet.Ring
 module Router = Ftagg_fleet.Router
 module Fleet = Ftagg_fleet.Fleet
 
+(** {1 Massive scale (streaming CSR graphs, multi-domain executor)} *)
+
+module Bigraph = Ftagg_scale.Bigraph
+module Scale_pool = Ftagg_scale.Pool
+module Scale_mem = Ftagg_scale.Mem
+module Scale_executor = Ftagg_scale.Executor
+module Scale_run = Ftagg_scale.Scale_run
+
 (** {1 Derived queries} *)
 
 module Selection = Ftagg_select.Selection

@@ -29,8 +29,17 @@ type family =
 
 val build : family -> n:int -> seed:int -> Graph.t
 (** Generate a member of the family with [n] nodes.  [seed] only matters
-    for [Random].  Raises [Invalid_argument] for [n] too small for the
-    family (all families need [n >= 2]). *)
+    for [Random] and [Random_regular].  Raises [Invalid_argument] for [n]
+    too small for the family (all families need [n >= 2]). *)
+
+val iter_edges : family -> n:int -> seed:int -> (int -> int -> unit) -> unit
+(** [iter_edges family ~n ~seed emit] streams the family's edges, calling
+    [emit u v] once per generated edge (duplicates possible for the random
+    families; sinks must dedupe, as {!Graph.of_iter} and [Scale.Bigraph]
+    both do).  This is the {e single} edge source: [build family ~n ~seed]
+    is exactly [Graph.of_iter ~n (iter_edges family ~n ~seed)], so a
+    streamed CSR built from the same emission is identical to the
+    materialised graph's adjacency.  Never allocates an edge list. *)
 
 val family_name : family -> string
 

@@ -8,6 +8,17 @@ type t = {
 
 let root = 0
 
+let of_iter ~n iter =
+  if n <= 0 then invalid_arg "Graph.of_iter: n must be positive";
+  let adj = Array.make n IS.empty in
+  iter (fun u v ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_iter: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_iter: self-loop";
+      adj.(u) <- IS.add v adj.(u);
+      adj.(v) <- IS.add u adj.(v));
+  { n; adj; present = Array.make n true }
+
 let of_edges ~n edges =
   if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
   let adj = Array.make n IS.empty in
@@ -33,6 +44,17 @@ let degree g u = List.length (neighbors g u)
 
 let has_edge g u v = mem g u && mem g v && IS.mem v g.adj.(u)
 
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    if g.present.(u) then
+      IS.iter (fun v -> if v > u && g.present.(v) then f u v) g.adj.(u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f u v !acc);
+  !acc
+
 let edges g =
   let acc = ref [] in
   for u = g.n - 1 downto 0 do
@@ -41,7 +63,7 @@ let edges g =
   done;
   !acc
 
-let num_edges g = List.length (edges g)
+let num_edges g = fold_edges (fun _ _ acc -> acc + 1) g 0
 
 let fold_nodes f g init =
   let acc = ref init in

@@ -13,6 +13,12 @@ val of_edges : n:int -> (int * int) list -> t
     rejected; duplicate edges are collapsed.  Raises [Invalid_argument]
     on out-of-range endpoints. *)
 
+val of_iter : n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_iter ~n iter] builds a graph from a streamed edge emission:
+    [iter emit] must call [emit u v] once per edge.  Same validation and
+    dedup as {!of_edges} with no intermediate list — the shared edge
+    source of [Gen.iter_edges] and [Scale.Bigraph]. *)
+
 val n : t -> int
 (** Number of nodes. *)
 
@@ -25,7 +31,16 @@ val degree : t -> int -> int
 
 val has_edge : t -> int -> int -> bool
 
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f u v] once per present edge, [u < v],
+    ascending by [u] then [v].  Allocation-free replacement for the
+    deprecated {!edges}. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over present edges in {!iter_edges} order. *)
+
 val edges : t -> (int * int) list
+[@@ocaml.deprecated "use Graph.iter_edges / Graph.fold_edges (the list path materialises every edge)"]
 (** Every edge once, as [(u, v)] with [u < v]. *)
 
 val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -121,6 +121,11 @@ let counter t ?(labels = []) name =
   | Some (C_counter { c }) -> c
   | Some _ | None -> 0
 
+let gauge t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (name, canon labels) with
+  | Some (C_gauge { g }) -> Some g
+  | Some _ | None -> None
+
 let series t =
   Hashtbl.fold (fun (name, labels) cell acc -> (name, labels, snapshot_cell cell) :: acc) t.tbl []
   |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))

@@ -67,6 +67,10 @@ type value =
 val counter : t -> ?labels:(string * string) list -> string -> int
 (** Counter value; [0] when the series does not exist. *)
 
+val gauge : t -> ?labels:(string * string) list -> string -> float option
+(** Gauge value; [None] when the series does not exist (or is not a
+    gauge). *)
+
 val series : t -> (string * (string * string) list * value) list
 (** Every series, sorted by (name, labels): the deterministic dump the
     exporters and [ftagg stats] render. *)

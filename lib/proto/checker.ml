@@ -26,8 +26,7 @@ let model_edge_failures ~graph ~failures ~round =
   let connected = Path.reachable_from_root surviving in
   let ok = Array.make (Graph.n graph) false in
   List.iter (fun u -> ok.(u) <- true) connected;
-  List.length
-    (List.filter (fun (u, v) -> not (ok.(u) && ok.(v))) (Graph.edges graph))
+  Graph.fold_edges (fun u v acc -> if ok.(u) && ok.(v) then acc else acc + 1) graph 0
 
 type agg_trace = {
   agg_nodes : Agg.node array;

@@ -14,15 +14,13 @@ let partition graph ~alice:side =
   let alice = Array.init n side in
   if not alice.(Graph.root) then invalid_arg "Cut_sim.partition: root must be on Alice's side";
   let boundary_alice = ref [] and boundary_bob = ref [] and cut_edges = ref 0 in
-  List.iter
-    (fun (u, v) ->
+  Graph.iter_edges graph (fun u v ->
       if alice.(u) <> alice.(v) then begin
         incr cut_edges;
         let a, b = if alice.(u) then (u, v) else (v, u) in
         if not (List.mem a !boundary_alice) then boundary_alice := a :: !boundary_alice;
         if not (List.mem b !boundary_bob) then boundary_bob := b :: !boundary_bob
-      end)
-    (Graph.edges graph);
+      end);
   {
     alice;
     boundary_alice = List.sort compare !boundary_alice;

@@ -1,0 +1,77 @@
+module Registry = Ftagg_obs.Registry
+
+type t = {
+  registry : Registry.t option;
+  limit_bytes : int option;
+  check_every : int;
+  n : int;
+  mutable peak_live : int;
+}
+
+exception
+  Ceiling_exceeded of {
+    limit_bytes : int;
+    live_bytes : int;
+    round : int;
+  }
+
+let word_bytes = Sys.word_size / 8
+
+let live_bytes () = (Gc.quick_stat ()).Gc.heap_words * word_bytes
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let prefix = "VmHWM:" in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if
+          String.length line >= String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+        then
+          (* "VmHWM:   123456 kB" *)
+          String.sub line (String.length prefix) (String.length line - String.length prefix)
+          |> String.split_on_char ' '
+          |> List.find_map int_of_string_opt
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let create ?registry ?limit_bytes ?(check_every = 32) ~n () =
+  (match limit_bytes with
+  | Some l when l <= 0 -> invalid_arg "Mem.create: limit_bytes must be positive"
+  | _ -> ());
+  if check_every < 1 then invalid_arg "Mem.create: check_every must be >= 1";
+  if n < 1 then invalid_arg "Mem.create: n must be >= 1";
+  { registry; limit_bytes; check_every; n; peak_live = 0 }
+
+let publish t live =
+  match t.registry with
+  | None -> ()
+  | Some reg ->
+    Registry.set_gauge reg "scale_live_bytes" (float_of_int live);
+    Registry.set_gauge reg "scale_bytes_per_node" (float_of_int live /. float_of_int t.n);
+    Registry.set_gauge reg "scale_peak_live_bytes" (float_of_int t.peak_live)
+
+let sample t ~round ~enforce =
+  let live = live_bytes () in
+  if live > t.peak_live then t.peak_live <- live;
+  publish t live;
+  if enforce then
+    match t.limit_bytes with
+    | Some limit when live > limit ->
+      raise (Ceiling_exceeded { limit_bytes = limit; live_bytes = live; round })
+    | _ -> ()
+
+let check t ~round = if round mod t.check_every = 0 then sample t ~round ~enforce:true
+
+let finish t =
+  sample t ~round:0 ~enforce:false;
+  match (t.registry, peak_rss_kb ()) with
+  | Some reg, Some kb -> Registry.set_gauge reg "scale_peak_rss_kb" (float_of_int kb)
+  | _ -> ()
+
+let peak_live_bytes t = t.peak_live

@@ -1,0 +1,83 @@
+module Registry = Ftagg_obs.Registry
+
+type t = {
+  name : string;
+  slot_bytes : int;
+  capacity : int;
+  lock : Mutex.t;
+  mutable free : Bytes.t list;
+  mutable in_use : int;
+  mutable high_water : int;
+  mutable acquires : int;
+  mutable releases : int;
+  registry : Registry.t option;
+}
+
+exception Exhausted of string
+
+let create ?registry ?(name = "scale") ~slot_bytes ~slots () =
+  if slot_bytes < 0 then invalid_arg "Pool.create: slot_bytes must be >= 0";
+  if slots < 1 then invalid_arg "Pool.create: need slots >= 1";
+  {
+    name;
+    slot_bytes;
+    capacity = slots;
+    lock = Mutex.create ();
+    free = List.init slots (fun _ -> Bytes.create slot_bytes);
+    in_use = 0;
+    high_water = 0;
+    acquires = 0;
+    releases = 0;
+    registry;
+  }
+
+let publish t =
+  match t.registry with
+  | None -> ()
+  | Some reg ->
+    let labels = [ ("pool", t.name) ] in
+    Registry.set_gauge reg ~labels "scale_pool_in_use" (float_of_int t.in_use);
+    Registry.set_gauge reg ~labels "scale_pool_high_water" (float_of_int t.high_water)
+
+let count t metric =
+  match t.registry with
+  | None -> ()
+  | Some reg -> Registry.incr reg ~labels:[ ("pool", t.name) ] metric 1
+
+let acquire t =
+  Mutex.lock t.lock;
+  match t.free with
+  | [] ->
+    Mutex.unlock t.lock;
+    raise (Exhausted (Printf.sprintf "Pool %s: all %d slots in use" t.name t.capacity))
+  | b :: rest ->
+    t.free <- rest;
+    t.in_use <- t.in_use + 1;
+    t.acquires <- t.acquires + 1;
+    if t.in_use > t.high_water then t.high_water <- t.in_use;
+    count t "scale_pool_acquires_total";
+    publish t;
+    Mutex.unlock t.lock;
+    b
+
+let release t b =
+  Mutex.lock t.lock;
+  let fail msg =
+    Mutex.unlock t.lock;
+    invalid_arg msg
+  in
+  if Bytes.length b <> t.slot_bytes then fail "Pool.release: buffer not from this pool";
+  if t.in_use = 0 then fail "Pool.release: nothing outstanding";
+  t.free <- b :: t.free;
+  t.in_use <- t.in_use - 1;
+  t.releases <- t.releases + 1;
+  count t "scale_pool_releases_total";
+  publish t;
+  Mutex.unlock t.lock
+
+let slot_bytes t = t.slot_bytes
+let slots t = t.capacity
+let in_use t = t.in_use
+let high_water t = t.high_water
+let acquires t = t.acquires
+let releases t = t.releases

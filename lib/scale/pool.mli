@@ -1,0 +1,45 @@
+(** Fixed-slot [Bytes] pool.
+
+    The scale executor's per-round scratch (the two traffic bitmaps) is
+    pooled rather than allocated per run so that (a) steady-state rounds
+    allocate nothing beyond the inbox cells the protocol API requires and
+    (b) the acquire/release counters expose any allocation regression to
+    CI: a healthy run acquires exactly its scratch at start, releases it
+    at the end, and [in_use] returns to zero.
+
+    Counters and gauges (labelled [pool=<name>], published to the
+    registry when one is attached and telemetry is enabled):
+    [scale_pool_acquires_total], [scale_pool_releases_total],
+    [scale_pool_in_use], [scale_pool_high_water].
+
+    Thread-safety: acquire/release are mutex-protected; registry updates
+    happen under the pool lock, so attach a registry only when all
+    acquirers run on one domain (the executor acquires from the
+    coordinator only). *)
+
+type t
+
+exception Exhausted of string
+(** Raised by {!acquire} when every slot is in use — the pool never
+    grows; sizing is the caller's contract. *)
+
+val create :
+  ?registry:Ftagg_obs.Registry.t -> ?name:string -> slot_bytes:int -> slots:int -> unit -> t
+(** [create ~slot_bytes ~slots ()] allocates [slots] buffers of
+    [slot_bytes] bytes up front.  [name] (default ["scale"]) labels the
+    telemetry series. *)
+
+val acquire : t -> Bytes.t
+(** Take a free slot (contents unspecified).  Raises {!Exhausted} when
+    none is free. *)
+
+val release : t -> Bytes.t -> unit
+(** Return a slot.  Raises [Invalid_argument] on a buffer of the wrong
+    length (not from this pool) or when nothing is outstanding. *)
+
+val slot_bytes : t -> int
+val slots : t -> int
+val in_use : t -> int
+val high_water : t -> int
+val acquires : t -> int
+val releases : t -> int

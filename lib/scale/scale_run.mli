@@ -1,0 +1,48 @@
+(** AGG on a [Bigraph] through the partitioned executor — the high-level
+    entry point the CLI ([ftagg run --scale]), the bench (e23) and the
+    tests share.
+
+    [Params] are constructed without ever materialising the graph:
+    {!params} derives the diameter from {!Bigraph.pseudo_diameter}
+    (exact all-pairs BFS being infeasible at 10^6 nodes).  For
+    differential pins, pass the {e same} [Params.t] to [Run.agg] and to
+    {!agg} — the executor is then byte-identical to [Engine.run]. *)
+
+type outcome = {
+  result : Ftagg_proto.Agg.result;
+  metrics : Ftagg_sim.Metrics.t;
+  rounds : int;
+  states : Ftagg_proto.Agg.node array;
+      (** per-node final protocol states, for differential comparison *)
+}
+
+val params :
+  ?c:int -> ?t:int -> graph:Bigraph.t -> inputs:int array -> unit -> Ftagg_proto.Params.t
+(** Defaults: [c = 2], [t = 1].  [d] is the pseudo-diameter;
+    [max_input] is the max input (at least 1); [caaf] is SUM.  Raises on
+    an input-length mismatch or a negative input. *)
+
+val protocol :
+  Ftagg_proto.Params.t ->
+  (Ftagg_proto.Agg.node, Ftagg_proto.Message.body) Ftagg_sim.Engine.protocol
+(** The same AGG automaton wrapping [Run.agg] uses ([Run]'s
+    single-execution protocol: raw bodies, [Message.bits] accounting,
+    fixed [Agg.duration] rounds). *)
+
+val agg :
+  ?domains:int ->
+  ?meter:Mem.t ->
+  ?pool:Pool.t ->
+  ?registry:Ftagg_obs.Registry.t ->
+  graph:Bigraph.t ->
+  failures:Ftagg_sim.Failure.t ->
+  params:Ftagg_proto.Params.t ->
+  seed:int ->
+  unit ->
+  outcome
+(** One AGG execution of [Agg.duration params] rounds on the executor. *)
+
+val expected_sum : Ftagg_proto.Params.t -> int
+(** The failure-free ground truth ([SUM] of the inputs) — the scale
+    substitute for the [Checker]'s model-level correctness predicate,
+    valid when no failures are scheduled. *)

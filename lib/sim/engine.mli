@@ -166,6 +166,19 @@ val run_chaos :
     telemetry tail.  Off the hot path: list-based like {!run_reference},
     roughly engine-reference speed. *)
 
+(** {2 Hot-path building blocks}
+
+    Exposed so [Scale.Executor] — the multi-domain partitioned executor —
+    assembles inboxes and charges bits with {e exactly} the same code as
+    {!run}, keeping the two byte-identical on identical inputs. *)
+
+val deliver : int -> 'm list -> (int * 'm) list -> (int * 'm) list
+(** [deliver v msgs acc] prepends [(v, m)] for every [m] of [msgs] onto
+    [acc], preserving the order of [msgs]. *)
+
+val sum_bits : ('m -> int) -> int -> 'm list -> int
+(** [sum_bits msg_bits acc msgs] folds the per-payload bit widths. *)
+
 val run_reference :
   ?observer:(round:int -> node:int -> 'msg list -> unit) ->
   ?loss:float ->

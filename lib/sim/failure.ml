@@ -51,17 +51,16 @@ let shift t ~by =
   Array.map (fun r -> if r = never then never else max 1 (r - by)) t
 
 let edge_failures g t =
-  List.length
-    (List.filter (fun (u, v) -> t.(u) <> never || t.(v) <> never) (Graph.edges g))
+  Graph.fold_edges
+    (fun u v acc -> if t.(u) <> never || t.(v) <> never then acc + 1 else acc)
+    g 0
 
 let edge_failures_in_window g t ~first ~last =
-  let first_crash (u, v) = min t.(u) t.(v) in
-  List.length
-    (List.filter
-       (fun e ->
-         let r = first_crash e in
-         r >= first && r <= last)
-       (Graph.edges g))
+  Graph.fold_edges
+    (fun u v acc ->
+      let r = min t.(u) t.(v) in
+      if r >= first && r <= last then acc + 1 else acc)
+    g 0
 
 (* Incremental edge-failure cost of crashing [u] given [crashed]. *)
 let marginal_cost g crashed u =

@@ -25,4 +25,5 @@ let () =
       ("transport", Test_transport.suite);
       ("store", Test_store.suite);
       ("fleet", Test_fleet.suite);
+      ("scale", Test_scale.suite);
     ]

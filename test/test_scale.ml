@@ -1,0 +1,352 @@
+(* lib/scale: streaming CSR graphs, the partitioned executor, pooling and
+   memory metering.
+
+   The load-bearing suite is the differential pin: the executor must be
+   byte-identical to Engine.run — same results, same per-node bit/msg
+   accounting, same round counts — on the same topology/seed/failures,
+   for every domain count. *)
+
+open Ftagg
+open Helpers
+
+let seed = 11
+
+(* ---------------------------------------------------------------- *)
+(* Bigraph                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_bigraph_matches_csr () =
+  List.iter
+    (fun (name, fam) ->
+      List.iter
+        (fun n ->
+          let g = Topo.build fam ~n ~seed in
+          let bg = Bigraph.of_iter ~n (Topo.iter_edges fam ~n ~seed) in
+          check_true
+            (Printf.sprintf "%s n=%d: streamed CSR = materialised CSR" name n)
+            (Bigraph.equal_csr bg (Graph.csr g));
+          check_int (Printf.sprintf "%s n=%d: edge count" name n) (Graph.num_edges g)
+            (Bigraph.num_edges bg))
+        [ 12; 40 ])
+    (Topo.all_families ~seed)
+
+let test_bigraph_of_graph () =
+  let g = Topo.build Topo.Grid ~n:30 ~seed in
+  let bg = Bigraph.of_graph g in
+  check_true "of_graph = csr" (Bigraph.equal_csr bg (Graph.csr g));
+  (* removed nodes get empty rows, like Graph.csr *)
+  let g' = Graph.remove_nodes g [ 7 ] in
+  let bg' = Bigraph.of_graph g' in
+  check_int "removed node row empty" 0 (Bigraph.degree bg' 7);
+  check_true "of_graph respects removal" (Bigraph.equal_csr bg' (Graph.csr g'))
+
+let test_bigraph_roundtrip () =
+  let g = Topo.build Topo.Torus ~n:25 ~seed in
+  let back = Bigraph.to_graph (Bigraph.of_graph g) in
+  let edges gr = List.rev (Graph.fold_edges (fun u v acc -> (u, v) :: acc) gr []) in
+  check_true "to_graph round-trips edges" (edges g = edges back)
+
+let test_bigraph_dedup_and_rejects () =
+  let bg = Bigraph.of_iter ~n:3 (fun emit -> emit 0 1; emit 1 0; emit 0 1; emit 1 2) in
+  check_int "duplicates collapse" 2 (Bigraph.num_edges bg);
+  Alcotest.check_raises "self-loop" (Invalid_argument "Bigraph.of_iter: self-loop") (fun () ->
+      ignore (Bigraph.of_iter ~n:3 (fun emit -> emit 1 1)));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bigraph.of_iter: endpoint out of range") (fun () ->
+      ignore (Bigraph.of_iter ~n:3 (fun emit -> emit 0 3)))
+
+let test_degree_histogram () =
+  let bg = Bigraph.of_graph (Topo.star 10) in
+  check_true "star histogram" (Bigraph.degree_histogram bg = [ (1, 9); (9, 1) ])
+
+let test_validate_specs () =
+  List.iter
+    (fun spec ->
+      let bg = Bigraph.build spec ~n:300 ~seed in
+      match Bigraph.validate ~spec bg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" (Bigraph.spec_name spec) e)
+    [ Bigraph.Grid; Bigraph.Torus; Bigraph.Random_regular 4; Bigraph.Pref_attach 2 ]
+
+let test_validate_disconnected () =
+  let bg = Bigraph.of_iter ~n:4 (fun emit -> emit 0 1) in
+  match Bigraph.validate bg with
+  | Ok () -> Alcotest.fail "disconnected graph validated"
+  | Error e -> check_true "mentions disconnection" (string_contains ~needle:"disconnected" e)
+
+let test_pref_attach_shape () =
+  let m = 2 in
+  let bg = Bigraph.build (Bigraph.Pref_attach m) ~n:500 ~seed in
+  check_int "n" 500 (Bigraph.n bg);
+  check_true "connected" (Bigraph.connected bg);
+  check_true "root is a hub" (Bigraph.degree bg Graph.root >= m);
+  let min_deg = ref max_int in
+  for u = 0 to 499 do
+    min_deg := min !min_deg (Bigraph.degree bg u)
+  done;
+  check_true "min degree >= 1" (!min_deg >= 1);
+  (* determinism *)
+  let bg' = Bigraph.build (Bigraph.Pref_attach m) ~n:500 ~seed in
+  check_true "same seed, same graph" (Bigraph.equal_csr bg (Graph.csr (Bigraph.to_graph bg')))
+
+let test_pseudo_diameter () =
+  List.iter
+    (fun (name, g) ->
+      let exact = match Path.diameter g with Some d -> d | None -> assert false in
+      check_int (name ^ " pseudo-diameter exact") exact
+        (Bigraph.pseudo_diameter (Bigraph.of_graph g)))
+    [ ("path", Topo.path 50); ("grid", Topo.grid 49); ("star", Topo.star 20);
+      ("binary_tree", Topo.binary_tree 31) ]
+
+(* ---------------------------------------------------------------- *)
+(* Pool and Mem                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let test_pool_cycle () =
+  let reg = Registry.create () in
+  let p = Scale_pool.create ~registry:reg ~name:"t" ~slot_bytes:64 ~slots:2 () in
+  let a = Scale_pool.acquire p in
+  let b = Scale_pool.acquire p in
+  check_int "in_use" 2 (Scale_pool.in_use p);
+  check_int "high water" 2 (Scale_pool.high_water p);
+  (try
+     ignore (Scale_pool.acquire p);
+     Alcotest.fail "exhausted pool acquired"
+   with Scale_pool.Exhausted _ -> ());
+  Scale_pool.release p a;
+  Scale_pool.release p b;
+  check_int "in_use back to 0" 0 (Scale_pool.in_use p);
+  check_int "acquires" 2 (Scale_pool.acquires p);
+  check_int "releases" 2 (Scale_pool.releases p);
+  check_int "acquire counter" 2
+    (Registry.counter reg ~labels:[ ("pool", "t") ] "scale_pool_acquires_total");
+  check_true "in_use gauge 0"
+    (Registry.gauge reg ~labels:[ ("pool", "t") ] "scale_pool_in_use" = Some 0.0);
+  Alcotest.check_raises "foreign buffer"
+    (Invalid_argument "Pool.release: buffer not from this pool") (fun () ->
+      Scale_pool.release p (Bytes.create 7))
+
+let test_mem_meter () =
+  check_true "live bytes positive" (Scale_mem.live_bytes () > 0);
+  (match Scale_mem.peak_rss_kb () with
+  | Some kb -> check_true "peak rss positive" (kb > 0)
+  | None -> ());
+  let m = Scale_mem.create ~limit_bytes:1 ~check_every:1 ~n:10 () in
+  (try
+     Scale_mem.check m ~round:1;
+     Alcotest.fail "ceiling not enforced"
+   with Scale_mem.Ceiling_exceeded { limit_bytes; live_bytes; round } ->
+     check_int "limit" 1 limit_bytes;
+     check_int "round" 1 round;
+     check_true "live > limit" (live_bytes > limit_bytes));
+  check_true "peak recorded" (Scale_mem.peak_live_bytes m > 0);
+  (* off-cadence rounds are not sampled *)
+  let m2 = Scale_mem.create ~limit_bytes:1 ~check_every:64 ~n:10 () in
+  Scale_mem.check m2 ~round:63
+
+(* ---------------------------------------------------------------- *)
+(* Executor: differential pin vs Engine.run                          *)
+(* ---------------------------------------------------------------- *)
+
+let check_pin name ~graph ~failures ~params ~domains =
+  let out = Run.agg ~graph ~failures ~params ~seed () in
+  let bg = Bigraph.of_graph graph in
+  let scale = Scale_run.agg ~domains ~graph:bg ~failures ~params ~seed () in
+  check_true (name ^ ": result") (out.Run.result = scale.Scale_run.result);
+  check_int (name ^ ": rounds") out.Run.common.Run.rounds scale.Scale_run.rounds;
+  check_int (name ^ ": cc") (Metrics.cc out.Run.common.Run.metrics)
+    (Metrics.cc scale.Scale_run.metrics);
+  for u = 0 to Graph.n graph - 1 do
+    check_int
+      (Printf.sprintf "%s: bits(%d)" name u)
+      (Metrics.bits_sent out.Run.common.Run.metrics u)
+      (Metrics.bits_sent scale.Scale_run.metrics u);
+    check_int
+      (Printf.sprintf "%s: msgs(%d)" name u)
+      (Metrics.msgs_sent out.Run.common.Run.metrics u)
+      (Metrics.msgs_sent scale.Scale_run.metrics u)
+  done
+
+let test_differential_pin () =
+  List.iter
+    (fun (fname, fam) ->
+      let n = 24 in
+      let graph = Topo.build fam ~n ~seed in
+      let params = params_of ~t:1 graph ~inputs:(default_inputs n) in
+      List.iter
+        (fun domains ->
+          let name = Printf.sprintf "%s d=%d" fname domains in
+          check_pin name ~graph ~failures:(Failure.none ~n) ~params ~domains;
+          check_pin (name ^ " +crash") ~graph
+            ~failures:(Failure.kill_nodes ~n ~nodes:[ n - 1; n / 2 ] ~round:3)
+            ~params ~domains)
+        [ 1; 2; 4 ])
+    [ ("grid", Topo.Grid); ("torus", Topo.Torus); ("regular", Topo.Random_regular 4) ]
+
+let test_pin_across_seeds () =
+  let n = 30 in
+  let graph = Topo.build (Topo.Random 0.08) ~n ~seed:3 in
+  let params = params_of ~t:1 graph ~inputs:(default_inputs n) in
+  List.iter
+    (fun s ->
+      let out = Run.agg ~graph ~failures:(Failure.none ~n) ~params ~seed:s () in
+      let scale =
+        Scale_run.agg ~domains:3 ~graph:(Bigraph.of_graph graph) ~failures:(Failure.none ~n)
+          ~params ~seed:s ()
+      in
+      check_true (Printf.sprintf "seed %d result" s) (out.Run.result = scale.Scale_run.result);
+      check_int
+        (Printf.sprintf "seed %d total bits" s)
+        (Metrics.total_bits out.Run.common.Run.metrics)
+        (Metrics.total_bits scale.Scale_run.metrics))
+    [ 1; 2; 5; 42 ]
+
+let test_scale_run_correct () =
+  let n = 200 in
+  let bg = Bigraph.build (Bigraph.Random_regular 4) ~n ~seed in
+  let inputs = default_inputs n in
+  let params = Scale_run.params ~graph:bg ~inputs () in
+  let out = Scale_run.agg ~domains:2 ~graph:bg ~failures:(Failure.none ~n) ~params ~seed () in
+  check_true "failure-free AGG computes the sum"
+    (out.Scale_run.result = Agg.Value (Scale_run.expected_sum params))
+
+let test_partitions_cover () =
+  let parts = Scale_executor.partitions ~n:10 ~domains:3 in
+  check_true "partition bounds" (parts = [| (0, 3); (3, 6); (6, 10) |]);
+  let parts = Scale_executor.partitions ~n:5 ~domains:8 in
+  let covered = Array.make 5 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      for u = lo to hi - 1 do
+        covered.(u) <- covered.(u) + 1
+      done)
+    parts;
+  Array.iteri (fun u c -> check_int (Printf.sprintf "node %d owned once" u) 1 c) covered
+
+let test_frontier_edges () =
+  let bg = Bigraph.of_graph (Topo.path 10) in
+  check_int "path split in two" 1 (Scale_executor.frontier_edges bg ~domains:2);
+  check_int "one partition, no frontier" 0 (Scale_executor.frontier_edges bg ~domains:1)
+
+let test_executor_counters () =
+  let reg = Registry.create () in
+  let n = 60 in
+  let bg = Bigraph.build Bigraph.Grid ~n ~seed in
+  let inputs = default_inputs n in
+  let params = Scale_run.params ~graph:bg ~inputs () in
+  let meter = Scale_mem.create ~registry:reg ~n () in
+  let out =
+    Scale_run.agg ~domains:2 ~registry:reg ~meter ~graph:bg ~failures:(Failure.none ~n) ~params
+      ~seed ()
+  in
+  check_int "rounds counter" out.Scale_run.rounds (Registry.counter reg "scale_rounds_total");
+  check_true "domains gauge" (Registry.gauge reg "scale_domains" = Some 2.0);
+  check_true "live bytes gauge"
+    (match Registry.gauge reg "scale_live_bytes" with Some b -> b > 0.0 | None -> false);
+  check_true "pool returned"
+    (Registry.gauge reg ~labels:[ ("pool", "executor") ] "scale_pool_in_use" = Some 0.0);
+  check_true "minor words gauge present"
+    (Registry.gauge reg "scale_minor_words_per_round" <> None)
+
+(* A trivial counting protocol for executor-mechanics tests: every node
+   broadcasts its id every round. *)
+let chatty_protocol ?(raise_at = -1) ?(raise_me = -1) () =
+  {
+    Engine.name = "chatty";
+    init = (fun u ~rng:_ -> u);
+    step =
+      (fun ~round ~me ~state ~inbox:_ ->
+        if round = raise_at && me = raise_me then failwith "boom";
+        (state, [ me ]));
+    msg_bits = (fun _ -> 8);
+    root_done = (fun _ -> false);
+  }
+
+let test_torn_barrier () =
+  let n = 40 in
+  let bg = Bigraph.of_graph (Topo.ring n) in
+  let pool = Scale_pool.create ~slot_bytes:n ~slots:2 () in
+  (try
+     ignore
+       (Scale_executor.run ~domains:2 ~pool ~graph:bg ~failures:(Failure.none ~n) ~max_rounds:10
+          ~seed
+          (chatty_protocol ~raise_at:3 ~raise_me:(n - 1) ()));
+     Alcotest.fail "partition failure not propagated"
+   with Scale_executor.Partition_failed { round; partition; exn } ->
+     check_int "failed at round" 3 round;
+     check_int "failing partition" 1 partition;
+     check_true "original exn" (exn = Failure "boom"));
+  (* clean abort: pool slots came back, and the executor is reusable *)
+  check_int "pool released after abort" 0 (Scale_pool.in_use pool);
+  let states, metrics =
+    Scale_executor.run ~domains:2 ~pool ~graph:bg ~failures:(Failure.none ~n) ~max_rounds:5 ~seed
+      (chatty_protocol ())
+  in
+  check_int "reusable pool" 0 (Scale_pool.in_use pool);
+  check_int "rounds" 5 (Metrics.rounds metrics);
+  check_int "states intact" n (Array.length states)
+
+let test_ceiling_aborts_run () =
+  let n = 40 in
+  let bg = Bigraph.of_graph (Topo.ring n) in
+  let pool = Scale_pool.create ~slot_bytes:n ~slots:2 () in
+  let meter = Scale_mem.create ~limit_bytes:1 ~check_every:2 ~n () in
+  (try
+     ignore
+       (Scale_executor.run ~domains:2 ~pool ~meter ~graph:bg ~failures:(Failure.none ~n)
+          ~max_rounds:10 ~seed (chatty_protocol ()));
+     Alcotest.fail "ceiling not enforced"
+   with Scale_mem.Ceiling_exceeded { round; _ } -> check_int "tripped at first sample" 2 round);
+  check_int "pool released after ceiling abort" 0 (Scale_pool.in_use pool)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"partition boundaries never change outcomes" ~count:30
+      (triple (int_range 8 60) (int_range 0 1000) (int_range 2 5))
+      (fun (n, s, domains) ->
+        let graph = Topo.build (Topo.Random 0.1) ~n ~seed:s in
+        let params = Params.make ~c:2 ~t:1 ~graph ~inputs:(Array.make n 1) () in
+        let bg = Bigraph.of_graph graph in
+        let failures = Failure.none ~n in
+        let base = Scale_run.agg ~domains:1 ~graph:bg ~failures ~params ~seed:s () in
+        let split = Scale_run.agg ~domains ~graph:bg ~failures ~params ~seed:s () in
+        base.Scale_run.result = split.Scale_run.result
+        && base.Scale_run.rounds = split.Scale_run.rounds
+        && Metrics.cc base.Scale_run.metrics = Metrics.cc split.Scale_run.metrics
+        && Metrics.total_bits base.Scale_run.metrics
+           = Metrics.total_bits split.Scale_run.metrics);
+    Test.make ~name:"streamed CSR equals materialised CSR on random graphs" ~count:40
+      (pair (int_range 5 80) (int_range 0 1000))
+      (fun (n, s) ->
+        let fam = Topo.Random 0.1 in
+        Bigraph.equal_csr
+          (Bigraph.of_iter ~n (Topo.iter_edges fam ~n ~seed:s))
+          (Graph.csr (Topo.build fam ~n ~seed:s)));
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("bigraph: streamed = materialised CSR", test_bigraph_matches_csr);
+      ("bigraph: of_graph", test_bigraph_of_graph);
+      ("bigraph: to_graph round-trip", test_bigraph_roundtrip);
+      ("bigraph: dedup and rejects", test_bigraph_dedup_and_rejects);
+      ("bigraph: degree histogram", test_degree_histogram);
+      ("bigraph: validate specs", test_validate_specs);
+      ("bigraph: validate disconnected", test_validate_disconnected);
+      ("bigraph: pref_attach shape", test_pref_attach_shape);
+      ("bigraph: pseudo-diameter", test_pseudo_diameter);
+      ("pool: acquire/release cycle", test_pool_cycle);
+      ("mem: meter and ceiling", test_mem_meter);
+      ("executor: differential pin vs Engine.run", test_differential_pin);
+      ("executor: pin across seeds", test_pin_across_seeds);
+      ("executor: scale AGG correct", test_scale_run_correct);
+      ("executor: partitions cover", test_partitions_cover);
+      ("executor: frontier edges", test_frontier_edges);
+      ("executor: registry counters", test_executor_counters);
+      ("executor: torn barrier aborts cleanly", test_torn_barrier);
+      ("executor: memory ceiling aborts run", test_ceiling_aborts_run);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
