@@ -1401,6 +1401,7 @@ let e19 () =
       protocol = Service.Job.Tradeoff { b = 63; f = 1 };
       failures = Service.Job.Generated { mode = "none"; budget = 0 };
       seed;
+      generation = 0;
       deadline = None;
       priority = Service.Job.Normal;
     }
@@ -2057,6 +2058,54 @@ let e23 () =
   Printf.printf "wrote BENCH_engine.json (scale)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E24 — churn & elasticity: the scenario matrix                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every churn schedule x {agg, flowupdating} on an evolving grid:
+   latency-to-90/95/99/100% completion and p95 per-node bandwidth from
+   the lib/obs histograms.  Deterministic from the seed (equal seeds →
+   identical join/crash schedules and identical percentile tables), so
+   the JSON payload is a stable committed baseline; [guard_scenarios]
+   re-checks it. *)
+let e24 () =
+  header
+    "E24 | churn & elasticity — scenario matrix over topology generations\n\
+     4 schedules x {agg, flowupdating}, 5 generations x 3 runs on an evolving grid;\n\
+     percentile completion + p95 per-node bandwidth; JSON to BENCH_engine.json";
+  let spec = Scenario.default in
+  let reports = Scenario.run spec in
+  Table.print (Scenario.table reports);
+  let expected_runs = spec.Scenario.generations * spec.Scenario.runs_per_generation in
+  List.iter
+    (fun (r : Scenario.report) ->
+      if r.Scenario.r_runs <> expected_runs then
+        failwith
+          (Printf.sprintf "e24: %s/%s ran %d of %d runs" r.Scenario.r_schedule
+             r.Scenario.r_backend r.Scenario.r_runs expected_runs);
+      if r.Scenario.r_schedule = "clear_skies" && r.Scenario.r_completed <> r.Scenario.r_runs then
+        failwith
+          (Printf.sprintf "e24: clear skies yet %s completed only %d/%d" r.Scenario.r_backend
+             r.Scenario.r_completed r.Scenario.r_runs))
+    reports;
+  let payload =
+    Bench_io.Obj
+      [
+        ("family", Bench_io.String "grid");
+        ("n", Bench_io.Int spec.Scenario.n);
+        ("generations", Bench_io.Int spec.Scenario.generations);
+        ("runs_per_generation", Bench_io.Int spec.Scenario.runs_per_generation);
+        ("budget", Bench_io.Int spec.Scenario.budget);
+        ("b", Bench_io.Int spec.Scenario.b);
+        ("f", Bench_io.Int spec.Scenario.f);
+        ("seed", Bench_io.Int spec.Scenario.seed);
+        ("rows", Bench_io.List (List.map Scenario.report_to_json reports));
+      ]
+  in
+  Bench_io.write_file ~path:"BENCH_engine.json"
+    (Bench_io.Obj (bench_engine_others [ "scenarios" ] @ [ ("scenarios", payload) ]));
+  Printf.printf "\nwrote scenario matrix (%d rows) to BENCH_engine.json\n" (List.length reports)
+
+(* ------------------------------------------------------------------ *)
 (* guard — CI regression gate on the engine hot path                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -2326,6 +2375,85 @@ let guard_scale () =
           footprint_mib
       | _ -> fail "scale.rows missing"))
 
+(* The committed E24 scenario matrix must exist, cover every
+   schedule x backend cell, keep clear skies at 100% completion with
+   ordered latency percentiles everywhere, and keep flow-updating's
+   worst relative error under churn bounded. *)
+let guard_scenarios () =
+  let fail msg =
+    Printf.eprintf "guard: scenarios — %s\n" msg;
+    exit 1
+  in
+  match Bench_io.read_file ~path:"BENCH_engine.json" with
+  | exception Sys_error e -> fail e
+  | Error e -> fail e
+  | Ok json -> (
+    match Bench_io.member "scenarios" json with
+    | None -> fail "no scenarios object in BENCH_engine.json (run bench e24)"
+    | Some sub -> (
+      match Bench_io.member "rows" sub with
+      | Some (Bench_io.List rows) ->
+        let get_str k j =
+          match Bench_io.member k j with
+          | Some (Bench_io.String s) -> s
+          | _ -> fail ("row without " ^ k)
+        in
+        let get_int k j =
+          match Option.bind (Bench_io.member k j) Bench_io.to_int with
+          | Some i -> i
+          | None -> fail ("row without integer " ^ k)
+        in
+        let get_float k j =
+          match Bench_io.member k j with
+          | Some (Bench_io.Float x) -> x
+          | Some (Bench_io.Int x) -> float_of_int x
+          | _ -> fail (Printf.sprintf "row without number %s (no completed run?)" k)
+        in
+        let schedules = [ "clear_skies"; "steady_churn"; "burst_failure"; "adversarial" ] in
+        let backends = [ "agg"; "flowupdating" ] in
+        let row s bk =
+          match
+            List.find_opt
+              (fun r -> get_str "schedule" r = s && get_str "backend" r = bk)
+              rows
+          with
+          | Some r -> r
+          | None -> fail (Printf.sprintf "no row for %s/%s (run bench e24)" s bk)
+        in
+        List.iter
+          (fun s ->
+            List.iter
+              (fun bk ->
+                let r = row s bk in
+                let runs = get_int "runs" r and completed = get_int "completed" r in
+                if runs <= 0 then fail (Printf.sprintf "%s/%s: empty cell" s bk);
+                if s = "clear_skies" && completed <> runs then
+                  fail
+                    (Printf.sprintf "%s/%s: clear skies completed only %d/%d" s bk completed runs);
+                if completed > 0 then begin
+                  let p90 = get_float "latency_p90" r
+                  and p95 = get_float "latency_p95" r
+                  and p99 = get_float "latency_p99" r
+                  and p100 = get_float "latency_p100" r in
+                  if not (p90 <= p95 && p95 <= p99 && p99 <= p100) then
+                    fail (Printf.sprintf "%s/%s: latency percentiles out of order" s bk);
+                  let rel = get_float "max_rel_err" r in
+                  if bk = "agg" && s = "clear_skies" && rel <> 0.0 then
+                    fail (Printf.sprintf "%s/%s: exact backend with rel err %.3g" s bk rel);
+                  if bk = "flowupdating" && rel > 0.25 then
+                    fail
+                      (Printf.sprintf
+                         "%s/%s: flow-updating rel err %.3g under churn exceeds the 0.25 bound" s
+                         bk rel)
+                end)
+              backends)
+          schedules;
+        Printf.printf
+          "scenarios    %d cells: clear skies 100%%, percentiles ordered, flow-updating rel err \
+           bounded  OK\n"
+          (List.length rows)
+      | _ -> fail "scenarios.rows missing"))
+
 (* Re-times the fast engine on [perf]'s exact config and compares
    rounds/sec against the committed BENCH_engine.json.  More than a 30%
    drop fails the process (exit 1) — the CI gate for accidental
@@ -2377,10 +2505,24 @@ let guard () =
       exit 1
     end
     else begin
-      guard_cross_protocol ();
-      guard_update_lag ();
-      guard_fleet ();
-      guard_scale ();
+      (* Sub-guards fail with a printed reason and exit 1 on every
+         expected shape mismatch; this wrapper turns anything they did
+         not anticipate (a malformed or pre-upgrade committed baseline)
+         into the same clear failure instead of a raw backtrace. *)
+      let subguard name f =
+        try f ()
+        with e ->
+          Printf.eprintf
+            "guard: %s — unexpected error re-checking the committed baseline: %s\n\
+             (BENCH_engine.json stale or malformed? regenerate it with bench/main.exe)\n"
+            name (Printexc.to_string e);
+          exit 1
+      in
+      subguard "cross_protocol" guard_cross_protocol;
+      subguard "update_lag" guard_update_lag;
+      subguard "fleet" guard_fleet;
+      subguard "scale" guard_scale;
+      subguard "scenarios" guard_scenarios;
       Printf.printf "guard: OK\n"
     end
 
@@ -2390,7 +2532,7 @@ let all_experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("e23", e23); ("timing", timing); ("perf", perf);
+    ("e22", e22); ("e23", e23); ("e24", e24); ("timing", timing); ("perf", perf);
   ]
 
 (* Runnable only by name — never part of the no-args "run everything"

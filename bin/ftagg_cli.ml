@@ -843,6 +843,118 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Re-run a saved chaos incident and print the watchdog verdict.")
     Term.(const run $ file)
 
+(* ---- churn scenario matrix (lib/churn) ---- *)
+
+let scenarios_cmd =
+  let topology = Arg.(value & opt topology_conv Gen.Grid & info [ "t"; "topology" ] ~doc:"Base topology family.") in
+  let n = Arg.(value & opt int 36 & info [ "n" ] ~doc:"Base topology size (generation 0).") in
+  let backends =
+    Arg.(
+      value
+      & opt (list string) [ "agg"; "flowupdating" ]
+      & info [ "backends" ] ~docv:"B1,B2,.."
+          ~doc:
+            "Protocol backends to matrix (agg, flood, folklore, pushsum, flowupdating, \
+             flowupdating-avg).")
+  in
+  let schedules =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "schedules" ] ~docv:"S1,S2,.."
+          ~doc:
+            "Churn schedules to matrix (clear-skies, steady-churn, burst-failure, adversarial); \
+             all four when omitted.")
+  in
+  let generations =
+    Arg.(value & opt int 5 & info [ "generations" ] ~doc:"Topology generations per schedule.")
+  in
+  let runs =
+    Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per generation (per schedule, per backend).")
+  in
+  let budget =
+    Arg.(value & opt int 4 & info [ "budget" ] ~doc:"Per-run crash budget handed to the schedule.")
+  in
+  let b = Arg.(value & opt int 40 & info [ "b" ] ~doc:"TC budget in flooding rounds.") in
+  let f = Arg.(value & opt int 4 & info [ "f" ] ~doc:"Failure budget the protocols are told.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the matrix as a JSON array on stdout.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Save every watchdog violation as a replayable incident JSON in this directory.")
+  in
+  let run topology n backends schedules generations runs budget b f seed json out =
+    let bad fmt = Printf.ksprintf (fun m -> Printf.eprintf "ftagg: %s\n" m; exit 3) fmt in
+    List.iter
+      (fun name -> if Run.backend_of_string name = None then
+          bad "unknown backend %S (have: %s)" name (String.concat ", " (List.map fst Run.backends)))
+      backends;
+    let schedules =
+      match schedules with
+      | [] -> Schedule.all
+      | names ->
+        List.map
+          (fun name ->
+            match Schedule.of_name name with
+            | Some s -> s
+            | None ->
+              bad "unknown schedule %S (have: %s)" name
+                (String.concat ", " (List.map Schedule.name Schedule.all)))
+          names
+    in
+    if generations <= 0 || runs <= 0 then bad "generations and runs must be positive";
+    (match out with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let saved = ref 0 in
+    let on_violation (inc : Incident.t) =
+      match out with
+      | None -> ()
+      | Some dir ->
+        incr saved;
+        Incident.save ~path:(Filename.concat dir (Printf.sprintf "scenario-%03d.json" !saved)) inc
+    in
+    let spec =
+      {
+        Scenario.default with
+        Scenario.family = topology;
+        n;
+        backends;
+        schedules;
+        generations;
+        runs_per_generation = runs;
+        budget;
+        b;
+        f;
+        seed;
+      }
+    in
+    let reports = Scenario.run ~on_violation spec in
+    if json then
+      print_endline
+        (Bench_io.to_string ~indent:true
+           (Bench_io.List (List.map Scenario.report_to_json reports)))
+    else begin
+      Table.print (Scenario.table reports);
+      let violations = List.fold_left (fun a r -> a + r.Scenario.r_violations) 0 reports in
+      if violations > 0 then
+        Printf.printf "%d watchdog violation(s)%s\n" violations
+          (match out with Some dir -> Printf.sprintf " — incidents saved under %s" dir | None -> "")
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:
+         "Run the churn/elasticity scenario matrix: schedules x backends with percentile \
+          completion reporting. Deterministic from --seed: equal seeds evolve identical \
+          memberships and crash schedules.")
+    Term.(
+      const run $ topology $ n $ backends $ schedules $ generations $ runs $ budget $ b $ f $ seed
+      $ json $ out)
+
 (* ---- the aggregation service (lib/service) ---- *)
 
 let service_settings_term =
@@ -1352,5 +1464,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; graph_cmd; twoparty_cmd; rank_cmd; worstcase_cmd; dot_cmd; trace_cmd;
-            stats_cmd; chaos_cmd; replay_cmd; serve_cmd; client_cmd;
+            stats_cmd; chaos_cmd; replay_cmd; scenarios_cmd; serve_cmd; client_cmd;
           ]))

@@ -1,0 +1,90 @@
+(** Churn schedules: joins, leaves and crashes over topology generations.
+
+    The paper fixes the node set and lets an oblivious adversary crash
+    nodes; the churn literature (flow updating, gossip aggregation)
+    instead evaluates under {e membership churn} — nodes joining and
+    leaving while the protocol runs — with percentile completion/latency
+    as the headline metric.  A schedule packages one such workload shape:
+    per topology {e generation} it decides how many nodes join and leave
+    ({!churn}), and which in-run crash schedule the survivors face
+    ({!failures}), re-using the {!Adversary} edge-budget machinery so a
+    churn scenario's failure mass is comparable to the paper's [f].
+
+    Everything is a pure function of [(schedule, seed, generation)]:
+    equal seeds replay identical join/leave counts and identical crash
+    schedules, which is what makes [ftagg scenarios --seed S]
+    deterministic and lets {!scenario_of_run} hand a materialized run to
+    the {!Shrink} minimizer as a regular incident. *)
+
+type kind =
+  | Clear_skies  (** no churn, no crashes — the completion baseline *)
+  | Steady_churn
+      (** a trickle every generation: 1–2 joins, occasional leaves,
+          random crashes at half the edge budget *)
+  | Burst_failure
+      (** calm generations punctuated by a concentrated burst crash
+          spending the whole budget at once, with recovery joins in the
+          following generation *)
+  | Adversarial
+      (** steady joins plus an {e adaptive} traffic-watching adversary
+          ({!Adversary.Top_talkers}) placing crashes online *)
+
+type t
+
+val clear_skies : t
+val steady_churn : t
+val burst_failure : t
+val adversarial : t
+
+val all : t list
+(** The four kinds in fixed order — the bench E24 matrix rows. *)
+
+val kind : t -> kind
+
+val name : t -> string
+(** Stable identifier (["clear_skies"], ["steady_churn"],
+    ["burst_failure"], ["adversarial"]) — used in percentile tables,
+    BENCH_engine.json rows and metric labels. *)
+
+val of_name : string -> t option
+(** Inverse of {!name} (case-insensitive; ["-"] accepted for ["_"]). *)
+
+val churn : t -> generation:int -> seed:int -> int * int
+(** [(joins, leaves)] applied when {e entering} the given generation.
+    Generation 0 is the base topology: always [(0, 0)]. *)
+
+val failures :
+  t ->
+  graph:Ftagg_graph.Graph.t ->
+  generation:int ->
+  seed:int ->
+  budget:int ->
+  window:int ->
+  Ftagg_sim.Failure.t * Ftagg_sim.Engine.online option
+(** The in-run crash schedule for one run of this generation: an
+    oblivious schedule staying within the edge-failure [budget] with
+    crash rounds in [\[1, window\]], plus (for {!Adversarial}) a fresh
+    online adversary callback enforcing the same budget itself.  The
+    draws depend only on [(schedule, seed, generation)] — never on the
+    backend — so every backend faces the {e same} adversary under equal
+    seeds, as in the E20 cross-protocol matrix.  The callback is
+    single-run: call again for every run. *)
+
+val scenario_of_run :
+  family:Ftagg_graph.Gen.family ->
+  n:int ->
+  topo_seed:int ->
+  run_seed:int ->
+  c:int ->
+  t_param:int ->
+  inputs:int array ->
+  backend:string ->
+  b:int ->
+  f:int ->
+  schedule:Ftagg_sim.Failure.t ->
+  Incident.scenario
+(** Package one materialized run (the oblivious schedule plus every
+    online decision, as {!Ftagg_sim.Engine.run_chaos} returns it) as a
+    replayable {!Incident.scenario} with kind [Backend_run] — the unit
+    {!Shrink.minimize} accepts and [ftagg replay] re-runs.  This is how a
+    scenario-runner violation becomes a first-class incident. *)

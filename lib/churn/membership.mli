@@ -1,0 +1,81 @@
+(** Topology generations: a base graph evolving under joins and leaves.
+
+    The paper's model fixes the node set before the first round; churn
+    workloads need the set to {e evolve between runs}.  A membership
+    value is a base topology (family, [n], seed) plus an event history —
+    joins attach fresh nodes to live attachment points chosen by a
+    seeded rule, leaves retire existing nodes — stamped with a
+    {e generation} counter that bumps on every {!advance}.
+
+    The evolved topology keeps retired nodes {e in} the graph (ids are
+    never reused, the id space only grows): a retired node is modelled
+    as crashed at round 1 of every subsequent run ({!retirement}), which
+    stays inside the engine's crash-fault model — retirement never
+    disconnects the topology or changes its diameter, it silently
+    removes the node's traffic and its input from what survivors can
+    see.  Joins, by contrast, genuinely grow the graph: a joining node
+    gets edges to [2] (or as many as exist) distinct live nodes.
+
+    Everything is a pure function of [(family, n, seed)] and the event
+    history: equal seeds evolve identically, and {!key} — the
+    {e generation-keyed digest} — changes whenever the membership does,
+    which is what the service layer keys its result cache on so a
+    generation-[g] job can never be served a stale generation-[(g−1)]
+    outcome. *)
+
+type t
+
+val create : family:Ftagg_graph.Gen.family -> n:int -> seed:int -> t
+(** Generation 0: exactly [Gen.build family ~n ~seed], no history. *)
+
+val generation : t -> int
+
+val graph : t -> Ftagg_graph.Graph.t
+(** The current topology: base graph plus every joined node and its
+    attachment edges.  Retired nodes are still present (see
+    {!retirement}); the value is memoized per membership value. *)
+
+val total_n : t -> int
+(** Nodes ever part of the system — the current graph's id space. *)
+
+val live : t -> int list
+(** Node ids not yet retired, ascending.  The root is always live. *)
+
+val retired : t -> int list
+(** Retired node ids, ascending. *)
+
+val joins : t -> int
+(** Total nodes joined since generation 0. *)
+
+val advance : t -> joins:int -> leaves:int -> t
+(** One generation step: bump the generation counter, attach [joins]
+    fresh nodes (each to [min 2 live] distinct live nodes picked by the
+    membership's seeded rule), then retire [leaves] live non-root nodes
+    (seeded uniform picks; silently fewer when not enough candidates
+    remain).  Raises [Invalid_argument] on negative counts. *)
+
+val join : t -> t * int
+(** [advance ~joins:1 ~leaves:0], also returning the new node's id. *)
+
+val leave : t -> node:int -> t
+(** Retire one specific live node.  Raises [Invalid_argument] for the
+    root, an unknown id, or an already-retired node. *)
+
+val retirement : t -> Ftagg_sim.Failure.t
+(** Every retired node as a round-1 crash over the current graph — merge
+    it (via {!merge_failures}) with the per-run crash schedule so
+    retired nodes never act. *)
+
+val merge_failures : Ftagg_sim.Failure.t -> Ftagg_sim.Failure.t -> Ftagg_sim.Failure.t
+(** Pointwise-earliest combination of two schedules over the same node
+    count (a node crashes at the earlier of its two crash rounds).
+    Raises [Invalid_argument] on mismatched sizes. *)
+
+val key : t -> string
+(** The generation-keyed digest: ["g<generation>:<16 hex>"] over the
+    base recipe and the full event history.  Two memberships with equal
+    keys have identical graphs and identical live sets; any [advance]
+    (even one with zero effective events) changes the key, so a cache
+    keyed on it can never serve a stale-generation outcome. *)
+
+val pp : Format.formatter -> t -> unit

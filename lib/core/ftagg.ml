@@ -75,6 +75,12 @@ module Watchdog = Ftagg_chaos.Watchdog
 module Incident = Ftagg_chaos.Incident
 module Shrink = Ftagg_chaos.Shrink
 module Campaign = Ftagg_chaos.Campaign
+module Schedule = Ftagg_chaos.Schedule
+
+(** {1 Churn and elasticity (topology generations, scenario matrix)} *)
+
+module Membership = Ftagg_churn.Membership
+module Scenario = Ftagg_churn.Scenario
 
 (** {1 Long-lived aggregation service (scheduling, caching, checkpoints)} *)
 

@@ -116,6 +116,40 @@ let snapshot_cell = function
       { h_count = h.hc_count; h_sum = h.hc_sum; h_min = h.hc_min; h_max = h.hc_max;
         h_buckets = !buckets }
 
+(* Percentile estimation straight off the log2 buckets: find the bucket
+   holding the target rank, then interpolate linearly inside it.  A rank
+   landing exactly on a bucket's cumulative count pins the estimate to
+   that bucket's upper bound, so power-of-two observations report
+   themselves exactly.  The overflow bucket and both tails are clamped to
+   the recorded [h_min, h_max], which keeps estimates inside the observed
+   range and makes [percentile h 100.0 = h_max]. *)
+let percentile (h : hist) p =
+  if h.h_count = 0 then invalid_arg "Registry.percentile: empty histogram";
+  if p < 0.0 || p > 100.0 || Float.is_nan p then invalid_arg "Registry.percentile: p out of range";
+  let clamp v = Float.max h.h_min (Float.min h.h_max v) in
+  let rank = p /. 100.0 *. float_of_int h.h_count in
+  if rank <= 0.0 then h.h_min
+  else
+    let rec walk cum = function
+      | [] -> h.h_max
+      | (upper, count) :: rest ->
+        let cum' = cum +. float_of_int count in
+        if rank <= cum' then begin
+          let lower = if upper <= 1.0 then 0.0 else upper /. 2.0 in
+          let upper = if Float.is_finite upper then upper else h.h_max in
+          let lower = Float.min lower upper in
+          clamp (lower +. ((rank -. cum) /. float_of_int count *. (upper -. lower)))
+        end
+        else walk cum' rest
+    in
+    walk 0.0 h.h_buckets
+
+let histogram t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (name, canon labels) with
+  | Some (C_hist _ as cell) -> (
+    match snapshot_cell cell with Histogram h -> Some h | _ -> None)
+  | Some _ | None -> None
+
 let counter t ?(labels = []) name =
   match Hashtbl.find_opt t.tbl (name, canon labels) with
   | Some (C_counter { c }) -> c

@@ -64,8 +64,26 @@ type value =
   | Gauge of float
   | Histogram of hist
 
+val percentile : hist -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([0 <= p <= 100])
+    from the log2 buckets: the bucket containing the target rank
+    [p/100 · h_count] is found and the estimate interpolated linearly
+    between its bounds, clamped into [\[h_min, h_max\]].  A rank landing
+    exactly on a bucket boundary reports the bucket's upper bound, so
+    power-of-two observations are recovered exactly; [p = 0] is [h_min]
+    and [p = 100] is [h_max].  Monotone in [p] by construction
+    (p90 ≤ p95 ≤ p99 ≤ p100 — pinned by a qcheck property in
+    [test/test_obs.ml]).  Raises [Invalid_argument] on an empty
+    histogram or [p] outside [\[0, 100\]]. *)
+
 val counter : t -> ?labels:(string * string) list -> string -> int
 (** Counter value; [0] when the series does not exist. *)
+
+val histogram : t -> ?labels:(string * string) list -> string -> hist option
+(** Histogram snapshot; [None] when the series does not exist (or is not
+    a histogram).  The read side of {!observe} — feed it to
+    {!percentile} for the latency/bandwidth curves the scenario runner
+    reports. *)
 
 val gauge : t -> ?labels:(string * string) list -> string -> float option
 (** Gauge value; [None] when the series does not exist (or is not a

@@ -29,6 +29,7 @@ let spec_of_scenario (sc : Incident.scenario) =
     protocol = Job.Chaos_pair { bit_cap = sc.Incident.bit_cap };
     failures = Job.Explicit sc.Incident.schedule;
     seed = sc.Incident.run_seed;
+    generation = 0;
     deadline = None;
     priority = Job.High;
   }

@@ -50,6 +50,7 @@ type spec = {
   protocol : protocol;
   failures : failure_spec;
   seed : int;
+  generation : int;
   deadline : int option;
   priority : priority;
 }
@@ -121,6 +122,13 @@ let digest spec =
     canonical;
   Printf.sprintf "%016Lx" !h
 
+(* The cache key adds the topology generation the digest deliberately
+   leaves out: same question, later generation → different key, so a
+   churned topology can never be answered from a stale entry. *)
+let cache_key spec =
+  if spec.generation = 0 then digest spec
+  else Printf.sprintf "%s@g%d" (digest spec) spec.generation
+
 (* ---- JSON codec ---- *)
 
 let to_json spec =
@@ -165,7 +173,10 @@ let to_json spec =
   let deadline_fields =
     match spec.deadline with Some d -> [ ("deadline", Bench_io.Int d) ] | None -> []
   in
-  Bench_io.Obj (base @ protocol_fields @ failure_fields @ deadline_fields)
+  let generation_fields =
+    if spec.generation = 0 then [] else [ ("generation", Bench_io.Int spec.generation) ]
+  in
+  Bench_io.Obj (base @ protocol_fields @ failure_fields @ deadline_fields @ generation_fields)
 
 let ( let* ) = Result.bind
 
@@ -279,11 +290,15 @@ let of_json ~(settings : Reconfig.settings) json =
       | Some p -> Ok p
       | None -> Error (Printf.sprintf "job: unknown priority %S" priority_s)
     in
+    let* generation = field_int json "generation" 0 in
+    let* () =
+      if generation >= 0 then Ok () else Error "job: generation must be non-negative"
+    in
     Ok
       {
         tenant; family; n; topo_seed; inputs; c; t;
         caaf = String.lowercase_ascii caaf;
-        protocol; failures; seed; deadline; priority;
+        protocol; failures; seed; generation; deadline; priority;
       }
   | _ -> Error "job: expected an object"
 

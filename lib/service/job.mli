@@ -47,6 +47,9 @@ type spec = {
   protocol : protocol;
   failures : failure_spec;
   seed : int;
+  generation : int;
+      (** topology generation the request was made under (see
+          {!Ftagg_churn.Membership}); 0 for static-membership jobs *)
   deadline : int option;
       (** max scheduler ticks the job may wait in the queue; [None] waits
           forever *)
@@ -73,7 +76,16 @@ type executed = {
 val caaf_of_name : string -> Ftagg_caaf.Caaf.t option
 
 val digest : spec -> string
-(** 16 hex chars, stable across processes and checkpoints. *)
+(** 16 hex chars, stable across processes and checkpoints.  Deliberately
+    {e excludes} the generation — the digest identifies the computation;
+    staleness is the cache key's business (see {!cache_key}). *)
+
+val cache_key : spec -> string
+(** What the result cache and the shared store are keyed on: the
+    {!digest} alone at generation 0, ["<digest>@g<generation>"]
+    otherwise.  A generation-[g] job can therefore never hit an outcome
+    cached under generation [g - 1], even when the spec digests agree —
+    the topology may have churned underneath it. *)
 
 val to_json : spec -> Ftagg_runner.Bench_io.json
 (** The resolved wire/checkpoint form; [of_json ∘ to_json] is the

@@ -259,7 +259,9 @@ let tick ?max t () =
       match Queue.pop t.queue with
       | None -> (List.rev acc, List.rev misses)
       | Some (_, q) ->
-        let digest = Job.digest q.q_spec in
+        (* the generation-aware cache key, not the bare digest: a job
+           admitted under generation g never hits a g-1 entry *)
+        let digest = Job.cache_key q.q_spec in
         if expired t q then begin
           count t "service_jobs_expired_total" 1;
           let completion =

@@ -18,6 +18,8 @@ type completion = {
   id : string;
   tenant : string;
   digest : string;
+      (** the job's {!Job.cache_key} — the bare spec digest at
+          generation 0, [<digest>@g<generation>] otherwise *)
   cached : bool;  (** served from the result cache, no simulation ran *)
   outcome : (Job.outcome, string) result;
       (** [Error] for an expired deadline or a job that raised *)

@@ -20,6 +20,7 @@ let () =
       ("cross", Test_cross.suite);
       ("engine-perf", Test_engine_perf.suite);
       ("chaos", Test_chaos.suite);
+      ("churn", Test_churn.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
       ("transport", Test_transport.suite);

@@ -333,6 +333,64 @@ let test_prometheus_dump () =
   check_true "histogram count" (has "sizes_count 1");
   check_true "gauge" (has "temp 1.5")
 
+(* --- percentile extraction from log2 histograms --- *)
+
+let hist_of values =
+  let r = Registry.create () in
+  List.iter (fun v -> Registry.observe r "h" v) values;
+  match Registry.histogram r "h" with
+  | Some h -> h
+  | None -> Alcotest.fail "histogram series missing"
+
+(* Golden vectors: observations 1, 2, 4, 8 land exactly on the upper
+   edges of the first four log2 buckets, so linear interpolation inside
+   a bucket must return the edge itself at each quartile — any
+   off-by-one in the cumulative walk or the bucket lower bound shifts
+   these. *)
+let test_percentile_golden () =
+  let h = hist_of [ 1.0; 2.0; 4.0; 8.0 ] in
+  let check_p name p expect =
+    check_true name (abs_float (Registry.percentile h p -. expect) < 1e-9)
+  in
+  check_p "p25 = first bucket edge" 25.0 1.0;
+  check_p "p50 = second bucket edge" 50.0 2.0;
+  check_p "p75 = third bucket edge" 75.0 4.0;
+  check_p "p100 is the exact max" 100.0 8.0;
+  check_p "p0 is the exact min" 0.0 1.0;
+  (* mid-bucket interpolation: rank 1.5 sits halfway through (1,2] *)
+  check_p "p37.5 interpolates inside the bucket" 37.5 1.5
+
+let test_percentile_degenerate () =
+  let h = hist_of [ 5.0; 5.0; 5.0 ] in
+  List.iter
+    (fun p ->
+      check_true
+        (Printf.sprintf "all-equal observations: p%g clamps to the value" p)
+        (Registry.percentile h p = 5.0))
+    [ 0.0; 50.0; 90.0; 99.0; 100.0 ];
+  let empty =
+    let r = Registry.create () in
+    Registry.observe r "other" 1.0;
+    { (hist_of [ 1.0 ]) with Registry.h_count = 0 }
+  in
+  Alcotest.check_raises "empty histogram rejected"
+    (Invalid_argument "Registry.percentile: empty histogram") (fun () ->
+      ignore (Registry.percentile empty 50.0));
+  Alcotest.check_raises "p out of range rejected"
+    (Invalid_argument "Registry.percentile: p out of range") (fun () ->
+      ignore (Registry.percentile (hist_of [ 1.0 ]) 101.0))
+
+let test_histogram_lookup () =
+  let r = Registry.create () in
+  check_true "absent series" (Registry.histogram r "nope" = None);
+  Registry.incr r "c" 1;
+  check_true "counter is not a histogram" (Registry.histogram r "c" = None);
+  Registry.observe r ~labels:[ ("k", "v") ] "h" 2.0;
+  check_true "labels must match" (Registry.histogram r "h" = None);
+  match Registry.histogram r ~labels:[ ("k", "v") ] "h" with
+  | Some h -> check_int "labelled series found" 1 h.Registry.h_count
+  | None -> Alcotest.fail "labelled histogram missing"
+
 (* --- Bench_io round trip (satellite: JSON string escaping) --- *)
 
 let qcheck_tests =
@@ -369,6 +427,18 @@ let qcheck_tests =
         ]
   in
   [
+    Test.make ~name:"percentile: p90 <= p95 <= p99 <= p100, all inside [min, max]" ~count:300
+      (list_of_size Gen.(1 -- 40) (float_bound_inclusive 1e6))
+      (fun values ->
+        let values = List.map (fun v -> Float.abs v +. 0.001) values in
+        let h = hist_of values in
+        let p90 = Registry.percentile h 90.0
+        and p95 = Registry.percentile h 95.0
+        and p99 = Registry.percentile h 99.0
+        and p100 = Registry.percentile h 100.0 in
+        p90 <= p95 && p95 <= p99 && p99 <= p100
+        && h.Registry.h_min <= p90
+        && p100 = h.Registry.h_max);
     Test.make ~name:"Bench_io: strings with control chars round-trip" ~count:500 nasty_string
       (fun s ->
         match Bench_io.of_string (Bench_io.to_string (Bench_io.String s)) with
@@ -408,5 +478,8 @@ let suite =
       ("export: chrome trace parses, >=3 phases", test_chrome_trace_parses);
       ("export: prometheus text", test_prometheus_dump);
       ("export: hostile label values escaped", test_prometheus_hostile_labels);
+      ("percentile: golden vectors at bucket edges", test_percentile_golden);
+      ("percentile: degenerate histograms", test_percentile_degenerate);
+      ("registry: histogram lookup by name + labels", test_histogram_lookup);
     ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests

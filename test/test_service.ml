@@ -26,7 +26,8 @@ module Checkpoint = Service.Checkpoint
 module Server = Service.Server
 
 (* A small, fast, failure-free job: a 4x4 grid SUM under Algorithm 1. *)
-let spec ?(tenant = "default") ?(n = 16) ?(seed = 7) ?(priority = Job.Normal) ?deadline () =
+let spec ?(tenant = "default") ?(n = 16) ?(seed = 7) ?(priority = Job.Normal) ?(generation = 0)
+    ?deadline () =
   {
     Job.tenant;
     family = Topo.Grid;
@@ -39,6 +40,7 @@ let spec ?(tenant = "default") ?(n = 16) ?(seed = 7) ?(priority = Job.Normal) ?d
     protocol = Job.Tradeoff { b = 63; f = 1 };
     failures = Job.Generated { mode = "none"; budget = 0 };
     seed;
+    generation;
     deadline;
     priority;
   }
@@ -160,7 +162,50 @@ let test_job_digest () =
     (Job.digest base <> Job.digest { base with Job.inputs = Array.make 16 1 });
   check_true "protocol included"
     (Job.digest base <> Job.digest { base with Job.protocol = Job.Brute });
-  check_true "caaf included" (Job.digest base <> Job.digest { base with Job.caaf = "max" })
+  check_true "caaf included" (Job.digest base <> Job.digest { base with Job.caaf = "max" });
+  (* the generation lives in the cache key, not the digest *)
+  check_true "generation excluded from the digest"
+    (Job.digest base = Job.digest (spec ~generation:3 ()))
+
+let test_job_cache_key () =
+  let base = spec () in
+  check_true "generation 0 keys on the bare digest" (Job.cache_key base = Job.digest base);
+  let g2 = spec ~generation:2 () in
+  check_true "later generation suffixes the digest"
+    (Job.cache_key g2 = Job.digest g2 ^ "@g2");
+  check_true "distinct generations never share a key"
+    (Job.cache_key (spec ~generation:1 ()) <> Job.cache_key g2);
+  match Job.of_json ~settings:Reconfig.default (Job.to_json g2) with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+    check_int "generation survives the wire" 2 s'.Job.generation;
+    check_true "cache key stable across the wire" (Job.cache_key g2 = Job.cache_key s')
+
+(* A job admitted under generation g must miss — not hit — an outcome
+   cached under generation g-1 with the identical spec digest: the
+   topology may have churned between the two admissions. *)
+let test_scheduler_generation_invalidation () =
+  let t = Scheduler.create ~settings:(settings ~batch:1 ()) () in
+  let run s =
+    ignore (Result.get_ok (Scheduler.submit t s));
+    match Scheduler.tick t () with
+    | [ c ] -> c
+    | cs -> Alcotest.fail (Printf.sprintf "expected 1 completion, got %d" (List.length cs))
+  in
+  let c0 = run (spec ()) in
+  check_true "generation 0 executes" (not c0.Scheduler.cached);
+  let c0' = run (spec ~tenant:"other" ()) in
+  check_true "same generation, same digest: cache hit" c0'.Scheduler.cached;
+  let c1 = run (spec ~generation:1 ()) in
+  check_true "same digest one generation later: miss, not a stale hit"
+    (not c1.Scheduler.cached);
+  check_true "completion records the generation-keyed digest"
+    (c1.Scheduler.digest = Job.digest (spec ()) ^ "@g1");
+  let c1' = run (spec ~generation:1 ~tenant:"other" ()) in
+  check_true "repeat within generation 1 hits its own entry" c1'.Scheduler.cached;
+  let s = Scheduler.cache_stats t in
+  check_int "two hits" 2 s.Cache.hits;
+  check_int "two misses" 2 s.Cache.misses
 
 let test_job_json_roundtrip () =
   let s = spec ~tenant:"acme" ~priority:Job.High ~deadline:4 () in
@@ -691,6 +736,9 @@ let suite =
     Alcotest.test_case "cache: LRU + mirrored counters" `Quick test_cache_lru;
     Alcotest.test_case "cache: capacity 0 disables" `Quick test_cache_disabled;
     Alcotest.test_case "job: digest soundness" `Quick test_job_digest;
+    Alcotest.test_case "job: generation-keyed cache key" `Quick test_job_cache_key;
+    Alcotest.test_case "scheduler: new generation misses stale cache" `Quick
+      test_scheduler_generation_invalidation;
     Alcotest.test_case "job: wire round-trip" `Quick test_job_json_roundtrip;
     Alcotest.test_case "job: defaults and validation" `Quick test_job_of_json_defaults_and_errors;
     Alcotest.test_case "job: golden digest vectors" `Quick test_job_digest_golden;
